@@ -1,0 +1,31 @@
+//! # upsilon-agreement
+//!
+//! The agreement protocols of *"On the weakest failure detector ever"*:
+//!
+//! * [`fig1`] — Υ-based n-set-agreement with registers (Fig. 1, Theorem 2);
+//! * [`fig2`] — Υ^f-based f-resilient f-set-agreement with atomic snapshots
+//!   (Fig. 2, Theorem 6);
+//! * [`consensus`] — Ω-based consensus (the §4 / §5.3 companion);
+//! * [`boost`] — (n+1)-process consensus from n-process consensus objects
+//!   and Ω_n (Corollary 4's comparison point);
+//! * [`baseline`] — the Ω_n-based set-agreement baseline via the complement
+//!   reduction (Corollary 3's context);
+//! * [`spec`] — the k-set-agreement problem specification, checked on runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod boost;
+pub mod consensus;
+pub mod fig1;
+pub mod fig2;
+pub mod proposals;
+pub mod spec;
+
+pub use consensus::{LeaderSource, OmegaConsensusConfig, OmegaQuery};
+pub use fig1::Fig1Config;
+pub use fig2::Fig2Config;
+pub use proposals::{distinct_proposals, to_algorithms};
+pub use spec::{check_consensus, check_k_set_agreement, TaskViolation};

@@ -1,0 +1,27 @@
+//! E4/E5 bench: the Theorem 1 adversary game — cost of forcing K output
+//! changes out of a live candidate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_core::extract::{play, ActivityCandidate, GameConfig, GameVerdict};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_game");
+    group.sample_size(10);
+    for phases in [2usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(phases),
+            &phases,
+            |b, &phases| {
+                b.iter(|| {
+                    let verdict = play(GameConfig::theorem_1(4, phases), &ActivityCandidate);
+                    assert!(matches!(verdict, GameVerdict::NeverStabilizes { .. }));
+                    verdict.changes()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9 bench: native Υ vs the Ω_n-complement baseline on the same
+//! set-agreement workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_bench::{average_case_config, staggered_crashes};
+use upsilon_core::experiment::{run_baseline_omega_k, run_fig1};
+use upsilon_core::fd::{OmegaKChoice, UpsilonChoice};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("upsilon_vs_omega_n");
+    group.sample_size(10);
+    for crashes in [0usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("native_upsilon", crashes),
+            &crashes,
+            |b, &crashes| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = average_case_config(staggered_crashes(4, crashes, 50), seed);
+                    let out = run_fig1(&cfg, UpsilonChoice::default());
+                    out.assert_ok();
+                    out.total_steps
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("omega_n_complement", crashes),
+            &crashes,
+            |b, &crashes| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = average_case_config(staggered_crashes(4, crashes, 50), seed);
+                    let out = run_baseline_omega_k(&cfg, 3, OmegaKChoice::default());
+                    out.assert_ok();
+                    out.total_steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

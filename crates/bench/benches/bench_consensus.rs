@@ -1,0 +1,56 @@
+//! E7/E8 bench: Ω-based consensus, boosted consensus (Ω_n + n-consensus
+//! objects) and the Υ¹ pipeline, side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_bench::{average_case_config, staggered_crashes};
+use upsilon_core::experiment::{run_boost, run_omega_consensus, run_upsilon1_consensus};
+use upsilon_core::fd::{LeaderChoice, OmegaKChoice, UpsilonChoice};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    group.sample_size(10);
+    for n_plus_1 in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("omega", n_plus_1), &n_plus_1, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = average_case_config(staggered_crashes(n, 1, 40), seed);
+                let out = run_omega_consensus(&cfg, LeaderChoice::MinCorrect);
+                out.assert_ok();
+                out.total_steps
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("boost_omega_n", n_plus_1),
+            &n_plus_1,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = average_case_config(staggered_crashes(n, 1, 40), seed);
+                    let out = run_boost(&cfg, OmegaKChoice::default());
+                    out.assert_ok();
+                    out.total_steps
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("upsilon1_pipeline", n_plus_1),
+            &n_plus_1,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = average_case_config(staggered_crashes(n, 1, 40), seed);
+                    let out = run_upsilon1_consensus(&cfg, UpsilonChoice::default());
+                    out.assert_ok();
+                    out.total_steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E10 bench: one k-converge instance over native and register-only
+//! snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::{Arc, Mutex};
+use upsilon_core::converge::ConvergeInstance;
+use upsilon_core::mem::SnapshotFlavor;
+use upsilon_core::sim::{FailurePattern, Key, SeededRandom, SimBuilder};
+
+/// Shared per-process (picked, committed) results of a converge run.
+type SharedResults = std::sync::Arc<std::sync::Mutex<Vec<Option<(u64, bool)>>>>;
+
+fn run_converge(n: usize, k: usize, flavor: SnapshotFlavor, seed: u64) -> u64 {
+    let results: SharedResults = Arc::new(Mutex::new(vec![None; n]));
+    let results2 = Arc::clone(&results);
+    let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(n))
+        .adversary(SeededRandom::new(seed))
+        .spawn_all(move |pid| {
+            let results = Arc::clone(&results2);
+            let v = pid.index() as u64;
+            Box::new(move |ctx| {
+                let inst = ConvergeInstance::new(Key::new("cv"), ctx.n_plus_1(), flavor);
+                let out = inst.converge(&ctx, k, v)?;
+                results.lock().unwrap()[pid.index()] = Some(out);
+                Ok(())
+            })
+        })
+        .run();
+    outcome.run.total_steps()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_converge");
+    group.sample_size(20);
+    for (label, flavor) in [
+        ("native", SnapshotFlavor::Native),
+        ("register_based", SnapshotFlavor::RegisterBased),
+    ] {
+        for n in [3usize, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, flavor),
+                |b, &(n, flavor)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        run_converge(n, n - 1, flavor, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

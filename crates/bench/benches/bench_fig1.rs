@@ -1,0 +1,33 @@
+//! E1 bench: wall-time of the Fig. 1 protocol (Υ-based n-set agreement)
+//! across system sizes, average case (random schedule and noise).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_bench::average_case_config;
+use upsilon_core::experiment::run_fig1;
+use upsilon_core::fd::UpsilonChoice;
+use upsilon_core::sim::FailurePattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_set_agreement");
+    group.sample_size(10);
+    for n_plus_1 in [3usize, 4, 5, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_plus_1),
+            &n_plus_1,
+            |b, &n_plus_1| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = average_case_config(FailurePattern::failure_free(n_plus_1), seed);
+                    let out = run_fig1(&cfg, UpsilonChoice::default());
+                    out.assert_ok();
+                    out.total_steps
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

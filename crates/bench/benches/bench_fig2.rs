@@ -1,0 +1,28 @@
+//! E2 bench: wall-time of the Fig. 2 protocol (Υ^f-based f-set agreement)
+//! across the resilience parameter f, with f actual crashes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_bench::{average_case_config, staggered_crashes};
+use upsilon_core::experiment::run_fig2;
+use upsilon_core::fd::UpsilonChoice;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_f_resilient");
+    group.sample_size(10);
+    for f in 1usize..=4 {
+        group.bench_with_input(BenchmarkId::new("n_plus_1=5/f", f), &f, |b, &f| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = average_case_config(staggered_crashes(5, f, 40), seed);
+                let out = run_fig2(&cfg, f, UpsilonChoice::default());
+                out.assert_ok();
+                out.total_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

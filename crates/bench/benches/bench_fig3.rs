@@ -1,0 +1,35 @@
+//! E3 bench: wall-time of the Fig. 3 extraction from stable detectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_core::experiment::{run_fig3, StableSource};
+use upsilon_core::fd::{LeaderChoice, OmegaKChoice};
+use upsilon_core::sim::{FailurePattern, Time};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_extraction");
+    group.sample_size(10);
+    let pattern = FailurePattern::failure_free(4);
+    for (label, source) in [
+        ("omega", StableSource::Omega(LeaderChoice::MinCorrect)),
+        (
+            "omega_3",
+            StableSource::OmegaK(3, OmegaKChoice::OneCorrectRestFaulty),
+        ),
+        ("perfect", StableSource::Perfect),
+        ("ev_perfect", StableSource::EventuallyPerfect),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &source, |b, source| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_fig3(&pattern, *source, 3, Time(100), seed, 25_000);
+                out.assert_ok();
+                out.total_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E11 bench: atomic snapshot implementations — one-step native object vs
+//! the O(n²)-read register-only construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use upsilon_core::mem::{non_bot_count, FlavoredSnapshot, Snapshot, SnapshotFlavor};
+use upsilon_core::sim::{FailurePattern, Key, SeededRandom, SimBuilder};
+
+fn snapshot_workload(n: usize, flavor: SnapshotFlavor, seed: u64) -> u64 {
+    let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(n))
+        .adversary(SeededRandom::new(seed))
+        .spawn_all(move |pid| {
+            Box::new(move |ctx| {
+                let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), ctx.n_plus_1());
+                for round in 0..4u64 {
+                    snap.update(&ctx, pid.index() as u64 * 10 + round)?;
+                    let s = snap.scan(&ctx)?;
+                    assert!(non_bot_count(&s) >= 1);
+                }
+                Ok(())
+            })
+        })
+        .run();
+    outcome.run.total_steps()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomic_snapshot");
+    group.sample_size(20);
+    for (label, flavor) in [
+        ("native", SnapshotFlavor::Native),
+        ("register_based", SnapshotFlavor::RegisterBased),
+    ] {
+        for n in [3usize, 5, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, flavor),
+                |b, &(n, flavor)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        snapshot_workload(n, flavor, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

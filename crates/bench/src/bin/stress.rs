@@ -1,0 +1,194 @@
+//! Randomized stress campaign: thousands of (pattern, schedule, oracle,
+//! protocol) combinations, every run validated against its specification.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin stress [runs-per-protocol]
+//! ```
+//!
+//! Exits non-zero on the first violation, printing a reproduction recipe
+//! (protocol, seed, pattern) — the fuzzing companion to the deterministic
+//! test suite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upsilon_core::experiment::{
+    run_baseline_omega_k, run_boost, run_fig1, run_fig2, run_omega_consensus,
+    run_upsilon1_consensus, AgreementConfig, AgreementOutcome, Sched,
+};
+use upsilon_core::fd::{LeaderChoice, OmegaKChoice, UpsilonChoice, UpsilonNoise};
+use upsilon_core::sim::{Environment, Time};
+use upsilon_core::stats::Summary;
+use upsilon_core::table::Table;
+
+struct Campaign {
+    name: &'static str,
+    runs: u64,
+    failures: Vec<String>,
+    steps: Vec<u64>,
+}
+
+impl Campaign {
+    fn new(name: &'static str) -> Self {
+        Campaign {
+            name,
+            runs: 0,
+            failures: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, recipe: String, outcome: &AgreementOutcome) {
+        self.runs += 1;
+        self.steps.push(outcome.total_steps);
+        if let Err(e) = &outcome.spec {
+            self.failures.push(format!("{recipe}: {e}"));
+        }
+    }
+}
+
+fn random_config(rng: &mut StdRng, n_plus_1: usize, max_faults: usize) -> AgreementConfig {
+    let env = Environment::new(n_plus_1, max_faults);
+    let pattern = env.sample(rng, 150);
+    let sched = match rng.gen_range(0..3) {
+        0 => Sched::RoundRobin,
+        1 => Sched::Random,
+        _ => Sched::SkewedRandom,
+    };
+    let noise = if rng.gen_bool(0.3) {
+        UpsilonNoise::ConstantAll
+    } else {
+        UpsilonNoise::Random
+    };
+    AgreementConfig::new(pattern)
+        .seed(rng.gen())
+        .stabilize_at(Time(rng.gen_range(0..400)))
+        .sched(sched)
+        .noise(noise)
+}
+
+fn upsilon_choice(rng: &mut StdRng) -> UpsilonChoice {
+    match rng.gen_range(0..5) {
+        0 => UpsilonChoice::ComplementOfCorrect,
+        1 => UpsilonChoice::All,
+        2 => UpsilonChoice::FaultyPadded,
+        3 => UpsilonChoice::SubsetOfCorrect,
+        _ => UpsilonChoice::RandomLegal,
+    }
+}
+
+fn main() {
+    let per_protocol: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut campaigns = Vec::new();
+
+    // Fig. 1 (wait-free set agreement).
+    let mut c = Campaign::new("fig1");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(2..=5);
+        let cfg = random_config(&mut rng, n_plus_1, n_plus_1 - 1);
+        let choice = upsilon_choice(&mut rng);
+        let recipe = format!("fig1 n+1={n_plus_1} seed={} {:?}", cfg.seed, cfg.pattern);
+        let out = run_fig1(&cfg, choice);
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    // Fig. 2 (f-resilient).
+    let mut c = Campaign::new("fig2");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(3..=5);
+        let f = rng.gen_range(1..n_plus_1);
+        let cfg = random_config(&mut rng, n_plus_1, f);
+        let choice = upsilon_choice(&mut rng);
+        let recipe = format!(
+            "fig2 n+1={n_plus_1} f={f} seed={} {:?}",
+            cfg.seed, cfg.pattern
+        );
+        let out = run_fig2(&cfg, f, choice);
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    // Ω-consensus.
+    let mut c = Campaign::new("omega-consensus");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(2..=5);
+        let cfg = random_config(&mut rng, n_plus_1, n_plus_1 - 1).noise(UpsilonNoise::Random);
+        let recipe = format!("omega-consensus n+1={n_plus_1} seed={}", cfg.seed);
+        let out = run_omega_consensus(&cfg, LeaderChoice::RandomCorrect);
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    // Boosted consensus.
+    let mut c = Campaign::new("boost");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(3..=5);
+        let cfg = random_config(&mut rng, n_plus_1, n_plus_1 - 1).noise(UpsilonNoise::Random);
+        let recipe = format!("boost n+1={n_plus_1} seed={}", cfg.seed);
+        let out = run_boost(&cfg, OmegaKChoice::RandomLegal);
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    // Ω_n-complement baseline.
+    let mut c = Campaign::new("baseline-omega-k");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(3..=5);
+        let k = rng.gen_range(1..n_plus_1);
+        let cfg = random_config(&mut rng, n_plus_1, k).noise(UpsilonNoise::Random);
+        let recipe = format!("baseline n+1={n_plus_1} k={k} seed={}", cfg.seed);
+        let out = run_baseline_omega_k(&cfg, k, OmegaKChoice::RandomLegal);
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    // Υ¹ pipeline consensus (E_1 patterns only).
+    let mut c = Campaign::new("upsilon1-pipeline");
+    for _ in 0..per_protocol {
+        let n_plus_1 = rng.gen_range(3..=5);
+        let cfg = random_config(&mut rng, n_plus_1, 1).noise(UpsilonNoise::Random);
+        let recipe = format!("upsilon1 n+1={n_plus_1} seed={}", cfg.seed);
+        let out = run_upsilon1_consensus(&cfg, upsilon_choice(&mut rng));
+        c.record(recipe, &out);
+    }
+    campaigns.push(c);
+
+    let mut table = Table::new(
+        format!("Stress campaign — {per_protocol} randomized runs per protocol"),
+        &[
+            "protocol",
+            "runs",
+            "violations",
+            "steps p50",
+            "steps p95",
+            "steps max",
+        ],
+    );
+    let mut any_failure = false;
+    for c in &campaigns {
+        let s = Summary::of(&c.steps);
+        table.row([
+            c.name.to_string(),
+            c.runs.to_string(),
+            c.failures.len().to_string(),
+            s.p50.to_string(),
+            s.p95.to_string(),
+            s.max.to_string(),
+        ]);
+        any_failure |= !c.failures.is_empty();
+    }
+    println!("{table}");
+    for c in &campaigns {
+        for f in &c.failures {
+            eprintln!("VIOLATION: {f}");
+        }
+    }
+    if any_failure {
+        std::process::exit(1);
+    }
+    println!("no specification violations.");
+}

@@ -1,0 +1,245 @@
+//! The failure-detector strength matrix around Υ — the paper's hierarchy
+//! (§2, §4, Theorems 1 & 5, Corollaries 3–4), with each relationship
+//! *mechanically revalidated* when the matrix is built.
+
+use crate::experiment::{run_fig3, run_upsilon1_to_omega, StableSource};
+use crate::table::Table;
+use upsilon_extract::{play, ActivityCandidate, GameConfig, GameVerdict};
+use upsilon_fd::{
+    check_omega, check_upsilon, omega_from_upsilon_two_proc, upsilon_from_omega, LeaderChoice,
+    OmegaKChoice, OmegaOracle, UpsilonChoice, UpsilonOracle,
+};
+use upsilon_sim::{FailurePattern, Oracle, ProcessId, Time};
+
+/// How one detector relates to another in the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Relation {
+    /// A reduction exists and was just revalidated.
+    Reduces,
+    /// No reduction exists; the adversary game just refuted a candidate.
+    DoesNotReduce,
+}
+
+impl Relation {
+    fn label(self) -> &'static str {
+        match self {
+            Relation::Reduces => "yes",
+            Relation::DoesNotReduce => "no (game)",
+        }
+    }
+}
+
+/// One revalidated edge of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Source detector.
+    pub from: &'static str,
+    /// Target detector.
+    pub to: &'static str,
+    /// Whether `from` can emulate `to`.
+    pub relation: Relation,
+    /// How the relationship was just revalidated.
+    pub mechanism: &'static str,
+}
+
+/// Builds and revalidates the strength matrix. Each edge actually runs its
+/// mechanism (a reduction spec-check or an adversary game); a panic here
+/// means the hierarchy broke.
+pub fn validated_edges() -> Vec<Edge> {
+    let mut edges = Vec::new();
+    let pattern3 = FailurePattern::builder(4)
+        .crash(ProcessId(0), Time(9_000))
+        .build();
+
+    // Ω → Υ: complement map (§4), checked against the Υ spec.
+    {
+        let omega = OmegaOracle::new(&pattern3, LeaderChoice::MinCorrect, Time(40), 1);
+        let mut ups = upsilon_from_omega(4, omega);
+        let mut samples = Vec::new();
+        for t in 0..120u64 {
+            for i in 0..4 {
+                let p = ProcessId(i);
+                if !pattern3.is_crashed_at(p, Time(t)) {
+                    samples.push((Time(t), p, ups.output(p, Time(t))));
+                }
+            }
+        }
+        check_upsilon(&pattern3, &samples, 5).expect("Ω → Υ complement reduction");
+        edges.push(Edge {
+            from: "Omega",
+            to: "Upsilon",
+            relation: Relation::Reduces,
+            mechanism: "complement map (§4), Υ spec-checked",
+        });
+    }
+
+    // Ω_n → Υ and Ω_f → Υ^f: Fig. 3 with φ_{Ω_k} (also the complement).
+    {
+        let out = run_fig3(
+            &pattern3,
+            StableSource::OmegaK(3, OmegaKChoice::default()),
+            3,
+            Time(60),
+            2,
+            40_000,
+        );
+        out.assert_ok();
+        edges.push(Edge {
+            from: "Omega_n",
+            to: "Upsilon",
+            relation: Relation::Reduces,
+            mechanism: "Fig. 3 with φ_{Ω_n} (complement), Υ spec-checked",
+        });
+    }
+
+    // P / ◇P → Υ^f: Fig. 3 with φ_P.
+    for (label, source) in [
+        ("P", StableSource::Perfect),
+        ("<>P", StableSource::EventuallyPerfect),
+    ] {
+        let out = run_fig3(&pattern3, source, 3, Time(80), 3, 40_000);
+        out.assert_ok();
+        edges.push(Edge {
+            from: label,
+            to: "Upsilon",
+            relation: Relation::Reduces,
+            mechanism: "Fig. 3 with φ_P, Υ spec-checked",
+        });
+    }
+
+    // Υ → Ω_n: impossible (Theorem 1) — the game defeats the live candidate.
+    {
+        let verdict = play(GameConfig::theorem_1(4, 3), &ActivityCandidate);
+        assert!(verdict.changes() >= 3 || matches!(verdict, GameVerdict::Refuted { .. }));
+        edges.push(Edge {
+            from: "Upsilon",
+            to: "Omega_n",
+            relation: Relation::DoesNotReduce,
+            mechanism: "Theorem 1 adversary game (candidate defeated)",
+        });
+    }
+
+    // Υ^f → Ω^f (f = 2): impossible (Theorem 5).
+    {
+        let verdict = play(GameConfig::theorem_5(4, 2, 3), &ActivityCandidate);
+        assert!(verdict.changes() >= 3 || matches!(verdict, GameVerdict::Refuted { .. }));
+        edges.push(Edge {
+            from: "Upsilon^f",
+            to: "Omega^f (2≤f≤n)",
+            relation: Relation::DoesNotReduce,
+            mechanism: "Theorem 5 adversary game (candidate defeated)",
+        });
+    }
+
+    // Υ¹ → Ω in E_1 (§5.3): timestamp extraction, Ω spec-checked.
+    {
+        let pattern = FailurePattern::builder(3)
+            .crash(ProcessId(2), Time(50))
+            .build();
+        run_upsilon1_to_omega(&pattern, UpsilonChoice::All, Time(100), 4, 40_000)
+            .expect("Υ¹ → Ω extraction");
+        edges.push(Edge {
+            from: "Upsilon^1 (E_1)",
+            to: "Omega",
+            relation: Relation::Reduces,
+            mechanism: "timestamp election (§5.3), Ω spec-checked",
+        });
+    }
+
+    // Υ → anti-Ω (Zielinski; cited in §2): least-active-member-of-U rule.
+    {
+        use upsilon_extract::upsilon_to_anti_omega_algorithm;
+        use upsilon_fd::check_anti_omega;
+        use upsilon_sim::{Output, SeededRandom, SimBuilder};
+        let pattern = FailurePattern::builder(3)
+            .crash(ProcessId(0), Time(30))
+            .build();
+        let oracle = UpsilonOracle::wait_free(&pattern, UpsilonChoice::All, Time(80), 6);
+        let run = SimBuilder::<upsilon_sim::ProcessSet>::new(pattern.clone())
+            .oracle(oracle)
+            .adversary(SeededRandom::new(6))
+            .max_steps(12_000)
+            .spawn_all(|_| upsilon_to_anti_omega_algorithm())
+            .run()
+            .run;
+        let samples: Vec<_> = run
+            .outputs()
+            .iter()
+            .filter_map(|(t, p, o)| match o {
+                Output::Leader(l) => Some((*t, *p, *l)),
+                _ => None,
+            })
+            .collect();
+        check_anti_omega(&pattern, &samples).expect("Υ → anti-Ω emulation");
+        edges.push(Edge {
+            from: "Upsilon",
+            to: "anti-Omega",
+            relation: Relation::Reduces,
+            mechanism: "least-active-of-U rule, anti-Ω spec-checked",
+        });
+    }
+
+    // Υ ↔ Ω for two processes (§4).
+    {
+        let pattern = FailurePattern::builder(2)
+            .crash(ProcessId(0), Time(8))
+            .build();
+        let ups = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(25), 5);
+        let mut omega = omega_from_upsilon_two_proc(ups);
+        let mut samples = Vec::new();
+        for t in 0..80u64 {
+            for i in 0..2 {
+                let p = ProcessId(i);
+                if !pattern.is_crashed_at(p, Time(t)) {
+                    samples.push((Time(t), p, omega.output(p, Time(t))));
+                }
+            }
+        }
+        check_omega(&pattern, &samples, 5).expect("Υ → Ω for two processes");
+        edges.push(Edge {
+            from: "Upsilon (2 procs)",
+            to: "Omega (2 procs)",
+            relation: Relation::Reduces,
+            mechanism: "complement rule (§4), Ω spec-checked",
+        });
+    }
+
+    edges
+}
+
+/// The matrix as a printable table (experiment E13).
+pub fn hierarchy_table() -> Table {
+    let mut t = Table::new(
+        "E13 — detector hierarchy around Υ (each edge revalidated live)",
+        &["from", "emulates", "?", "mechanism"],
+    );
+    for e in validated_edges() {
+        t.row([e.from, e.to, e.relation.label(), e.mechanism]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_revalidates_every_edge() {
+        let edges = validated_edges();
+        assert_eq!(edges.len(), 9);
+        let reduces = edges
+            .iter()
+            .filter(|e| e.relation == Relation::Reduces)
+            .count();
+        assert_eq!(reduces, 7);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = hierarchy_table();
+        assert_eq!(t.len(), 9);
+        let text = t.to_string();
+        assert!(text.contains("Theorem 1 adversary game"));
+        assert!(text.contains("complement map"));
+    }
+}

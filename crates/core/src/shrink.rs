@@ -1,0 +1,106 @@
+//! Delta-debugging for schedules: shrink a failing schedule to a
+//! locally-minimal subsequence that still exhibits the failure.
+//!
+//! Together with [`Run::schedule`](upsilon_sim::Run::schedule) (record) and
+//! [`Scripted`](upsilon_sim::Scripted) (replay), this gives the repository a
+//! complete record/replay/minimize debugging loop: capture the schedule of
+//! a violating run, shrink it with [`ddmin`], and study the distilled
+//! interleaving.
+
+/// Zeller–Hildebrandt `ddmin`: returns a subsequence of `input` on which
+/// `fails` still returns `true`, such that removing any single tried chunk
+/// makes the failure disappear (1-minimality up to the explored partition).
+///
+/// `fails` must be deterministic. If `fails(input)` is `false` the input is
+/// returned unchanged.
+///
+/// ```
+/// use upsilon_core::shrink::ddmin;
+/// let noisy: Vec<u32> = (0..100).collect();
+/// let minimal = ddmin(&noisy, |s| s.contains(&13) && s.contains(&77));
+/// assert_eq!(minimal, vec![13, 77]);
+/// ```
+pub fn ddmin<T: Clone>(input: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = input.to_vec();
+    if !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Complement: everything except current[start..end].
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_input_when_not_failing() {
+        let input = vec![1, 2, 3];
+        assert_eq!(ddmin(&input, |_| false), input);
+    }
+
+    #[test]
+    fn shrinks_to_the_needed_elements() {
+        // Failure = contains both 3 and 7.
+        let input: Vec<u32> = (0..20).collect();
+        let min = ddmin(&input, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(min, vec![3, 7]);
+    }
+
+    #[test]
+    fn shrinks_order_sensitive_failures() {
+        // Failure = a 5 appears before a 2 somewhere.
+        let input = vec![9, 5, 8, 1, 2, 5, 0];
+        let min = ddmin(&input, |s| {
+            s.iter()
+                .position(|&x| x == 5)
+                .zip(s.iter().position(|&x| x == 2))
+                .is_some_and(|(five, two)| five < two)
+        });
+        assert_eq!(min, vec![5, 2]);
+    }
+
+    #[test]
+    fn single_element_failures() {
+        let input = vec![4, 4, 4];
+        let min = ddmin(&input, |s| !s.is_empty());
+        assert_eq!(min.len(), 1);
+    }
+
+    #[test]
+    fn preserves_relative_order() {
+        let input: Vec<u32> = (0..30).collect();
+        let min = ddmin(&input, |s| {
+            // Needs 10, 20, 25 in order (order is automatic in subsequences).
+            [10, 20, 25].iter().all(|x| s.contains(x))
+        });
+        assert_eq!(min, vec![10, 20, 25]);
+    }
+}

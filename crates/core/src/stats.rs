@@ -1,0 +1,108 @@
+//! Small descriptive statistics for experiment tables.
+
+use std::fmt;
+
+/// Summary statistics of a set of `u64` samples (step counts, times).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean, rounded to nearest.
+    pub mean: u64,
+    /// Median (lower of the two middles for even counts).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples` (all zeros when empty).
+    ///
+    /// ```
+    /// use upsilon_core::stats::Summary;
+    /// let s = Summary::of(&[4, 1, 9]);
+    /// assert_eq!((s.min, s.p50, s.max), (1, 4, 9));
+    /// ```
+    pub fn of(samples: &[u64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
+        let rank = |q_num: usize, q_den: usize| -> u64 {
+            let idx = (count * q_num).div_ceil(q_den).clamp(1, count) - 1;
+            sorted[idx]
+        };
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: u64::try_from(sum / count as u128).unwrap_or(u64::MAX),
+            p50: rank(1, 2),
+            p95: rank(19, 20),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} mean={} p95={} max={}",
+            self.count, self.min, self.p50, self.mean, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7]);
+        assert_eq!(
+            (s.count, s.min, s.max, s.mean, s.p50, s.p95),
+            (1, 7, 7, 7, 7, 7)
+        );
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 50);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[5, 1, 9, 3]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.p50, 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1, 2, 3]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("max=3"));
+    }
+}

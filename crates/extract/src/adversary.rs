@@ -1,0 +1,426 @@
+//! Executable versions of the paper's impossibility proofs: Theorem 1
+//! (Υ is strictly weaker than Ω_n for `n ≥ 2`) and Theorem 5 (Υ^f is
+//! strictly weaker than Ω^f for `2 ≤ f ≤ n`).
+//!
+//! The theorems quantify over *all* algorithms, so they cannot be "run";
+//! what can be run is the proofs' adversary construction against any
+//! *concrete* candidate extraction algorithm:
+//!
+//! 1. Fix the Υ^f history to output `U = {p_1, …, p_n}` constantly (a
+//!    legal history both when `p_{n+1}` is correct and when every process
+//!    of any `L` with `|Π − L| < |U|` is faulty — the pivot of the proof).
+//! 2. Run everyone until some process outputs a candidate set `L_1`
+//!    (`|L_1| = f`).
+//! 3. Phase `i`: let every process take exactly one step, then let **only
+//!    the processes of `Π − L_i`** take steps. This finite run is
+//!    indistinguishable, for them, from a run where every process of `L_i`
+//!    is faulty — where the Ω^f specification forces an output containing
+//!    a member of `Π − L_i`, hence a set `L_{i+1} ≠ L_i`.
+//! 4. Repeat. A *sound* candidate changes its output every phase — the
+//!    adversary builds a run where the emulated Ω^f never stabilizes; a
+//!    candidate that refuses to change is *refuted*: in the extension
+//!    where `L_i` really crash it violates the Ω^f specification.
+//!
+//! Either verdict certifies that the candidate fails, which is exactly the
+//! theorem's content for that candidate. The game is sound only for
+//! `f ≥ 2` (for `f = 1` the pivot `U ≠ Π − L` fails — consistently,
+//! Υ¹ → Ω *is* extractable in `E_1`, see [`crate::upsilon1_omega`]).
+
+use std::sync::{Arc, Mutex};
+use upsilon_sim::{
+    Adversary, AlgoFn, DummyOracle, FailurePattern, Output, ProcessId, ProcessSet, SchedView,
+    SimBuilder, StopReason,
+};
+
+/// A candidate algorithm claiming to extract Ω^f (sets of size `f`,
+/// eventually stable, containing a correct process) from Υ^f.
+///
+/// Implementations publish their current output via
+/// [`Output::LeaderSet`] and run forever.
+pub trait Candidate {
+    /// Human-readable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Builds the per-process algorithms. `set_size` is `f`: the size of
+    /// the sets the candidate must output (Theorem 1 is `set_size = n`).
+    fn algorithms(&self, n_plus_1: usize, set_size: usize) -> Vec<AlgoFn<ProcessSet>>;
+}
+
+/// Configuration of the lower-bound game.
+#[derive(Clone, Copy, Debug)]
+pub struct GameConfig {
+    /// System size `n + 1` (requires `n ≥ 2`).
+    pub n_plus_1: usize,
+    /// Size of the candidate's output sets (`f`; `n` for Theorem 1).
+    /// Requires `2 ≤ set_size ≤ n`... with `set_size = n` allowed.
+    pub set_size: usize,
+    /// Number of adversary phases to play.
+    pub phases: usize,
+    /// Steps allowed per phase before declaring the candidate stuck.
+    pub phase_budget: u64,
+}
+
+impl GameConfig {
+    /// The Theorem 1 game: candidate extracts Ω_n from Υ.
+    pub fn theorem_1(n_plus_1: usize, phases: usize) -> Self {
+        GameConfig {
+            n_plus_1,
+            set_size: n_plus_1 - 1,
+            phases,
+            phase_budget: 20_000,
+        }
+    }
+
+    /// The Theorem 5 game: candidate extracts Ω^f from Υ^f.
+    pub fn theorem_5(n_plus_1: usize, f: usize, phases: usize) -> Self {
+        GameConfig {
+            n_plus_1,
+            set_size: f,
+            phases,
+            phase_budget: 20_000,
+        }
+    }
+}
+
+/// The game's verdict about one candidate. Both variants certify failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GameVerdict {
+    /// The candidate kept changing its output: the adversary constructed a
+    /// run prefix in which the emulated Ω^f changed `changes` times — it
+    /// never stabilizes.
+    NeverStabilizes {
+        /// Number of forced output changes (= phases played).
+        changes: usize,
+        /// The sequence of sets the candidate was forced through.
+        trajectory: Vec<ProcessSet>,
+    },
+    /// The candidate stopped changing: in the extension of the current run
+    /// where the processes of `stuck_on` crash, its stable output contains
+    /// no correct process — an Ω^f specification violation.
+    Refuted {
+        /// The phase at which the candidate got stuck.
+        phase: usize,
+        /// The set the candidate refused to move away from.
+        stuck_on: ProcessSet,
+        /// Sets observed before getting stuck.
+        trajectory: Vec<ProcessSet>,
+    },
+}
+
+impl GameVerdict {
+    /// Number of output changes the adversary forced.
+    pub fn changes(&self) -> usize {
+        match self {
+            GameVerdict::NeverStabilizes { changes, .. } => *changes,
+            GameVerdict::Refuted { trajectory, .. } => trajectory.len().saturating_sub(1),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// Run everyone until the first output appears.
+    WarmUp,
+    /// Each process takes exactly one step (the proof's interlude).
+    OneStepEach { queue: Vec<ProcessId> },
+    /// Only `Π − current` runs, waiting for a fresh output ≠ `current`.
+    Solo,
+}
+
+#[derive(Debug)]
+struct GameState {
+    mode: Mode,
+    current: Option<ProcessSet>,
+    trajectory: Vec<ProcessSet>,
+    phase: usize,
+    phase_baseline: Vec<u64>,
+    phase_steps: u64,
+    verdict: Option<GameVerdict>,
+}
+
+/// The reactive adversary driving the Theorem 1/5 construction.
+struct GameAdversary {
+    cfg: GameConfig,
+    state: Arc<Mutex<GameState>>,
+    rr: usize,
+}
+
+impl GameAdversary {
+    /// Evaluates the candidate's emulated variables against the game state.
+    ///
+    /// The emulated Ω^f output is a *held variable*: its current value at a
+    /// process is that process's latest `LeaderSet` output. A phase
+    /// succeeds as soon as some process of `Π − L_i` that has moved in this
+    /// phase (the proof's "after R_i") holds a value `≠ L_i`.
+    fn evaluate(&self, view: &SchedView<'_>) {
+        let mut st = self.state.lock().expect("game state lock");
+        match st.mode {
+            Mode::WarmUp => {
+                // Wait for the first published set, from anyone.
+                let first = view.last_output.iter().flatten().find_map(|o| match o {
+                    Output::LeaderSet(l) => Some(*l),
+                    _ => None,
+                });
+                if let Some(l) = first {
+                    st.current = Some(l);
+                    st.trajectory.push(l);
+                    st.phase = 1;
+                    st.phase_baseline = view.steps_by.to_vec();
+                    st.phase_steps = 0;
+                    st.mode = Mode::OneStepEach {
+                        queue: all_pids(self.cfg.n_plus_1),
+                    };
+                }
+            }
+            Mode::Solo => {
+                let cur = st.current.expect("solo implies a current set");
+                let moved_and_changed = cur.complement(self.cfg.n_plus_1).iter().find_map(|q| {
+                    // One step in the interlude plus at least one solo
+                    // step certify an output "after R_i".
+                    let moved = view.steps_by[q.index()] >= st.phase_baseline[q.index()] + 2;
+                    match view.last_output[q.index()] {
+                        Some(Output::LeaderSet(l)) if moved && l != cur => Some(l),
+                        _ => None,
+                    }
+                });
+                if let Some(l) = moved_and_changed {
+                    st.current = Some(l);
+                    st.trajectory.push(l);
+                    if st.phase >= self.cfg.phases {
+                        st.verdict = Some(GameVerdict::NeverStabilizes {
+                            changes: st.phase,
+                            trajectory: st.trajectory.clone(),
+                        });
+                    } else {
+                        st.phase += 1;
+                        st.phase_baseline = view.steps_by.to_vec();
+                        st.phase_steps = 0;
+                        st.mode = Mode::OneStepEach {
+                            queue: all_pids(self.cfg.n_plus_1),
+                        };
+                    }
+                }
+            }
+            Mode::OneStepEach { .. } => {}
+        }
+    }
+}
+
+fn all_pids(n_plus_1: usize) -> Vec<ProcessId> {
+    (0..n_plus_1).map(ProcessId).collect()
+}
+
+impl Adversary for GameAdversary {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        self.evaluate(view);
+        let mut st = self.state.lock().expect("game state lock");
+        if st.verdict.is_some() {
+            return None;
+        }
+        st.phase_steps += 1;
+        if st.phase_steps > self.cfg.phase_budget {
+            let verdict = match st.current {
+                None => GameVerdict::Refuted {
+                    phase: 0,
+                    stuck_on: ProcessSet::EMPTY,
+                    trajectory: Vec::new(),
+                },
+                Some(cur) => GameVerdict::Refuted {
+                    phase: st.phase,
+                    stuck_on: cur,
+                    trajectory: st.trajectory.clone(),
+                },
+            };
+            st.verdict = Some(verdict);
+            return None;
+        }
+        if matches!(&st.mode, Mode::OneStepEach { queue } if queue.is_empty()) {
+            st.mode = Mode::Solo;
+        }
+        match &mut st.mode {
+            Mode::WarmUp => pick_round_robin(&mut self.rr, view.eligible),
+            Mode::OneStepEach { queue } => {
+                let p = queue.pop().expect("empty queues transition to Solo above");
+                Some(p)
+            }
+            Mode::Solo => {
+                let allowed = st
+                    .current
+                    .expect("phase implies a current set")
+                    .complement(self.cfg.n_plus_1);
+                pick_round_robin(&mut self.rr, view.eligible.intersection(allowed))
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("theorem-1/5 game (set size {})", self.cfg.set_size)
+    }
+}
+
+fn pick_round_robin(cursor: &mut usize, set: ProcessSet) -> Option<ProcessId> {
+    if set.is_empty() {
+        return None;
+    }
+    let n = ProcessSet::MAX_PROCESSES;
+    for off in 0..n {
+        let i = (*cursor + off) % n;
+        if set.contains(ProcessId(i)) {
+            *cursor = i + 1;
+            return Some(ProcessId(i));
+        }
+    }
+    None
+}
+
+/// Plays the lower-bound game against `candidate` and returns the verdict.
+///
+/// The run is failure-free with a dummy Υ^f history constantly outputting
+/// `U = {p_1, …, p_n}` (legal in every scenario the adversary exploits).
+///
+/// ```
+/// use upsilon_extract::{play, ActivityCandidate, GameConfig, GameVerdict};
+/// let verdict = play(GameConfig::theorem_1(4, 3), &ActivityCandidate);
+/// assert!(matches!(verdict, GameVerdict::NeverStabilizes { changes: 3, .. }));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is out of the theorems' range
+/// (`n ≥ 2`, `2 ≤ set_size ≤ n`).
+pub fn play(cfg: GameConfig, candidate: &dyn Candidate) -> GameVerdict {
+    let n = cfg.n_plus_1 - 1;
+    assert!(n >= 2, "Theorem 1/5 require n ≥ 2");
+    assert!(
+        (2..=n).contains(&cfg.set_size),
+        "the game is sound only for 2 ≤ f ≤ n (Υ¹ → Ω is genuinely extractable)"
+    );
+
+    // The pinned history: U = {p1..pn} forever, at everyone.
+    let u = ProcessSet::singleton(ProcessId(n)).complement(cfg.n_plus_1);
+    let state = Arc::new(Mutex::new(GameState {
+        mode: Mode::WarmUp,
+        current: None,
+        trajectory: Vec::new(),
+        phase: 0,
+        phase_baseline: vec![0; cfg.n_plus_1],
+        phase_steps: 0,
+        verdict: None,
+    }));
+    let adversary = GameAdversary {
+        cfg,
+        state: Arc::clone(&state),
+        rr: 0,
+    };
+
+    let mut builder = SimBuilder::<ProcessSet>::new(FailurePattern::failure_free(cfg.n_plus_1))
+        .oracle(DummyOracle::new(u))
+        .adversary(adversary)
+        .max_steps(cfg.phase_budget * (cfg.phases as u64 + 2) * 2);
+    for (i, algo) in candidate
+        .algorithms(cfg.n_plus_1, cfg.set_size)
+        .into_iter()
+        .enumerate()
+    {
+        builder = builder.spawn(ProcessId(i), algo);
+    }
+    let outcome = builder.run();
+
+    let st = Arc::try_unwrap(state)
+        .expect("adversary dropped with the run")
+        .into_inner()
+        .expect("game state lock");
+    st.verdict.unwrap_or_else(|| {
+        // Budget ran out at the runner level before the adversary ruled.
+        debug_assert_eq!(outcome.run.stop_reason(), StopReason::BudgetExhausted);
+        GameVerdict::Refuted {
+            phase: st.phase,
+            stuck_on: st.current.unwrap_or(ProcessSet::EMPTY),
+            trajectory: st.trajectory,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{ActivityCandidate, MirrorCandidate, StubbornCandidate};
+
+    #[test]
+    fn activity_candidate_is_forced_to_change_forever() {
+        let cfg = GameConfig::theorem_1(4, 6);
+        let verdict = play(cfg, &ActivityCandidate);
+        match verdict {
+            GameVerdict::NeverStabilizes {
+                changes,
+                trajectory,
+            } => {
+                assert_eq!(changes, 6);
+                assert!(trajectory.len() >= 7);
+                // Consecutive sets differ — the non-stabilization witness.
+                for w in trajectory.windows(2) {
+                    assert_ne!(w[0], w[1]);
+                }
+            }
+            other => panic!("expected NeverStabilizes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_changes_scale_with_phases() {
+        // Theorem 1's conclusion in numbers: however many phases we play,
+        // the adversary forces that many changes.
+        for phases in [2usize, 4, 8] {
+            let verdict = play(GameConfig::theorem_1(4, phases), &ActivityCandidate);
+            assert_eq!(verdict.changes(), phases);
+        }
+    }
+
+    #[test]
+    fn mirror_candidate_is_refuted() {
+        // Outputting (a superset of) the Υ value itself gets stuck: the
+        // solo process Π − L never joins the output.
+        let verdict = play(GameConfig::theorem_1(4, 4), &MirrorCandidate);
+        match verdict {
+            GameVerdict::Refuted { stuck_on, .. } => {
+                assert!(!stuck_on.is_empty());
+            }
+            other => panic!("expected Refuted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stubborn_candidate_is_refuted_quickly() {
+        let verdict = play(GameConfig::theorem_5(5, 2, 3), &StubbornCandidate);
+        assert!(
+            matches!(verdict, GameVerdict::Refuted { .. }),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn theorem_5_game_works_for_mid_range_f() {
+        for f in 2..=3usize {
+            let verdict = play(GameConfig::theorem_5(5, f, 4), &ActivityCandidate);
+            assert_eq!(verdict.changes(), 4, "f={f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sound only for")]
+    fn f_equal_one_is_rejected() {
+        // Υ¹ → Ω is possible (see upsilon1_omega); the game must refuse to
+        // "prove" otherwise.
+        let _ = play(GameConfig::theorem_5(4, 1, 2), &ActivityCandidate);
+    }
+
+    #[test]
+    fn verdict_changes_accessor() {
+        let v = GameVerdict::Refuted {
+            phase: 1,
+            stuck_on: ProcessSet::EMPTY,
+            trajectory: vec![ProcessSet::all(2)],
+        };
+        assert_eq!(v.changes(), 0);
+    }
+}

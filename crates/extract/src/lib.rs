@@ -1,0 +1,45 @@
+//! # upsilon-extract
+//!
+//! The minimality machinery of *"On the weakest failure detector ever"*
+//! (§6): everything around extracting Υ^f from other failure detectors and
+//! showing nothing weaker suffices.
+//!
+//! * [`fig3`] — the paper's Fig. 3 reduction: any *stable, f-non-trivial*
+//!   detector `D` emulates Υ^f, given a witness map `φ_D` (Theorem 10);
+//! * [`phi`] — explicit witness maps for the concrete stable detectors
+//!   (the executable substitute for the paper's non-constructive
+//!   Corollary 9);
+//! * [`samples`] — the f-resilient-sample formalism, with decidable
+//!   predicates for constant sequences over stable detectors, used to test
+//!   the witness maps;
+//! * [`adversary`] / [`candidates`] — the Theorem 1/5 run constructions as
+//!   a game refuting any concrete Υ^f → Ω^f extraction candidate;
+//! * [`upsilon1_omega`] — the positive counterpart: Υ¹ → Ω in `E_1`
+//!   (§5.3), showing the `f ≥ 2` condition of Theorem 5 is tight;
+//! * [`anti_omega_from_upsilon`] — the downward edge Υ → anti-Ω (Zielinski
+//!   \[22,23\], cited in §2), as a §5.3-style timestamp construction;
+//! * [`faithful`] — the §6.1 intuition made fully constructive: for
+//!   detectors whose output depends only on the correct set, the witness
+//!   map is *computed* by enumeration instead of hand-written.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod anti_omega_from_upsilon;
+pub mod candidates;
+pub mod faithful;
+pub mod fig3;
+pub mod phi;
+pub mod samples;
+pub mod upsilon1_omega;
+
+pub use adversary::{play, Candidate, GameConfig, GameVerdict};
+pub use anti_omega_from_upsilon::upsilon_to_anti_omega_algorithm;
+pub use candidates::{all_candidates, ActivityCandidate, MirrorCandidate, StubbornCandidate};
+pub use faithful::{FaithfulOracle, FaithfulSpec};
+pub use fig3::extraction_algorithm;
+pub use phi::{max_f_supported, phi_omega, phi_omega_k, phi_perfect, PhiMap, Witness};
+pub use samples::PeriodicSeq;
+pub use upsilon1_omega::{upsilon1_to_omega_algorithm, Upsilon1Elector};

@@ -1,0 +1,162 @@
+//! Witness maps `φ_D` (Corollary 9).
+//!
+//! For an f-non-trivial failure detector `D`, Corollary 9 guarantees a map
+//! `φ_D` carrying each output value `d` to `(correct(σ), w(σ))` for some
+//! sequence `σ ∈ (Π × {d})^ω` with `|correct(σ)| ≥ n + 1 − f` that is **not**
+//! an f-resilient sample of `D` — i.e. no run of `D` in `E_f` whose correct
+//! set is `correct(σ)` can make the processes of `σ` observe `d` in that
+//! order forever.
+//!
+//! The paper's proof of the corollary is *non-constructive* ("we do not
+//! construct the map φ_D here: it is sufficient for us to know that such a
+//! map exists"). To make Fig. 3 executable we substitute explicit witness
+//! maps for each concrete stable detector, each justified below; the Fig. 3
+//! algorithm consumes only the `(S, w)` pairs, exactly as the paper's
+//! reduction does, so the substitution preserves the construction.
+//!
+//! Interpretation of "f-resilient sample" (see DESIGN.md): σ is a sample of
+//! `D` iff there exist `F ∈ E_f` with `correct(F) = correct(σ)`,
+//! `H ∈ D(F)` and non-decreasing times consistent with σ. The equality of
+//! correct sets is what Lemma 7's subsequence argument and Theorem 10's
+//! final contradiction rely on.
+
+use upsilon_sim::{ProcessId, ProcessSet};
+
+/// The output of a witness map: `S = correct(σ)` and `w = w(σ)`, the length
+/// of the shortest prefix of σ containing every step of `Π − correct(σ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// `correct(σ)`: the set the extraction announces once `w` batches of
+    /// unanimous-`d` reports are observed.
+    pub s: ProcessSet,
+    /// `w(σ)`: how many batches certify that the finite prefix of σ could
+    /// have happened under the current failure pattern.
+    pub w: usize,
+}
+
+/// A witness map `φ_D`: output value → [`Witness`]. Shared by all processes
+/// running the Fig. 3 extraction.
+pub type PhiMap<D> = std::sync::Arc<dyn Fn(&D) -> Witness + Send + Sync>;
+
+/// `φ_Ω` for a system of `n + 1` processes.
+///
+/// For `d = p_j`, take σ = one step of `p_j`, then the other `n` processes
+/// forever, everyone observing leader `p_j`. Then `correct(σ) = Π − {p_j}`
+/// and `w(σ) = 1`. σ is not a sample: a run with `correct(F) = Π − {p_j}`
+/// has `p_j` faulty, and no Ω history for such an `F` can output the faulty
+/// `p_j` at correct processes forever. `|S| = n ≥ n + 1 − f` for every
+/// `f ≥ 1`. (Note how the extraction then reduces to the complement rule of
+/// §4: once the leader output stabilizes on `p_j`, announce `Π − {p_j}`.)
+pub fn phi_omega(n_plus_1: usize) -> PhiMap<ProcessId> {
+    std::sync::Arc::new(move |d: &ProcessId| Witness {
+        s: ProcessSet::singleton(*d).complement(n_plus_1),
+        w: 1,
+    })
+}
+
+/// `φ_{Ω_k}` for a system of `n + 1` processes.
+///
+/// For `d = L` (`|L| = k`), take σ = each member of `L` once, then
+/// `Π − L` forever, everyone observing `L`. Then `correct(σ) = Π − L`
+/// (size `n + 1 − k`) and `w(σ) = k`. Not a sample: with
+/// `correct(F) = Π − L`, every member of `L` is faulty, but an Ω_k history
+/// must eventually output a set containing a correct process — it cannot
+/// stick to the all-faulty `L` forever.
+pub fn phi_omega_k(n_plus_1: usize) -> PhiMap<ProcessSet> {
+    std::sync::Arc::new(move |d: &ProcessSet| Witness {
+        s: d.complement(n_plus_1),
+        w: d.len(),
+    })
+}
+
+/// `φ_P` = `φ_{◇P}` for a system of `n + 1` processes.
+///
+/// For a suspicion set `d ≠ ∅`: take σ = everyone forever observing `d`;
+/// `correct(σ) = Π`, `w(σ) = 0`. Not a sample: a (◇)P history in a
+/// failure-free run must eventually output `∅` forever, never a constant
+/// `d ≠ ∅`.
+///
+/// For `d = ∅`: take σ = one step of `p_1`, then everyone else forever
+/// observing `∅`; `correct(σ) = Π − {p_1}`, `w(σ) = 1`. Not a sample: with
+/// `correct(F) = Π − {p_1}`, `p_1` is faulty and a (◇)P history eventually
+/// outputs `{p_1}` forever — it cannot output `∅` forever.
+pub fn phi_perfect(n_plus_1: usize) -> PhiMap<ProcessSet> {
+    std::sync::Arc::new(move |d: &ProcessSet| {
+        if d.is_empty() {
+            Witness {
+                s: ProcessSet::singleton(ProcessId(0)).complement(n_plus_1),
+                w: 1,
+            }
+        } else {
+            Witness {
+                s: ProcessSet::all(n_plus_1),
+                w: 0,
+            }
+        }
+    })
+}
+
+/// The largest `f` for which a witness map's sets satisfy the Υ^f size
+/// bound `|S| ≥ n + 1 − f` across the given sample of outputs — used by
+/// experiments to label what was extracted.
+pub fn max_f_supported(n_plus_1: usize, witness_sizes: impl IntoIterator<Item = usize>) -> usize {
+    let min_size = witness_sizes.into_iter().min().unwrap_or(n_plus_1);
+    n_plus_1 - min_size.min(n_plus_1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_omega_is_the_complement_with_one_batch() {
+        let phi = phi_omega(4);
+        let w = phi(&ProcessId(2));
+        assert_eq!(
+            w.s,
+            ProcessSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(3)])
+        );
+        assert_eq!(w.w, 1);
+    }
+
+    #[test]
+    fn phi_omega_k_complements_the_set() {
+        let phi = phi_omega_k(5);
+        let l = ProcessSet::from_iter([ProcessId(0), ProcessId(4)]);
+        let w = phi(&l);
+        assert_eq!(w.s, l.complement(5));
+        assert_eq!(w.w, 2);
+    }
+
+    #[test]
+    fn phi_perfect_cases() {
+        let phi = phi_perfect(3);
+        let nonempty = phi(&ProcessSet::singleton(ProcessId(1)));
+        assert_eq!(nonempty.s, ProcessSet::all(3));
+        assert_eq!(nonempty.w, 0);
+        let empty = phi(&ProcessSet::EMPTY);
+        assert_eq!(empty.s, ProcessSet::from_iter([ProcessId(1), ProcessId(2)]));
+        assert_eq!(empty.w, 1);
+    }
+
+    #[test]
+    fn witness_sets_are_never_empty_and_large_enough() {
+        // |S| ≥ n + 1 − f must hold for the extraction to emit legal Υ^f
+        // values; with these maps |S| ≥ n.
+        let n_plus_1 = 5;
+        for j in 0..n_plus_1 {
+            assert!(phi_omega(n_plus_1)(&ProcessId(j)).s.len() >= n_plus_1 - 1);
+        }
+        for k in 1..n_plus_1 {
+            let l: ProcessSet = (0..k).map(ProcessId).collect();
+            assert_eq!(phi_omega_k(n_plus_1)(&l).s.len(), n_plus_1 - k);
+        }
+    }
+
+    #[test]
+    fn max_f_supported_computation() {
+        assert_eq!(max_f_supported(5, [4, 5]), 1);
+        assert_eq!(max_f_supported(5, [3]), 2);
+        assert_eq!(max_f_supported(5, std::iter::empty::<usize>()), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! f-resilient samples (§6.3).
+//!
+//! A sequence `σ ∈ (Π × R)^ω` is an *f-resilient sample* of a detector `D`
+//! if the values of σ could have been observed, in that order, by the
+//! processes of σ in a run of some algorithm using `D` under a pattern
+//! `F ∈ E_f` — with `correct(F) = correct(σ)` (the reading Lemma 7 and
+//! Theorem 10 rely on; see DESIGN.md).
+//!
+//! The general question is undecidable; the witness maps in [`crate::phi`]
+//! only ever need it for **constant-value** sequences over the *stable*
+//! detectors this repository implements, where it is a simple predicate:
+//! a constant-`d` σ with `correct(σ) = C` is a sample iff `d` is a legal
+//! eternal (stable) output of `D` in some pattern with correct set `C` and
+//! at most `f` faults. (Finite noise prefixes are irrelevant: every history
+//! class here allows arbitrary output before stabilization, and σ's tail
+//! pins the stable value.)
+//!
+//! This module makes that predicate executable so the φ maps can be
+//! *tested* rather than trusted: for every output value `d`, the set
+//! `φ_D(d).s` must make the constant-`d` sequence a non-sample.
+
+use upsilon_sim::{ProcessId, ProcessSet};
+
+/// An eventually-periodic sequence over `(Π × D)`: a finite prefix followed
+/// by an infinitely repeated cycle — the finite representation of the σ
+/// sequences used by the minimality proof.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PeriodicSeq<D> {
+    /// The finite prefix.
+    pub prefix: Vec<(ProcessId, D)>,
+    /// The cycle, repeated forever. Must be non-empty.
+    pub cycle: Vec<(ProcessId, D)>,
+}
+
+impl<D: Clone + PartialEq> PeriodicSeq<D> {
+    /// Builds the canonical constant-`d` witness sequence: each process of
+    /// `outside` once (in id order), then the processes of `inside` cycling
+    /// forever, every step carrying `d`.
+    pub fn constant(d: D, outside: ProcessSet, inside: ProcessSet) -> Self {
+        assert!(
+            !inside.is_empty(),
+            "the cycle (correct set of σ) must be non-empty"
+        );
+        PeriodicSeq {
+            prefix: outside.iter().map(|p| (p, d.clone())).collect(),
+            cycle: inside.iter().map(|p| (p, d.clone())).collect(),
+        }
+    }
+
+    /// `correct(σ)`: the processes appearing infinitely often (the cycle).
+    pub fn correct(&self) -> ProcessSet {
+        self.cycle.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// `w(σ)`: the length of the shortest prefix containing every step of
+    /// `Π − correct(σ)` (0 when no such process appears).
+    pub fn w(&self) -> usize {
+        let correct = self.correct();
+        self.prefix
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| !correct.contains(*p))
+            .map(|(i, _)| i + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every value in the sequence equals `d`.
+    pub fn is_constant(&self, d: &D) -> bool {
+        self.prefix
+            .iter()
+            .chain(self.cycle.iter())
+            .all(|(_, v)| v == d)
+    }
+}
+
+/// The stable detectors whose constant-sequence sample predicate is
+/// implemented.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StableClass {
+    /// Ω: stable value is a correct leader.
+    Omega,
+    /// Ω_k: stable value is a size-k set with a correct member.
+    OmegaK(usize),
+    /// P and ◇P: stable value is exactly `faulty(F)`.
+    Perfect,
+    /// Υ^f: stable value is a set of size ≥ n+1−f different from the
+    /// correct set.
+    UpsilonF(usize),
+}
+
+/// Whether the stable-detector class admits `d` as an *eternal* output in
+/// some pattern with correct set `correct`, i.e. whether the constant-`d`
+/// sequence with `correct(σ) = correct` is an f-resilient sample.
+pub fn constant_seq_is_sample_omega(
+    n_plus_1: usize,
+    f: usize,
+    leader: ProcessId,
+    correct: ProcessSet,
+) -> bool {
+    env_ok(n_plus_1, f, correct) && correct.contains(leader)
+}
+
+/// Constant-sequence sample predicate for Ω_k.
+pub fn constant_seq_is_sample_omega_k(
+    n_plus_1: usize,
+    f: usize,
+    k: usize,
+    set: ProcessSet,
+    correct: ProcessSet,
+) -> bool {
+    env_ok(n_plus_1, f, correct) && set.len() == k && !set.intersection(correct).is_empty()
+}
+
+/// Constant-sequence sample predicate for P / ◇P.
+pub fn constant_seq_is_sample_perfect(
+    n_plus_1: usize,
+    f: usize,
+    suspected: ProcessSet,
+    correct: ProcessSet,
+) -> bool {
+    env_ok(n_plus_1, f, correct) && suspected == correct.complement(n_plus_1)
+}
+
+/// Constant-sequence sample predicate for Υ^f itself.
+pub fn constant_seq_is_sample_upsilon_f(
+    n_plus_1: usize,
+    f: usize,
+    set: ProcessSet,
+    correct: ProcessSet,
+) -> bool {
+    env_ok(n_plus_1, f, correct) && !set.is_empty() && set.len() >= n_plus_1 - f && set != correct
+}
+
+fn env_ok(n_plus_1: usize, f: usize, correct: ProcessSet) -> bool {
+    !correct.is_empty() && correct.complement(n_plus_1).len() <= f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phi::{phi_omega, phi_omega_k, phi_perfect};
+
+    #[test]
+    fn periodic_seq_correct_and_w() {
+        let seq = PeriodicSeq::constant(
+            7u64,
+            ProcessSet::from_iter([ProcessId(0), ProcessId(2)]),
+            ProcessSet::from_iter([ProcessId(1), ProcessId(3)]),
+        );
+        assert_eq!(
+            seq.correct(),
+            ProcessSet::from_iter([ProcessId(1), ProcessId(3)])
+        );
+        assert_eq!(
+            seq.w(),
+            2,
+            "both outside processes appear within the first 2 steps"
+        );
+        assert!(seq.is_constant(&7));
+        assert!(!seq.is_constant(&8));
+    }
+
+    #[test]
+    fn w_is_zero_without_outside_processes() {
+        let seq = PeriodicSeq::constant(1u8, ProcessSet::EMPTY, ProcessSet::all(3));
+        assert_eq!(seq.w(), 0);
+        assert_eq!(seq.correct(), ProcessSet::all(3));
+    }
+
+    #[test]
+    fn phi_omega_witnesses_are_non_samples() {
+        // The defining property of φ_Ω: the constant-leader sequence with
+        // correct(σ) = Π − {leader} is NOT a sample (the leader would be
+        // faulty), while with correct(σ) = Π it IS (so the complement is
+        // the only useful exclusion).
+        let n_plus_1 = 4;
+        for f in 1..=3usize {
+            let phi = phi_omega(n_plus_1);
+            for j in 0..n_plus_1 {
+                let d = ProcessId(j);
+                let wit = phi(&d);
+                assert!(
+                    !constant_seq_is_sample_omega(n_plus_1, f, d, wit.s),
+                    "φ_Ω({d}) must be a non-sample witness"
+                );
+                assert!(constant_seq_is_sample_omega(
+                    n_plus_1,
+                    f,
+                    d,
+                    ProcessSet::all(n_plus_1)
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn phi_omega_k_witnesses_are_non_samples() {
+        let n_plus_1 = 5;
+        for k in 2..=4usize {
+            let phi = phi_omega_k(n_plus_1);
+            let l: ProcessSet = (0..k).map(ProcessId).collect();
+            let wit = phi(&l);
+            assert!(
+                !constant_seq_is_sample_omega_k(n_plus_1, k, k, l, wit.s),
+                "k={k}: the all-faulty L cannot be eternal"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_perfect_witnesses_are_non_samples() {
+        let n_plus_1 = 3;
+        let phi = phi_perfect(n_plus_1);
+        for f in 1..=2usize {
+            // d ≠ ∅: witness is Π.
+            let d = ProcessSet::singleton(ProcessId(1));
+            let wit = phi(&d);
+            assert!(!constant_seq_is_sample_perfect(n_plus_1, f, d, wit.s));
+            // d = ∅: witness is Π − {p1}.
+            let wit = phi(&ProcessSet::EMPTY);
+            assert!(!constant_seq_is_sample_perfect(
+                n_plus_1,
+                f,
+                ProcessSet::EMPTY,
+                wit.s
+            ));
+        }
+    }
+
+    #[test]
+    fn witness_w_matches_the_canonical_sequence() {
+        // w(σ) of the canonical constant sequence equals the φ maps' w.
+        let n_plus_1 = 4;
+        let d = ProcessId(2);
+        let wit = phi_omega(n_plus_1)(&d);
+        let seq = PeriodicSeq::constant(d, wit.s.complement(n_plus_1), wit.s);
+        assert_eq!(seq.w(), wit.w);
+
+        let l = ProcessSet::from_iter([ProcessId(0), ProcessId(1)]);
+        let wit = phi_omega_k(n_plus_1)(&l);
+        let seq = PeriodicSeq::constant(l, wit.s.complement(n_plus_1), wit.s);
+        assert_eq!(seq.w(), wit.w);
+    }
+
+    #[test]
+    fn environment_bound_is_enforced() {
+        // A correct set missing more than f processes is outside E_f.
+        let correct = ProcessSet::singleton(ProcessId(0));
+        assert!(!constant_seq_is_sample_omega(4, 2, ProcessId(0), correct));
+        assert!(constant_seq_is_sample_omega(4, 3, ProcessId(0), correct));
+    }
+
+    #[test]
+    fn upsilon_f_sample_predicate() {
+        let n_plus_1 = 4;
+        let correct = ProcessSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(2)]);
+        let u = ProcessSet::all(4);
+        assert!(constant_seq_is_sample_upsilon_f(n_plus_1, 1, u, correct));
+        assert!(
+            !constant_seq_is_sample_upsilon_f(n_plus_1, 1, correct, correct),
+            "Υ^f never stabilizes on the correct set"
+        );
+        assert!(
+            !constant_seq_is_sample_upsilon_f(
+                n_plus_1,
+                1,
+                ProcessSet::singleton(ProcessId(3)),
+                correct
+            ),
+            "size bound |U| ≥ n+1−f"
+        );
+    }
+
+    #[test]
+    fn stable_class_enum_is_usable() {
+        let classes = [
+            StableClass::Omega,
+            StableClass::OmegaK(2),
+            StableClass::Perfect,
+            StableClass::UpsilonF(1),
+        ];
+        assert_eq!(classes.len(), 4);
+        assert_ne!(StableClass::Omega, StableClass::Perfect);
+    }
+}

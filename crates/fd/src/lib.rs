@@ -1,0 +1,44 @@
+//! # upsilon-fd
+//!
+//! Failure detectors for the reproduction of *"On the weakest failure
+//! detector ever"*: the paper's Υ and Υ^f oracles, the surrounding
+//! hierarchy (Ω, Ω_k, P, ◇P, anti-Ω), specification checkers that validate
+//! observed histories against each detector's definition, and the paper's
+//! direct value-level reductions (§4).
+//!
+//! Oracles implement [`upsilon_sim::Oracle`]: deterministic,
+//! schedule-independent histories `H(p, t)` with seeded noise before a
+//! configurable stabilization time. Checkers consume the samples recorded in
+//! a [`upsilon_sim::Run`] (or the emulated outputs of a reduction algorithm)
+//! and accept or reject with a precise [`SpecViolation`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod anti_omega;
+pub mod locally_stable;
+pub mod noise;
+pub mod omega;
+pub mod perfect;
+pub mod recorded;
+pub mod reductions;
+pub mod spec;
+pub mod upsilon;
+
+pub use anti_omega::{check_anti_omega, AntiOmegaOracle};
+pub use locally_stable::{check_locally_stable, LocallyStableUpsilonOracle};
+pub use omega::{LeaderChoice, OmegaKChoice, OmegaKOracle, OmegaOracle};
+pub use perfect::{EventuallyPerfectOracle, PerfectOracle};
+pub use recorded::{table_from_log, HistoryRecorder, TableOracle};
+pub use reductions::{
+    omega_from_upsilon_two_proc, omega_k_to_upsilon_f, omega_to_upsilon, upsilon_f_from_omega_k,
+    upsilon_from_omega, upsilon_to_omega_two_proc,
+};
+pub use spec::{
+    check_eventually_perfect, check_eventually_stable, check_omega, check_omega_k, check_upsilon,
+    check_upsilon_f, held_variable_samples, SpecViolation, StabilityReport,
+};
+pub use upsilon::{
+    all_legal_stable_sets, upsilon_stable_legal, UpsilonChoice, UpsilonNoise, UpsilonOracle,
+};

@@ -1,0 +1,150 @@
+//! Deterministic noise for pre-stabilization failure-detector output.
+//!
+//! Υ "might provide random information for an arbitrarily long period of
+//! time" (§1). Oracles model this with *stateless* pseudo-random noise: the
+//! value at `(p, t)` is a pure function of `(seed, p, t)`, so histories stay
+//! schedule-independent as §3.2 requires, no matter in which order the
+//! simulator samples them.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use upsilon_sim::{ProcessId, ProcessSet, Time};
+
+/// SplitMix64 finalizer: decorrelates the packed `(seed, p, t)` triple.
+fn mix(seed: u64, p: ProcessId, t: Time) -> u64 {
+    let mut z = seed
+        ^ (p.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ t.value().wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG for the noise at `(p, t)`.
+pub fn noise_rng(seed: u64, p: ProcessId, t: Time) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(mix(seed, p, t))
+}
+
+/// A pseudo-random non-empty process set — legal noise for Υ
+/// (range `2^Π − {∅}`).
+pub fn noise_nonempty_set(seed: u64, p: ProcessId, t: Time, n_plus_1: usize) -> ProcessSet {
+    let mut rng = noise_rng(seed, p, t);
+    loop {
+        let bits: u64 = rng.gen();
+        let s = ProcessSet::from_bits(bits).intersection(ProcessSet::all(n_plus_1));
+        if !s.is_empty() {
+            return s;
+        }
+    }
+}
+
+/// A pseudo-random process set of size exactly `k` — legal noise for Ω_k.
+pub fn noise_set_of_size(
+    seed: u64,
+    p: ProcessId,
+    t: Time,
+    n_plus_1: usize,
+    k: usize,
+) -> ProcessSet {
+    assert!(k >= 1 && k <= n_plus_1);
+    let mut rng = noise_rng(seed, p, t);
+    let mut s = ProcessSet::new();
+    while s.len() < k {
+        s.insert(ProcessId(rng.gen_range(0..n_plus_1)));
+    }
+    s
+}
+
+/// A pseudo-random process set of size at least `m` — legal noise for Υ^f
+/// (range `{U ⊆ Π : |U| ≥ n + 1 − f}`).
+pub fn noise_set_at_least(
+    seed: u64,
+    p: ProcessId,
+    t: Time,
+    n_plus_1: usize,
+    m: usize,
+) -> ProcessSet {
+    assert!(m >= 1 && m <= n_plus_1);
+    let mut rng = noise_rng(seed, p, t);
+    let size = rng.gen_range(m..=n_plus_1);
+    let mut s = ProcessSet::new();
+    while s.len() < size {
+        s.insert(ProcessId(rng.gen_range(0..n_plus_1)));
+    }
+    s
+}
+
+/// A pseudo-random process identifier — legal noise for Ω and anti-Ω.
+pub fn noise_pid(seed: u64, p: ProcessId, t: Time, n_plus_1: usize) -> ProcessId {
+    let mut rng = noise_rng(seed, p, t);
+    ProcessId(rng.gen_range(0..n_plus_1))
+}
+
+/// A pseudo-random (possibly empty) subset — legal noise for ◇P.
+pub fn noise_any_set(seed: u64, p: ProcessId, t: Time, n_plus_1: usize) -> ProcessSet {
+    let mut rng = noise_rng(seed, p, t);
+    let bits: u64 = rng.gen();
+    ProcessSet::from_bits(bits).intersection(ProcessSet::all(n_plus_1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_a_pure_function_of_seed_pid_time() {
+        let a = noise_nonempty_set(1, ProcessId(2), Time(30), 5);
+        let b = noise_nonempty_set(1, ProcessId(2), Time(30), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_varies_with_inputs() {
+        let base = noise_nonempty_set(1, ProcessId(0), Time(0), 6);
+        let differing = (1..50u64)
+            .map(|t| noise_nonempty_set(1, ProcessId(0), Time(t), 6))
+            .filter(|s| *s != base)
+            .count();
+        assert!(differing > 10, "noise should change over time");
+    }
+
+    #[test]
+    fn nonempty_noise_is_nonempty_and_in_universe() {
+        for t in 0..100u64 {
+            let s = noise_nonempty_set(7, ProcessId(1), Time(t), 3);
+            assert!(!s.is_empty());
+            assert!(s.is_subset(ProcessSet::all(3)));
+        }
+    }
+
+    #[test]
+    fn sized_noise_has_exact_size() {
+        for t in 0..50u64 {
+            let s = noise_set_of_size(7, ProcessId(0), Time(t), 5, 3);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn at_least_noise_respects_lower_bound() {
+        for t in 0..50u64 {
+            let s = noise_set_at_least(9, ProcessId(0), Time(t), 5, 4);
+            assert!(s.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn pid_noise_is_in_range() {
+        for t in 0..50u64 {
+            assert!(noise_pid(3, ProcessId(0), Time(t), 4).index() < 4);
+        }
+    }
+
+    #[test]
+    fn any_set_noise_within_universe() {
+        for t in 0..50u64 {
+            assert!(noise_any_set(3, ProcessId(1), Time(t), 4).is_subset(ProcessSet::all(4)));
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! The leader oracles Ω (Chandra–Hadzilacos–Toueg \[3\]) and Ω_k (Neiger
+//! \[18\]; `Ω_n` and `Ω_f` in the paper).
+//!
+//! Ω outputs a single process; eventually the same *correct* leader is
+//! output at all correct processes. Ω_k outputs a set of exactly `k`
+//! processes; eventually the same set, containing at least one correct
+//! process, is output at all correct processes. `Ω_1 = Ω`.
+
+use crate::noise::{noise_pid, noise_set_of_size};
+use rand::Rng;
+use upsilon_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
+
+/// Policies for the stable leader of an Ω history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LeaderChoice {
+    /// The correct process with the smallest identifier.
+    #[default]
+    MinCorrect,
+    /// The correct process with the largest identifier.
+    MaxCorrect,
+    /// A fixed process, validated to be correct.
+    Fixed(ProcessId),
+    /// A seeded uniformly random correct process.
+    RandomCorrect,
+}
+
+fn choose_leader(pattern: &FailurePattern, choice: LeaderChoice, seed: u64) -> ProcessId {
+    let correct = pattern.correct();
+    match choice {
+        LeaderChoice::MinCorrect => correct.min().expect("some process is correct"),
+        LeaderChoice::MaxCorrect => correct.max().expect("some process is correct"),
+        LeaderChoice::Fixed(p) => {
+            assert!(
+                correct.contains(p),
+                "fixed leader {p} is faulty in {pattern}"
+            );
+            p
+        }
+        LeaderChoice::RandomCorrect => {
+            let mut rng = crate::noise::noise_rng(seed, ProcessId(0), Time(u64::MAX - 1));
+            let k = rng.gen_range(0..correct.len());
+            correct.iter().nth(k).expect("index in range")
+        }
+    }
+}
+
+/// The Ω oracle: noisy leaders before stabilization, then a fixed correct
+/// leader at every process.
+#[derive(Clone, Debug)]
+pub struct OmegaOracle {
+    n_plus_1: usize,
+    leader: ProcessId,
+    stabilize_at: Time,
+    seed: u64,
+}
+
+impl OmegaOracle {
+    /// An Ω history for `pattern` stabilizing at `stabilize_at`.
+    pub fn new(
+        pattern: &FailurePattern,
+        choice: LeaderChoice,
+        stabilize_at: Time,
+        seed: u64,
+    ) -> Self {
+        OmegaOracle {
+            n_plus_1: pattern.n_plus_1(),
+            leader: choose_leader(pattern, choice, seed),
+            stabilize_at,
+            seed,
+        }
+    }
+
+    /// The stable (correct) leader.
+    pub fn leader(&self) -> ProcessId {
+        self.leader
+    }
+
+    /// When the history stabilizes.
+    pub fn stabilize_at(&self) -> Time {
+        self.stabilize_at
+    }
+}
+
+impl Oracle<ProcessId> for OmegaOracle {
+    fn output(&mut self, p: ProcessId, t: Time) -> ProcessId {
+        if t >= self.stabilize_at {
+            self.leader
+        } else {
+            noise_pid(self.seed, p, t, self.n_plus_1)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("Omega(leader={}, at={})", self.leader, self.stabilize_at)
+    }
+}
+
+/// Policies for the stable set of an Ω_k history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OmegaKChoice {
+    /// The smallest correct process plus the `k − 1` smallest other
+    /// processes (favouring faulty ones, the adversarially interesting
+    /// shape: the set is mostly dead weight).
+    #[default]
+    OneCorrectRestFaulty,
+    /// The `k` smallest correct processes (padded with faulty ones if fewer
+    /// than `k` are correct).
+    MostlyCorrect,
+    /// A fixed set, validated: size `k`, at least one correct member.
+    Fixed(ProcessSet),
+    /// A seeded random legal set.
+    RandomLegal,
+}
+
+fn choose_omega_k_set(
+    pattern: &FailurePattern,
+    k: usize,
+    choice: OmegaKChoice,
+    seed: u64,
+) -> ProcessSet {
+    let correct = pattern.correct();
+    let faulty = pattern.faulty();
+    let pad = |mut s: ProcessSet, pool: ProcessSet| {
+        for p in pool {
+            if s.len() >= k {
+                break;
+            }
+            s.insert(p);
+        }
+        s
+    };
+    let set = match choice {
+        OmegaKChoice::OneCorrectRestFaulty => {
+            let lead = ProcessSet::singleton(correct.min().expect("some correct"));
+            pad(pad(lead, faulty), correct)
+        }
+        OmegaKChoice::MostlyCorrect => pad(pad(ProcessSet::new(), correct), faulty),
+        OmegaKChoice::Fixed(s) => s,
+        OmegaKChoice::RandomLegal => {
+            let mut rng = crate::noise::noise_rng(seed, ProcessId(0), Time(u64::MAX - 2));
+            let mut s = ProcessSet::singleton(
+                correct
+                    .iter()
+                    .nth(rng.gen_range(0..correct.len()))
+                    .expect("in range"),
+            );
+            while s.len() < k {
+                s.insert(ProcessId(rng.gen_range(0..pattern.n_plus_1())));
+            }
+            s
+        }
+    };
+    assert_eq!(
+        set.len(),
+        k,
+        "Ω_{k} outputs sets of size exactly {k}, got {set}"
+    );
+    assert!(
+        !set.intersection(correct).is_empty(),
+        "Ω_{k} stable set must contain a correct process"
+    );
+    set
+}
+
+/// The Ω_k oracle (`k = n` gives the paper's Ω_n, `k = f` its Ω_f).
+#[derive(Clone, Debug)]
+pub struct OmegaKOracle {
+    n_plus_1: usize,
+    k: usize,
+    stable: ProcessSet,
+    stabilize_at: Time,
+    seed: u64,
+}
+
+impl OmegaKOracle {
+    /// An Ω_k history for `pattern` stabilizing at `stabilize_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ n + 1` and the chosen set is legal.
+    pub fn new(
+        pattern: &FailurePattern,
+        k: usize,
+        choice: OmegaKChoice,
+        stabilize_at: Time,
+        seed: u64,
+    ) -> Self {
+        assert!((1..=pattern.n_plus_1()).contains(&k));
+        OmegaKOracle {
+            n_plus_1: pattern.n_plus_1(),
+            k,
+            stable: choose_omega_k_set(pattern, k, choice, seed),
+            stabilize_at,
+            seed,
+        }
+    }
+
+    /// The stable set (size `k`, at least one correct member).
+    pub fn stable_set(&self) -> ProcessSet {
+        self.stable
+    }
+
+    /// The set size parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// When the history stabilizes.
+    pub fn stabilize_at(&self) -> Time {
+        self.stabilize_at
+    }
+}
+
+impl Oracle<ProcessSet> for OmegaKOracle {
+    fn output(&mut self, p: ProcessId, t: Time) -> ProcessSet {
+        if t >= self.stabilize_at {
+            self.stable
+        } else {
+            noise_set_of_size(self.seed, p, t, self.n_plus_1, self.k)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Omega_{}(stable={}, at={})",
+            self.k, self.stable, self.stabilize_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_crash(n_plus_1: usize) -> FailurePattern {
+        FailurePattern::builder(n_plus_1)
+            .crash(ProcessId(0), Time(7))
+            .build()
+    }
+
+    #[test]
+    fn omega_stable_leader_is_correct() {
+        let p = one_crash(3);
+        for choice in [
+            LeaderChoice::MinCorrect,
+            LeaderChoice::MaxCorrect,
+            LeaderChoice::RandomCorrect,
+        ] {
+            let o = OmegaOracle::new(&p, choice, Time(20), 3);
+            assert!(p.is_correct(o.leader()), "{choice:?}");
+        }
+        assert_eq!(
+            OmegaOracle::new(&p, LeaderChoice::MinCorrect, Time(0), 0).leader(),
+            ProcessId(1)
+        );
+        assert_eq!(
+            OmegaOracle::new(&p, LeaderChoice::MaxCorrect, Time(0), 0).leader(),
+            ProcessId(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "faulty")]
+    fn omega_fixed_leader_must_be_correct() {
+        let p = one_crash(3);
+        let _ = OmegaOracle::new(&p, LeaderChoice::Fixed(ProcessId(0)), Time(0), 0);
+    }
+
+    #[test]
+    fn omega_output_stabilizes() {
+        let p = one_crash(3);
+        let mut o = OmegaOracle::new(&p, LeaderChoice::MinCorrect, Time(30), 5);
+        for t in 30..100u64 {
+            for i in 0..3 {
+                assert_eq!(o.output(ProcessId(i), Time(t)), ProcessId(1));
+            }
+        }
+        let noisy: std::collections::HashSet<ProcessId> = (0..30u64)
+            .map(|t| o.output(ProcessId(0), Time(t)))
+            .collect();
+        assert!(noisy.len() > 1, "leaders before stabilization vary");
+    }
+
+    #[test]
+    fn omega_k_stable_set_shape() {
+        let p = one_crash(4); // faulty {p1}, correct {p2,p3,p4}
+        let o = OmegaKOracle::new(&p, 2, OmegaKChoice::OneCorrectRestFaulty, Time(10), 1);
+        assert_eq!(o.stable_set().len(), 2);
+        assert!(o.stable_set().contains(ProcessId(1)), "one correct member");
+        assert!(
+            o.stable_set().contains(ProcessId(0)),
+            "padded with the faulty process"
+        );
+        let o2 = OmegaKOracle::new(&p, 3, OmegaKChoice::MostlyCorrect, Time(10), 1);
+        assert_eq!(o2.stable_set(), p.correct());
+        assert_eq!(o2.k(), 3);
+    }
+
+    #[test]
+    fn omega_k_noise_has_exact_size() {
+        let p = one_crash(5);
+        let mut o = OmegaKOracle::new(&p, 3, OmegaKChoice::default(), Time(1000), 9);
+        for t in 0..100u64 {
+            assert_eq!(o.output(ProcessId(2), Time(t)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn omega_k_random_legal_is_legal() {
+        for seed in 0..20u64 {
+            let p = one_crash(5);
+            let o = OmegaKOracle::new(&p, 3, OmegaKChoice::RandomLegal, Time(0), seed);
+            assert_eq!(o.stable_set().len(), 3);
+            assert!(!o.stable_set().intersection(p.correct()).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size exactly")]
+    fn omega_k_fixed_wrong_size_rejected() {
+        let p = one_crash(4);
+        let _ = OmegaKOracle::new(
+            &p,
+            2,
+            OmegaKChoice::Fixed(ProcessSet::singleton(ProcessId(1))),
+            Time(0),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "correct process")]
+    fn omega_k_fixed_all_faulty_rejected() {
+        let p = FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(0))
+            .crash(ProcessId(1), Time(0))
+            .build();
+        let _ = OmegaKOracle::new(
+            &p,
+            2,
+            OmegaKChoice::Fixed(ProcessSet::from_iter([ProcessId(0), ProcessId(1)])),
+            Time(0),
+            0,
+        );
+    }
+
+    #[test]
+    fn describes() {
+        let p = one_crash(3);
+        assert!(OmegaOracle::new(&p, LeaderChoice::default(), Time(2), 0)
+            .describe()
+            .starts_with("Omega(leader="));
+        assert!(
+            OmegaKOracle::new(&p, 2, OmegaKChoice::default(), Time(2), 0)
+                .describe()
+                .starts_with("Omega_2(stable=")
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The perfect (`P`) and eventually perfect (`◇P`) failure detectors of
+//! Chandra–Toueg \[4\] — classic *stable* detectors used here as inputs to the
+//! Fig. 3 extraction (E3): both can be used to solve f-resilient impossible
+//! problems, so Theorem 10 says Υ^f must be extractable from them.
+
+use crate::noise::noise_any_set;
+use upsilon_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
+
+/// The perfect failure detector `P`: outputs the set of processes crashed by
+/// the query time.
+///
+/// Strong accuracy (no process is suspected before it crashes) and strong
+/// completeness (eventually every faulty process is permanently suspected)
+/// hold by construction; `P` is stable — once every faulty process has
+/// crashed the output is `faulty(F)` forever.
+#[derive(Clone, Debug)]
+pub struct PerfectOracle {
+    pattern: FailurePattern,
+}
+
+impl PerfectOracle {
+    /// A `P` history for `pattern`.
+    pub fn new(pattern: &FailurePattern) -> Self {
+        PerfectOracle {
+            pattern: pattern.clone(),
+        }
+    }
+
+    /// The stable value the history converges to (`faulty(F)`).
+    pub fn stable_set(&self) -> ProcessSet {
+        self.pattern.faulty()
+    }
+
+    /// When the history stabilizes (once every faulty process has crashed).
+    pub fn stabilize_at(&self) -> Time {
+        self.pattern.settled_at()
+    }
+}
+
+impl Oracle<ProcessSet> for PerfectOracle {
+    fn output(&mut self, _p: ProcessId, t: Time) -> ProcessSet {
+        self.pattern.crashed_by(t)
+    }
+
+    fn describe(&self) -> String {
+        format!("P(faulty={})", self.pattern.faulty())
+    }
+}
+
+/// The eventually perfect failure detector `◇P`: arbitrary suspicions for a
+/// finite period, then exactly `faulty(F)` forever at every process.
+#[derive(Clone, Debug)]
+pub struct EventuallyPerfectOracle {
+    n_plus_1: usize,
+    faulty: ProcessSet,
+    stabilize_at: Time,
+    seed: u64,
+}
+
+impl EventuallyPerfectOracle {
+    /// A `◇P` history for `pattern` stabilizing at `stabilize_at`.
+    pub fn new(pattern: &FailurePattern, stabilize_at: Time, seed: u64) -> Self {
+        EventuallyPerfectOracle {
+            n_plus_1: pattern.n_plus_1(),
+            faulty: pattern.faulty(),
+            stabilize_at,
+            seed,
+        }
+    }
+
+    /// The stable value the history converges to (`faulty(F)`).
+    pub fn stable_set(&self) -> ProcessSet {
+        self.faulty
+    }
+
+    /// When the history stabilizes.
+    pub fn stabilize_at(&self) -> Time {
+        self.stabilize_at
+    }
+}
+
+impl Oracle<ProcessSet> for EventuallyPerfectOracle {
+    fn output(&mut self, p: ProcessId, t: Time) -> ProcessSet {
+        if t >= self.stabilize_at {
+            self.faulty
+        } else {
+            noise_any_set(self.seed, p, t, self.n_plus_1)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("<>P(faulty={}, at={})", self.faulty, self.stabilize_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_crashes() -> FailurePattern {
+        FailurePattern::builder(4)
+            .crash(ProcessId(1), Time(5))
+            .crash(ProcessId(3), Time(12))
+            .build()
+    }
+
+    #[test]
+    fn perfect_tracks_crashes_exactly() {
+        let pat = two_crashes();
+        let mut p = PerfectOracle::new(&pat);
+        assert_eq!(p.output(ProcessId(0), Time(0)), ProcessSet::EMPTY);
+        assert_eq!(
+            p.output(ProcessId(0), Time(5)),
+            ProcessSet::singleton(ProcessId(1))
+        );
+        assert_eq!(p.output(ProcessId(2), Time(50)), pat.faulty());
+        assert_eq!(p.stable_set(), pat.faulty());
+        assert_eq!(p.stabilize_at(), Time(12));
+    }
+
+    #[test]
+    fn perfect_never_suspects_a_live_process() {
+        let pat = two_crashes();
+        let mut p = PerfectOracle::new(&pat);
+        for t in 0..40u64 {
+            let suspects = p.output(ProcessId(0), Time(t));
+            assert!(
+                suspects.is_subset(pat.crashed_by(Time(t))),
+                "strong accuracy"
+            );
+        }
+    }
+
+    #[test]
+    fn eventually_perfect_converges_to_faulty() {
+        let pat = two_crashes();
+        let mut o = EventuallyPerfectOracle::new(&pat, Time(30), 3);
+        for t in 30..100u64 {
+            for i in 0..4 {
+                assert_eq!(o.output(ProcessId(i), Time(t)), pat.faulty());
+            }
+        }
+    }
+
+    #[test]
+    fn eventually_perfect_may_lie_early() {
+        let pat = two_crashes();
+        let mut o = EventuallyPerfectOracle::new(&pat, Time(1000), 3);
+        let lied = (0..200u64).any(|t| o.output(ProcessId(0), Time(t)).contains(ProcessId(2)));
+        assert!(
+            lied,
+            "◇P should wrongly suspect a correct process during noise"
+        );
+    }
+
+    #[test]
+    fn describes() {
+        let pat = two_crashes();
+        assert!(PerfectOracle::new(&pat).describe().starts_with("P(faulty="));
+        assert!(EventuallyPerfectOracle::new(&pat, Time(3), 0)
+            .describe()
+            .starts_with("<>P(faulty="));
+    }
+}

@@ -1,0 +1,205 @@
+//! Recorded and table-driven histories.
+//!
+//! A [`TableOracle`] serves explicit `(p, t) → d` entries over a default —
+//! the "golden history" pattern: spec-checker tests and protocol unit tests
+//! can pin down the exact history a scenario needs, instead of steering a
+//! seeded generator. A [`HistoryRecorder`] wraps any oracle and logs every
+//! value it serves, so a run's full history can be captured and replayed
+//! later through a `TableOracle`.
+
+use std::sync::{Arc, Mutex};
+use upsilon_sim::{FdValue, Oracle, ProcessId, Time};
+
+/// An oracle defined by an explicit table of `(process, time) → value`
+/// entries over a default value.
+///
+/// Lookup rule: the entry for `(p, t)` is the table row for `p` with the
+/// largest time `≤ t` (histories are step functions of time); if none, the
+/// default. This makes writing golden histories terse: one row per change
+/// point.
+#[derive(Clone, Debug)]
+pub struct TableOracle<D> {
+    default: D,
+    // Per process: change points sorted by time.
+    rows: Vec<Vec<(Time, D)>>,
+}
+
+impl<D: FdValue> TableOracle<D> {
+    /// A table oracle for `n_plus_1` processes, initially constant
+    /// `default` everywhere.
+    pub fn new(n_plus_1: usize, default: D) -> Self {
+        TableOracle {
+            default,
+            rows: vec![Vec::new(); n_plus_1],
+        }
+    }
+
+    /// Sets the value served to `p` from time `t` on (until a later change
+    /// point).
+    pub fn set_from(mut self, p: ProcessId, t: Time, value: D) -> Self {
+        let row = &mut self.rows[p.index()];
+        row.push((t, value));
+        row.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Sets the value served to *all* processes from time `t` on.
+    pub fn set_all_from(mut self, t: Time, value: D) -> Self {
+        for i in 0..self.rows.len() {
+            self = self.set_from(ProcessId(i), t, value.clone());
+        }
+        self
+    }
+}
+
+impl<D: FdValue> Oracle<D> for TableOracle<D> {
+    fn output(&mut self, p: ProcessId, t: Time) -> D {
+        self.rows[p.index()]
+            .iter()
+            .rev()
+            .find(|(from, _)| *from <= t)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| self.default.clone())
+    }
+
+    fn describe(&self) -> String {
+        "table".to_string()
+    }
+}
+
+/// Wraps an oracle and records every `(p, t, d)` it serves.
+///
+/// The log is shared: clone the handle returned by
+/// [`HistoryRecorder::log`] before moving the recorder into a
+/// [`SimBuilder`](upsilon_sim::SimBuilder).
+pub struct HistoryRecorder<D, O> {
+    inner: O,
+    log: Arc<Mutex<Vec<(Time, ProcessId, D)>>>,
+}
+
+impl<D: FdValue, O: Oracle<D>> HistoryRecorder<D, O> {
+    /// Wraps `inner` with recording.
+    pub fn new(inner: O) -> Self {
+        HistoryRecorder {
+            inner,
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The shared log handle.
+    pub fn log(&self) -> Arc<Mutex<Vec<(Time, ProcessId, D)>>> {
+        Arc::clone(&self.log)
+    }
+}
+
+impl<D: FdValue, O: Oracle<D>> Oracle<D> for HistoryRecorder<D, O> {
+    fn output(&mut self, p: ProcessId, t: Time) -> D {
+        let v = self.inner.output(p, t);
+        self.log
+            .lock()
+            .expect("history log lock")
+            .push((t, p, v.clone()));
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!("recorded({})", self.inner.describe())
+    }
+}
+
+impl<D, O: std::fmt::Debug> std::fmt::Debug for HistoryRecorder<D, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryRecorder")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds a [`TableOracle`] replaying a recorded log exactly at its sample
+/// points: each recorded `(t, p, d)` becomes a change point, so re-querying
+/// the same `(p, t)` pairs reproduces the same values.
+pub fn table_from_log<D: FdValue>(
+    n_plus_1: usize,
+    default: D,
+    log: &[(Time, ProcessId, D)],
+) -> TableOracle<D> {
+    let mut t = TableOracle::new(n_plus_1, default);
+    for (time, p, v) in log {
+        t = t.set_from(*p, *time, v.clone());
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upsilon::{UpsilonChoice, UpsilonOracle};
+    use upsilon_sim::{FailurePattern, ProcessSet};
+
+    #[test]
+    fn table_serves_step_functions() {
+        let mut o = TableOracle::new(2, 0u64)
+            .set_from(ProcessId(0), Time(10), 5)
+            .set_from(ProcessId(0), Time(20), 9);
+        assert_eq!(o.output(ProcessId(0), Time(0)), 0);
+        assert_eq!(o.output(ProcessId(0), Time(10)), 5);
+        assert_eq!(o.output(ProcessId(0), Time(19)), 5);
+        assert_eq!(o.output(ProcessId(0), Time(25)), 9);
+        assert_eq!(
+            o.output(ProcessId(1), Time(25)),
+            0,
+            "other process untouched"
+        );
+    }
+
+    #[test]
+    fn set_all_from_affects_everyone() {
+        let mut o = TableOracle::new(3, 1u8).set_all_from(Time(5), 2);
+        for i in 0..3 {
+            assert_eq!(o.output(ProcessId(i), Time(4)), 1);
+            assert_eq!(o.output(ProcessId(i), Time(5)), 2);
+        }
+    }
+
+    #[test]
+    fn golden_history_for_upsilon_checker() {
+        // A hand-written Υ history: noise {p1} at p1 / {p2} at p2 until
+        // t = 8, then the common stable set {p1}.
+        use crate::spec::check_upsilon;
+        let pattern = FailurePattern::failure_free(2);
+        let stable = ProcessSet::singleton(ProcessId(0));
+        let mut o =
+            TableOracle::new(2, ProcessSet::singleton(ProcessId(1))).set_all_from(Time(8), stable);
+        let mut samples = Vec::new();
+        for t in 0..40u64 {
+            for i in 0..2 {
+                samples.push((Time(t), ProcessId(i), o.output(ProcessId(i), Time(t))));
+            }
+        }
+        let report = check_upsilon(&pattern, &samples, 5).expect("golden history is legal");
+        assert_eq!(report.value, stable);
+        assert_eq!(report.stable_from, Time(8));
+    }
+
+    #[test]
+    fn recorder_captures_and_replays() {
+        let pattern = FailurePattern::failure_free(2);
+        let inner = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(6), 3);
+        let mut recorder = HistoryRecorder::new(inner);
+        let log_handle = recorder.log();
+        let mut originals = Vec::new();
+        for t in 0..20u64 {
+            originals.push(recorder.output(ProcessId((t % 2) as usize), Time(t)));
+        }
+        let log = log_handle.lock().unwrap().clone();
+        assert_eq!(log.len(), 20);
+
+        // Replay through a table oracle: identical values at the same
+        // sample points.
+        let mut replay = table_from_log(2, ProcessSet::all(2), &log);
+        for (i, t) in (0..20u64).enumerate() {
+            let p = ProcessId((t % 2) as usize);
+            assert_eq!(replay.output(p, Time(t)), originals[i], "at {t}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Direct (value-level) reductions between failure detectors (§4, §5.3).
+//!
+//! These reductions need no shared memory at all: each process applies a
+//! pure map to its own module's output. The paper uses them to place Υ in
+//! the detector hierarchy:
+//!
+//! * Ω → Υ: "every process outputs the complement of Ω in Π" — the stable
+//!   leader is correct, so `Π − {leader} ≠ correct(F)`; legal for every
+//!   `Υ^f` with `f ≥ 1`.
+//! * Υ → Ω for two processes: "every process outputs the complement of Υ if
+//!   this is a singleton, and outputs the process identifier otherwise".
+//! * Ω_k → Υ^f (`k = f`): "to emulate Υ^f, every process simply outputs the
+//!   complement of Ω_f in Π" — the complement has size `n + 1 − f` and
+//!   misses a correct process.
+//!
+//! Reductions that *do* need shared memory (Υ¹ → Ω in `E_1`, Fig. 3's
+//! generic extraction) live in `upsilon-extract`.
+
+use crate::omega::{OmegaKOracle, OmegaOracle};
+use upsilon_sim::{MappedOracle, Oracle, ProcessId, ProcessSet};
+
+/// The Ω → Υ value map: the complement of the leader in `Π`.
+pub fn omega_to_upsilon(n_plus_1: usize, leader: ProcessId) -> ProcessSet {
+    ProcessSet::singleton(leader).complement(n_plus_1)
+}
+
+/// The Υ → Ω value map for a two-process system (§4): if the complement of
+/// the Υ output is a singleton, elect that process; otherwise elect
+/// yourself.
+pub fn upsilon_to_omega_two_proc(me: ProcessId, upsilon: ProcessSet) -> ProcessId {
+    let complement = upsilon.complement(2);
+    if complement.len() == 1 {
+        complement.min().expect("singleton")
+    } else {
+        me
+    }
+}
+
+/// The Ω_k → Υ^f value map (`k = f`): the complement of the Ω_f set in `Π`.
+pub fn omega_k_to_upsilon_f(n_plus_1: usize, omega_k_set: ProcessSet) -> ProcessSet {
+    omega_k_set.complement(n_plus_1)
+}
+
+/// An Ω oracle complemented into a Υ oracle — a legal Υ (indeed Υ^f for any
+/// `f ≥ 1`) history built from Ω, used as the Ω-based baseline in E9.
+pub fn upsilon_from_omega(n_plus_1: usize, omega: OmegaOracle) -> impl Oracle<ProcessSet> {
+    MappedOracle::new(omega, move |_p, _t, leader: ProcessId| {
+        omega_to_upsilon(n_plus_1, leader)
+    })
+}
+
+/// An Ω_k oracle complemented into a Υ^f oracle (`f = k`) — the paper's
+/// "complement of Ω_n is a legal output for Υ" (§4), and the baseline for
+/// Corollary 3: Fig. 1 running on this oracle is an Ω_n-based set-agreement
+/// algorithm.
+pub fn upsilon_f_from_omega_k(n_plus_1: usize, omega_k: OmegaKOracle) -> impl Oracle<ProcessSet> {
+    MappedOracle::new(omega_k, move |_p, _t, set: ProcessSet| {
+        omega_k_to_upsilon_f(n_plus_1, set)
+    })
+}
+
+/// A two-process Υ oracle mapped into an Ω oracle (§4's other direction).
+pub fn omega_from_upsilon_two_proc(
+    upsilon: impl Oracle<ProcessSet> + 'static,
+) -> impl Oracle<ProcessId> {
+    MappedOracle::new(upsilon, move |p, _t, u: ProcessSet| {
+        upsilon_to_omega_two_proc(p, u)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omega::{LeaderChoice, OmegaKChoice};
+    use crate::spec::{check_omega, check_upsilon, check_upsilon_f};
+    use crate::upsilon::{upsilon_stable_legal, UpsilonChoice, UpsilonOracle};
+    use upsilon_sim::{FailurePattern, Time};
+
+    fn sample<D: upsilon_sim::FdValue>(
+        pattern: &FailurePattern,
+        oracle: &mut dyn Oracle<D>,
+        horizon: u64,
+    ) -> Vec<(Time, ProcessId, D)> {
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            for i in 0..pattern.n_plus_1() {
+                let p = ProcessId(i);
+                if !pattern.is_crashed_at(p, Time(t)) {
+                    out.push((Time(t), p, oracle.output(p, Time(t))));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn complement_of_omega_is_legal_upsilon_for_every_f() {
+        let pat = FailurePattern::builder(5)
+            .crash(ProcessId(4), Time(3))
+            .build();
+        let leader = ProcessId(0); // correct
+        let u = omega_to_upsilon(5, leader);
+        assert_eq!(u.len(), 4);
+        for f in 1..=4usize {
+            assert!(upsilon_stable_legal(&pat, f, u), "f={f}");
+        }
+    }
+
+    #[test]
+    fn omega_complement_history_passes_upsilon_spec() {
+        let pat = FailurePattern::builder(4)
+            .crash(ProcessId(2), Time(5))
+            .build();
+        let omega = OmegaOracle::new(&pat, LeaderChoice::MinCorrect, Time(40), 3);
+        let mut ups = upsilon_from_omega(4, omega);
+        let samples = sample(&pat, &mut ups, 150);
+        check_upsilon(&pat, &samples, 10).expect("complement of Ω is a legal Υ");
+    }
+
+    #[test]
+    fn omega_k_complement_history_passes_upsilon_f_spec() {
+        let pat = FailurePattern::builder(5)
+            .crash(ProcessId(1), Time(4))
+            .build();
+        for f in 1..=4usize {
+            let ok = OmegaKOracle::new(&pat, f, OmegaKChoice::default(), Time(30), 7);
+            let mut ups = upsilon_f_from_omega_k(5, ok);
+            let samples = sample(&pat, &mut ups, 120);
+            check_upsilon_f(&pat, f, &samples, 10).unwrap_or_else(|e| panic!("f={f}: {e}"));
+        }
+    }
+
+    #[test]
+    fn two_process_upsilon_gives_omega() {
+        // §4: in a system of 2 processes, Υ and Ω are equivalent.
+        for (pat, seed) in [
+            (FailurePattern::failure_free(2), 1u64),
+            (
+                FailurePattern::builder(2)
+                    .crash(ProcessId(0), Time(8))
+                    .build(),
+                2,
+            ),
+            (
+                FailurePattern::builder(2)
+                    .crash(ProcessId(1), Time(8))
+                    .build(),
+                3,
+            ),
+        ] {
+            for choice in [UpsilonChoice::ComplementOfCorrect, UpsilonChoice::All] {
+                let ups = UpsilonOracle::wait_free(&pat, choice, Time(30), seed);
+                let mut omega = omega_from_upsilon_two_proc(ups);
+                let samples = sample(&pat, &mut omega, 120);
+                check_omega(&pat, &samples, 10).unwrap_or_else(|e| panic!("{pat} {choice:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn two_process_map_is_the_papers_rule() {
+        // Complement singleton → elect it; otherwise elect self.
+        assert_eq!(
+            upsilon_to_omega_two_proc(ProcessId(0), ProcessSet::singleton(ProcessId(0))),
+            ProcessId(1)
+        );
+        assert_eq!(
+            upsilon_to_omega_two_proc(ProcessId(1), ProcessSet::all(2)),
+            ProcessId(1)
+        );
+    }
+
+    #[test]
+    fn round_trip_omega_upsilon_omega_in_two_process_system() {
+        // Ω → Υ → Ω preserves a legal Ω history.
+        let pat = FailurePattern::builder(2)
+            .crash(ProcessId(0), Time(6))
+            .build();
+        let omega = OmegaOracle::new(&pat, LeaderChoice::MinCorrect, Time(20), 5);
+        let expect = omega.leader();
+        let ups = upsilon_from_omega(2, omega);
+        let mut back = omega_from_upsilon_two_proc(ups);
+        let samples = sample(&pat, &mut back, 100);
+        let report = check_omega(&pat, &samples, 10).expect("round trip stays legal");
+        assert_eq!(report.value, expect);
+    }
+}

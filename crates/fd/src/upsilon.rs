@@ -1,0 +1,441 @@
+//! The failure detectors Υ and Υ^f (§4 and §5.3) — the paper's primary
+//! contribution.
+//!
+//! Υ outputs a non-empty set of processes such that eventually (1) the same
+//! set `U` is permanently output at all correct processes and (2)
+//! `U ≠ correct(F)`. Υ^f additionally requires `|U| ≥ n + 1 − f` and is
+//! exactly Υ when `f = n`.
+//!
+//! The oracle here realizes one history per run: arbitrary (deterministic,
+//! seeded) noise before a configurable stabilization time, then a stable set
+//! chosen by an [`UpsilonChoice`] policy. The policies cover every shape of
+//! legal output the paper discusses — `U` containing a faulty process, `U`
+//! missing a correct process, `U = Π`, `U` a strict subset of the correct
+//! set — because the set-agreement protocol must cope with all of them.
+
+use crate::noise::noise_set_at_least;
+use rand::Rng;
+use upsilon_sim::{FailurePattern, Oracle, ProcessId, ProcessSet, Time};
+
+/// Whether `set` is a legal *stable* output of Υ^f for pattern `F`:
+/// non-empty, of size at least `n + 1 − f`, and not the correct set.
+pub fn upsilon_stable_legal(pattern: &FailurePattern, f: usize, set: ProcessSet) -> bool {
+    let n_plus_1 = pattern.n_plus_1();
+    !set.is_empty()
+        && set.len() >= n_plus_1 - f
+        && set.is_subset(ProcessSet::all(n_plus_1))
+        && set != pattern.correct()
+}
+
+/// Policies for choosing the stable set `U` of a Υ^f history.
+///
+/// Each policy falls back to [`UpsilonChoice::ComplementOfCorrect`] when its
+/// preferred shape is illegal under the given pattern (e.g. `All` in a
+/// failure-free run), so every policy always yields a legal history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UpsilonChoice {
+    /// `U = Π − {p}` for the smallest correct `p`: always legal (a correct
+    /// process is excluded, so `U ≠ correct(F)`; `|U| = n ≥ n + 1 − f`).
+    /// In the paper's gladiator metaphor, there is a correct *citizen*.
+    #[default]
+    ComplementOfCorrect,
+    /// `U = Π` when some process is faulty (then `Π ≠ correct(F)`): every
+    /// process is a gladiator and at least one of them crashes.
+    All,
+    /// `U ⊇ faulty(F)`, padded with the smallest correct processes up to
+    /// size `n + 1 − f`: a faulty gladiator exists whenever `faulty ≠ ∅`.
+    FaultyPadded,
+    /// A strict subset of `correct(F)` of size `n + 1 − f` when one exists:
+    /// all gladiators are correct, but a correct citizen exists too.
+    SubsetOfCorrect,
+    /// A fixed set, validated against the pattern at construction.
+    Fixed(ProcessSet),
+    /// A uniformly random legal set derived from the oracle seed.
+    RandomLegal,
+}
+
+fn choose_stable(
+    pattern: &FailurePattern,
+    f: usize,
+    choice: UpsilonChoice,
+    seed: u64,
+) -> ProcessSet {
+    let n_plus_1 = pattern.n_plus_1();
+    let correct = pattern.correct();
+    let faulty = pattern.faulty();
+    let min_size = n_plus_1 - f;
+    let fallback = || {
+        let p = correct.min().expect("at least one correct process");
+        ProcessSet::singleton(p).complement(n_plus_1)
+    };
+    let candidate = match choice {
+        UpsilonChoice::ComplementOfCorrect => fallback(),
+        UpsilonChoice::All => {
+            if faulty.is_empty() {
+                fallback()
+            } else {
+                ProcessSet::all(n_plus_1)
+            }
+        }
+        UpsilonChoice::FaultyPadded => {
+            if faulty.is_empty() {
+                fallback()
+            } else {
+                let mut u = faulty;
+                for p in correct {
+                    if u.len() >= min_size {
+                        break;
+                    }
+                    u.insert(p);
+                }
+                u
+            }
+        }
+        UpsilonChoice::SubsetOfCorrect => {
+            if correct.len() > min_size && min_size >= 1 {
+                correct.iter().take(min_size).collect()
+            } else {
+                fallback()
+            }
+        }
+        UpsilonChoice::Fixed(set) => {
+            assert!(
+                upsilon_stable_legal(pattern, f, set),
+                "fixed set {set} is not a legal stable Υ^{f} output for {pattern}"
+            );
+            set
+        }
+        UpsilonChoice::RandomLegal => {
+            let mut rng = crate::noise::noise_rng(seed, ProcessId(0), Time(u64::MAX));
+            loop {
+                let size = rng.gen_range(min_size..=n_plus_1);
+                let mut s = ProcessSet::new();
+                while s.len() < size {
+                    s.insert(ProcessId(rng.gen_range(0..n_plus_1)));
+                }
+                if upsilon_stable_legal(pattern, f, s) {
+                    break s;
+                }
+            }
+        }
+    };
+    debug_assert!(upsilon_stable_legal(pattern, f, candidate));
+    candidate
+}
+
+/// Pre-stabilization noise policies for [`UpsilonOracle`].
+///
+/// The definition allows *any* range values before stabilization; the two
+/// policies are the interesting extremes:
+///
+/// * [`UpsilonNoise::Random`] — seeded per-(process, time) random sets.
+///   Statistically this often *helps* the set-agreement protocols (a noisy
+///   "citizen" view lets a value die early) — the average case.
+/// * [`UpsilonNoise::ConstantAll`] — output `Π` everywhere until
+///   stabilization. Everyone is a gladiator, no instability is ever
+///   observed, and (under a lock-step schedule) no converge can commit:
+///   the protocols provably wait for the true stabilization — the worst
+///   case, used by the latency experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum UpsilonNoise {
+    /// Seeded random sets within the range.
+    #[default]
+    Random,
+    /// The full set `Π` at every process until stabilization.
+    ConstantAll,
+}
+
+/// The Υ^f oracle (Υ is the special case `f = n`).
+///
+/// ```
+/// use upsilon_fd::{UpsilonChoice, UpsilonOracle};
+/// use upsilon_sim::{FailurePattern, Oracle, ProcessId, Time};
+///
+/// let pattern = FailurePattern::failure_free(3);
+/// let mut ups = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(100), 7);
+/// // After stabilization every process sees the same legal set.
+/// let u = ups.output(ProcessId(0), Time(100));
+/// assert_eq!(u, ups.output(ProcessId(2), Time(5000)));
+/// assert_ne!(u, pattern.correct());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpsilonOracle {
+    n_plus_1: usize,
+    f: usize,
+    stable: ProcessSet,
+    stabilize_at: Time,
+    seed: u64,
+    noise: UpsilonNoise,
+}
+
+impl UpsilonOracle {
+    /// A Υ^f history for `pattern`: noise before `stabilize_at`, then the
+    /// stable set selected by `choice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `1..=n`, if the pattern exceeds `E_f`, or if
+    /// a [`UpsilonChoice::Fixed`] set is illegal.
+    pub fn new(
+        pattern: &FailurePattern,
+        f: usize,
+        choice: UpsilonChoice,
+        stabilize_at: Time,
+        seed: u64,
+    ) -> Self {
+        let n_plus_1 = pattern.n_plus_1();
+        assert!((1..=n_plus_1 - 1).contains(&f), "Υ^f requires 1 ≤ f ≤ n");
+        assert!(
+            pattern.in_environment(f),
+            "pattern {pattern} has more than f = {f} faults; Υ^f is only defined in E_f"
+        );
+        let stable = choose_stable(pattern, f, choice, seed);
+        UpsilonOracle {
+            n_plus_1,
+            f,
+            stable,
+            stabilize_at,
+            seed,
+            noise: UpsilonNoise::Random,
+        }
+    }
+
+    /// Replaces the pre-stabilization noise policy.
+    pub fn with_noise(mut self, noise: UpsilonNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The wait-free Υ (`f = n`).
+    pub fn wait_free(
+        pattern: &FailurePattern,
+        choice: UpsilonChoice,
+        stabilize_at: Time,
+        seed: u64,
+    ) -> Self {
+        Self::new(pattern, pattern.n(), choice, stabilize_at, seed)
+    }
+
+    /// The stable set `U` this history converges to.
+    pub fn stable_set(&self) -> ProcessSet {
+        self.stable
+    }
+
+    /// When the history stabilizes.
+    pub fn stabilize_at(&self) -> Time {
+        self.stabilize_at
+    }
+
+    /// The resilience parameter `f`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl Oracle<ProcessSet> for UpsilonOracle {
+    fn output(&mut self, p: ProcessId, t: Time) -> ProcessSet {
+        if t >= self.stabilize_at {
+            self.stable
+        } else {
+            // Pre-stabilization: arbitrary values within the range
+            // R_{Υ^f} = {U ⊆ Π : |U| ≥ n + 1 − f}, possibly different at
+            // different processes.
+            match self.noise {
+                UpsilonNoise::Random => {
+                    noise_set_at_least(self.seed, p, t, self.n_plus_1, self.n_plus_1 - self.f)
+                }
+                UpsilonNoise::ConstantAll => ProcessSet::all(self.n_plus_1),
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Upsilon^{}(stable={}, at={})",
+            self.f, self.stable, self.stabilize_at
+        )
+    }
+}
+
+/// Every legal stable Υ^f output for `pattern`, enumerated (small systems) —
+/// used by exhaustive experiments: the set-agreement protocol must work for
+/// *any* of these.
+pub fn all_legal_stable_sets(pattern: &FailurePattern, f: usize) -> Vec<ProcessSet> {
+    ProcessSet::all_nonempty_subsets(pattern.n_plus_1())
+        .into_iter()
+        .filter(|s| upsilon_stable_legal(pattern, f, *s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn pattern_one_crash(n_plus_1: usize) -> FailurePattern {
+        FailurePattern::builder(n_plus_1)
+            .crash(ProcessId(0), Time(10))
+            .build()
+    }
+
+    #[test]
+    fn legality_predicate_matches_the_definition() {
+        let p = pattern_one_crash(3); // correct = {p2, p3}
+        let correct = p.correct();
+        assert!(!upsilon_stable_legal(&p, 2, ProcessSet::EMPTY));
+        assert!(
+            !upsilon_stable_legal(&p, 2, correct),
+            "U must differ from correct(F)"
+        );
+        assert!(upsilon_stable_legal(
+            &p,
+            2,
+            ProcessSet::singleton(ProcessId(0))
+        ));
+        assert!(upsilon_stable_legal(&p, 2, ProcessSet::all(3)));
+        // Υ^1 over 3 processes requires |U| ≥ 3: only Π qualifies.
+        assert!(!upsilon_stable_legal(
+            &p,
+            1,
+            ProcessSet::singleton(ProcessId(0))
+        ));
+        assert!(upsilon_stable_legal(&p, 1, ProcessSet::all(3)));
+    }
+
+    #[test]
+    fn paper_example_three_processes() {
+        // §1: p1 fails, p2 and p3 correct; eventually Υ may output any
+        // subset but {p2, p3}.
+        let p = pattern_one_crash(3);
+        let legal = all_legal_stable_sets(&p, 2);
+        assert_eq!(
+            legal.len(),
+            6,
+            "any non-empty subset except correct = 7 - 1"
+        );
+        assert!(!legal.contains(&p.correct()));
+    }
+
+    #[test]
+    fn every_choice_policy_yields_legal_stable_sets() {
+        let patterns = [
+            FailurePattern::failure_free(4),
+            pattern_one_crash(4),
+            FailurePattern::builder(4)
+                .crash(ProcessId(1), Time(5))
+                .crash(ProcessId(2), Time(9))
+                .build(),
+        ];
+        let choices = [
+            UpsilonChoice::ComplementOfCorrect,
+            UpsilonChoice::All,
+            UpsilonChoice::FaultyPadded,
+            UpsilonChoice::SubsetOfCorrect,
+            UpsilonChoice::RandomLegal,
+        ];
+        for pat in &patterns {
+            for f in 1..=pat.n() {
+                if !pat.in_environment(f) {
+                    continue;
+                }
+                for choice in choices {
+                    let o = UpsilonOracle::new(pat, f, choice, Time(50), 3);
+                    assert!(
+                        upsilon_stable_legal(pat, f, o.stable_set()),
+                        "{choice:?} under {pat} f={f} produced {}",
+                        o.stable_set()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_stable_after_stabilization() {
+        let p = pattern_one_crash(3);
+        let mut o = UpsilonOracle::wait_free(&p, UpsilonChoice::All, Time(40), 11);
+        let u = o.stable_set();
+        for t in 40..200u64 {
+            for i in 0..3 {
+                assert_eq!(o.output(ProcessId(i), Time(t)), u);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_respects_the_range() {
+        let p = FailurePattern::failure_free(5);
+        let mut o = UpsilonOracle::new(&p, 2, UpsilonChoice::default(), Time(1000), 13);
+        for t in 0..200u64 {
+            for i in 0..5 {
+                let s = o.output(ProcessId(i), Time(t));
+                assert!(
+                    s.len() >= 3,
+                    "Υ^2 over 5 processes outputs sets of size ≥ 3"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_actually_varies_before_stabilization() {
+        let p = FailurePattern::failure_free(4);
+        let mut o = UpsilonOracle::wait_free(&p, UpsilonChoice::default(), Time(500), 17);
+        let distinct: std::collections::HashSet<u64> = (0..100u64)
+            .map(|t| o.output(ProcessId(0), Time(t)).bits())
+            .collect();
+        assert!(
+            distinct.len() > 5,
+            "pre-stabilization output should look random"
+        );
+    }
+
+    #[test]
+    fn histories_are_deterministic() {
+        let p = pattern_one_crash(4);
+        let mut a = UpsilonOracle::wait_free(&p, UpsilonChoice::RandomLegal, Time(50), 23);
+        let mut b = UpsilonOracle::wait_free(&p, UpsilonChoice::RandomLegal, Time(50), 23);
+        for t in 0..100u64 {
+            for i in 0..4 {
+                assert_eq!(
+                    a.output(ProcessId(i), Time(t)),
+                    b.output(ProcessId(i), Time(t))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a legal stable")]
+    fn fixed_choice_validates_legality() {
+        let p = pattern_one_crash(3);
+        let _ = UpsilonOracle::wait_free(&p, UpsilonChoice::Fixed(p.correct()), Time(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "E_f")]
+    fn pattern_outside_environment_rejected() {
+        let p = FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(0))
+            .crash(ProcessId(1), Time(0))
+            .build();
+        let _ = UpsilonOracle::new(&p, 1, UpsilonChoice::default(), Time(0), 0);
+    }
+
+    #[test]
+    fn constant_all_noise_outputs_pi_until_stabilization() {
+        let p = pattern_one_crash(3);
+        let mut o = UpsilonOracle::wait_free(&p, UpsilonChoice::default(), Time(50), 3)
+            .with_noise(UpsilonNoise::ConstantAll);
+        for t in 0..50u64 {
+            assert_eq!(o.output(ProcessId(1), Time(t)), ProcessSet::all(3));
+        }
+        assert_eq!(o.output(ProcessId(1), Time(50)), o.stable_set());
+    }
+
+    #[test]
+    fn describe_mentions_the_stable_set() {
+        let p = pattern_one_crash(3);
+        let o = UpsilonOracle::wait_free(&p, UpsilonChoice::All, Time(9), 0);
+        assert!(o.describe().contains("Upsilon^2"));
+        assert!(o.describe().contains("t=9"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: every oracle in the crate satisfies its own
+//! specification checker for random patterns, seeds and stabilization
+//! times — the two halves (generators and checkers) cross-validate.
+
+use proptest::prelude::*;
+use upsilon_fd::{
+    check_anti_omega, check_eventually_perfect, check_omega, check_omega_k, check_upsilon_f,
+    AntiOmegaOracle, EventuallyPerfectOracle, LeaderChoice, OmegaKChoice, OmegaKOracle,
+    OmegaOracle, PerfectOracle, UpsilonChoice, UpsilonOracle,
+};
+use upsilon_sim::{FailurePattern, FdValue, Oracle, ProcessId, Time};
+
+const N_PLUS_1: usize = 4;
+
+fn arb_pattern() -> impl Strategy<Value = FailurePattern> {
+    proptest::collection::vec(proptest::option::of(0u64..80), N_PLUS_1).prop_map(|crashes| {
+        let mut crashes = crashes;
+        crashes[0] = None; // keep p1 correct
+        let mut b = FailurePattern::builder(N_PLUS_1);
+        for (i, c) in crashes.iter().enumerate() {
+            if let Some(t) = c {
+                b = b.crash(ProcessId(i), Time(*t));
+            }
+        }
+        b.build()
+    })
+}
+
+fn dense_samples<D: FdValue>(
+    pattern: &FailurePattern,
+    oracle: &mut dyn Oracle<D>,
+    horizon: u64,
+) -> Vec<(Time, ProcessId, D)> {
+    let mut out = Vec::new();
+    for t in 0..horizon {
+        for i in 0..pattern.n_plus_1() {
+            let p = ProcessId(i);
+            if !pattern.is_crashed_at(p, Time(t)) {
+                out.push((Time(t), p, oracle.output(p, Time(t))));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    #[test]
+    fn upsilon_f_oracles_satisfy_their_spec(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+        stab in 0u64..150,
+        f_raw in 1usize..N_PLUS_1,
+    ) {
+        prop_assume!(pattern.in_environment(f_raw));
+        let mut o = UpsilonOracle::new(&pattern, f_raw, UpsilonChoice::RandomLegal, Time(stab), seed);
+        let samples = dense_samples(&pattern, &mut o, stab + 60);
+        prop_assert!(check_upsilon_f(&pattern, f_raw, &samples, 5).is_ok(),
+            "{:?}", check_upsilon_f(&pattern, f_raw, &samples, 5));
+    }
+
+    #[test]
+    fn omega_oracles_satisfy_their_spec(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+        stab in 0u64..150,
+    ) {
+        let mut o = OmegaOracle::new(&pattern, LeaderChoice::RandomCorrect, Time(stab), seed);
+        let samples = dense_samples(&pattern, &mut o, stab + 60);
+        prop_assert!(check_omega(&pattern, &samples, 5).is_ok());
+    }
+
+    #[test]
+    fn omega_k_oracles_satisfy_their_spec(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+        stab in 0u64..150,
+        k in 1usize..=N_PLUS_1,
+    ) {
+        let mut o = OmegaKOracle::new(&pattern, k, OmegaKChoice::RandomLegal, Time(stab), seed);
+        let samples = dense_samples(&pattern, &mut o, stab + 60);
+        prop_assert!(check_omega_k(&pattern, k, &samples, 5).is_ok());
+    }
+
+    #[test]
+    fn perfect_detectors_satisfy_their_spec(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+        stab in 0u64..150,
+    ) {
+        let horizon = stab.max(pattern.settled_at().value()) + 60;
+        let mut p = PerfectOracle::new(&pattern);
+        let samples = dense_samples(&pattern, &mut p, horizon);
+        prop_assert!(check_eventually_perfect(&pattern, &samples, 5).is_ok());
+        // P also satisfies strong accuracy at every sampled point.
+        for (t, _, suspects) in &samples {
+            prop_assert!(suspects.is_subset(pattern.crashed_by(*t)));
+        }
+        let mut ep = EventuallyPerfectOracle::new(&pattern, Time(stab), seed);
+        let samples = dense_samples(&pattern, &mut ep, horizon);
+        prop_assert!(check_eventually_perfect(&pattern, &samples, 5).is_ok());
+    }
+
+    #[test]
+    fn anti_omega_oracles_satisfy_their_spec(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+        quiesce in 0u64..100,
+    ) {
+        let mut o = AntiOmegaOracle::new(&pattern, Time(quiesce), seed);
+        let samples = dense_samples(&pattern, &mut o, quiesce * 2 + 200);
+        let witness = check_anti_omega(&pattern, &samples);
+        prop_assert!(witness.is_ok(), "{witness:?}");
+        prop_assert!(pattern.is_correct(witness.unwrap()));
+    }
+
+    /// Cross-check: a Υ oracle's stable set is never accepted by the Ω_k
+    /// checker "by accident" when it lacks a correct member and k matches.
+    #[test]
+    fn checkers_do_not_cross_accept(
+        pattern in arb_pattern(),
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(!pattern.faulty().is_empty());
+        // A Υ history stabilizing on exactly the faulty set (legal for Υ
+        // when |faulty| ≥ n+1-f i.e. f = n and faulty non-empty)…
+        let f = pattern.n_plus_1() - 1;
+        let mut o = UpsilonOracle::new(
+            &pattern, f, UpsilonChoice::FaultyPadded, Time(10), seed);
+        let samples = dense_samples(&pattern, &mut o, 80);
+        let k = o.stable_set().len();
+        // …is a spec-violating Ω_k history whenever its stable set contains
+        // no correct process.
+        if o.stable_set().intersection(pattern.correct()).is_empty() {
+            prop_assert!(check_omega_k(&pattern, k, &samples, 1).is_err());
+        }
+    }
+}

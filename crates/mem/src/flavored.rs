@@ -1,0 +1,105 @@
+//! Runtime-selected snapshot implementation.
+//!
+//! Protocol code takes a [`SnapshotFlavor`] parameter and builds
+//! [`FlavoredSnapshot`] handles, so every experiment can be run both on
+//! native one-step snapshots and on the register-only construction — this
+//! is how the repository validates that the paper's algorithms need nothing
+//! beyond registers.
+
+use crate::afek::AfekSnapshot;
+use crate::register::Value;
+use crate::snapshot::{NativeSnapshot, Snapshot, SnapshotFlavor};
+use upsilon_sim::{Crashed, Ctx, FdValue, Key};
+
+/// A snapshot handle whose implementation is chosen at runtime.
+#[derive(Clone, Debug)]
+pub enum FlavoredSnapshot<T: Value> {
+    /// Backed by the native atomic object.
+    Native(NativeSnapshot<T>),
+    /// Backed by the Afek et al. register-only construction.
+    RegisterBased(AfekSnapshot<T>),
+}
+
+impl<T: Value> FlavoredSnapshot<T> {
+    /// Builds a handle of the requested flavor for the object named `key`
+    /// with `size` positions.
+    pub fn new(flavor: SnapshotFlavor, key: Key, size: usize) -> Self {
+        match flavor {
+            SnapshotFlavor::Native => FlavoredSnapshot::Native(NativeSnapshot::new(key, size)),
+            SnapshotFlavor::RegisterBased => {
+                FlavoredSnapshot::RegisterBased(AfekSnapshot::new(key, size))
+            }
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        match self {
+            FlavoredSnapshot::Native(s) => s.len(),
+            FlavoredSnapshot::RegisterBased(s) => s.len(),
+        }
+    }
+
+    /// Whether the object has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Value> Snapshot<T> for FlavoredSnapshot<T> {
+    fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+        match self {
+            FlavoredSnapshot::Native(s) => s.update(ctx, v),
+            FlavoredSnapshot::RegisterBased(s) => s.update(ctx, v),
+        }
+    }
+
+    fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
+        match self {
+            FlavoredSnapshot::Native(s) => s.scan(ctx),
+            FlavoredSnapshot::RegisterBased(s) => s.scan(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::non_bot_count;
+    use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+
+    fn run_with(flavor: SnapshotFlavor) -> Vec<u64> {
+        let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
+            .adversary(SeededRandom::new(9))
+            .spawn_all(move |pid| {
+                Box::new(move |ctx| {
+                    let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), 3);
+                    snap.update(&ctx, pid.index() as u64 + 1)?;
+                    loop {
+                        let s = snap.scan(&ctx)?;
+                        if non_bot_count(&s) == 3 {
+                            ctx.decide(s.iter().flatten().sum())?;
+                            return Ok(());
+                        }
+                    }
+                })
+            })
+            .run();
+        outcome.run.decided_values()
+    }
+
+    #[test]
+    fn both_flavors_agree_on_final_contents() {
+        assert_eq!(run_with(SnapshotFlavor::Native), vec![6]);
+        assert_eq!(run_with(SnapshotFlavor::RegisterBased), vec![6]);
+    }
+
+    #[test]
+    fn size_is_flavor_independent() {
+        let a = FlavoredSnapshot::<u64>::new(SnapshotFlavor::Native, Key::new("x"), 5);
+        let b = FlavoredSnapshot::<u64>::new(SnapshotFlavor::RegisterBased, Key::new("x"), 5);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+        assert!(!a.is_empty());
+    }
+}

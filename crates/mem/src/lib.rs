@@ -1,0 +1,30 @@
+//! # upsilon-mem
+//!
+//! Shared-memory objects for the reproduction of *"On the weakest failure
+//! detector ever"*: atomic registers (§3.1), atomic snapshot objects
+//! (Afek et al. \[1\], used by the paper's Fig. 2), and `m`-process consensus
+//! objects (Corollary 4).
+//!
+//! Snapshots come in two interchangeable flavors behind the [`Snapshot`]
+//! trait: a native one-step object and the wait-free register-only
+//! construction of [`afek`] — running the paper's protocols on the latter
+//! demonstrates that they need nothing beyond registers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod afek;
+pub mod consensus_object;
+pub mod flavored;
+pub mod register;
+pub mod snapshot;
+
+pub use afek::{AfekCell, AfekSnapshot};
+pub use consensus_object::{Consensus, ConsensusObject, Propose};
+pub use flavored::FlavoredSnapshot;
+pub use register::{RegOp, RegResp, Register, RegisterArray, RegisterObject, Value};
+pub use snapshot::{
+    distinct_values, min_value, non_bot_count, scan_contained_in, NativeSnapshot, SnapOp, SnapResp,
+    Snapshot, SnapshotFlavor, SnapshotObject,
+};

@@ -1,0 +1,364 @@
+//! Building and executing runs.
+//!
+//! [`SimBuilder`] wires together a failure pattern, a failure-detector
+//! oracle, an adversary and one algorithm per participating process, then
+//! [`SimBuilder::run`] drives the lockstep execution to completion and
+//! returns the recorded [`Run`] plus the final shared [`Memory`].
+
+use crate::error::AlgoResult;
+use crate::failure::FailurePattern;
+use crate::object::Memory;
+use crate::oracle::{FdValue, Oracle};
+use crate::process::{ProcessId, ProcessSet};
+use crate::runtime::{process_main, Ctx, Grant, ProcOutcome, Reply, World};
+use crate::sched::{Adversary, RoundRobin, SchedView};
+use crate::time::Time;
+use crate::trace::{Event, Run, StepKind, StopReason, TraceLevel};
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::panic::resume_unwind;
+use std::sync::Arc;
+use std::thread;
+
+/// The algorithm a process runs: its automaton of §3.3, written as ordinary
+/// sequential code over a [`Ctx`].
+pub type AlgoFn<D> = Box<dyn FnOnce(Ctx<D>) -> AlgoResult + Send>;
+
+/// Placeholder oracle for runs whose algorithms never query a failure
+/// detector; panics loudly if queried.
+struct NoOracleConfigured<D>(PhantomData<fn() -> D>);
+
+impl<D: FdValue> Oracle<D> for NoOracleConfigured<D> {
+    fn output(&mut self, p: ProcessId, t: Time) -> D {
+        panic!("process {p} queried the failure detector at {t}, but no oracle was configured")
+    }
+
+    fn describe(&self) -> String {
+        "none".to_string()
+    }
+}
+
+/// Builder for a single simulated run.
+///
+/// ```
+/// use upsilon_sim::{FailurePattern, Output, SimBuilder};
+///
+/// let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
+///     .spawn_all(|pid| {
+///         Box::new(move |ctx| {
+///             ctx.decide(pid.index() as u64)?;
+///             Ok(())
+///         })
+///     })
+///     .run();
+/// assert_eq!(outcome.run.decisions(), vec![Some(0), Some(1)]);
+/// ```
+pub struct SimBuilder<D: FdValue> {
+    pattern: FailurePattern,
+    oracle: Box<dyn Oracle<D>>,
+    adversary: Box<dyn Adversary>,
+    trace_level: TraceLevel,
+    max_steps: u64,
+    #[allow(clippy::type_complexity)]
+    stop_when: Option<Box<dyn FnMut(&SchedView<'_>) -> bool>>,
+    propagate_panics: bool,
+    algos: Vec<Option<AlgoFn<D>>>,
+}
+
+impl<D: FdValue> std::fmt::Debug for SimBuilder<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("pattern", &self.pattern)
+            .field("max_steps", &self.max_steps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of [`SimBuilder::run`]: the recorded run and the final memory.
+#[derive(Debug)]
+pub struct SimOutcome<D> {
+    /// The recorded run (trace, outputs, failure-detector samples).
+    pub run: Run<D>,
+    /// The shared memory at the end of the run, for post-mortem inspection.
+    pub memory: Memory,
+}
+
+impl<D: FdValue> SimBuilder<D> {
+    /// Starts a run under failure pattern `pattern`, with a round-robin
+    /// scheduler, no oracle and a 2 million step budget by default.
+    pub fn new(pattern: FailurePattern) -> Self {
+        let n_plus_1 = pattern.n_plus_1();
+        let mut algos = Vec::with_capacity(n_plus_1);
+        algos.resize_with(n_plus_1, || None);
+        SimBuilder {
+            pattern,
+            oracle: Box::new(NoOracleConfigured(PhantomData)),
+            adversary: Box::new(RoundRobin::new()),
+            trace_level: TraceLevel::Steps,
+            max_steps: 2_000_000,
+            stop_when: None,
+            propagate_panics: true,
+            algos,
+        }
+    }
+
+    /// Sets the failure-detector oracle providing `H(p, t)`.
+    pub fn oracle(mut self, oracle: impl Oracle<D> + 'static) -> Self {
+        self.oracle = Box::new(oracle);
+        self
+    }
+
+    /// Sets the scheduling adversary (default: fair round-robin).
+    pub fn adversary(mut self, adversary: impl Adversary + 'static) -> Self {
+        self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Sets how much detail the trace records.
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
+        self
+    }
+
+    /// Sets the step budget (a finite surrogate for infinite runs).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Stops the run once `pred` holds of the scheduling view — used for
+    /// algorithms, such as failure-detector extractions, that never return.
+    pub fn stop_when(mut self, pred: impl FnMut(&SchedView<'_>) -> bool + 'static) -> Self {
+        self.stop_when = Some(Box::new(pred));
+        self
+    }
+
+    /// If set (default), a panic inside any process is re-raised after the
+    /// run; otherwise the panicking process is silently treated as finished.
+    pub fn propagate_panics(mut self, yes: bool) -> Self {
+        self.propagate_panics = yes;
+        self
+    }
+
+    /// Installs the algorithm of process `pid`. Processes without an
+    /// algorithm do not participate (cf. the §5.2 Remark on runs where some
+    /// process never proposes).
+    pub fn spawn(mut self, pid: ProcessId, algo: AlgoFn<D>) -> Self {
+        assert!(pid.index() < self.algos.len(), "process id out of range");
+        assert!(
+            self.algos[pid.index()].is_none(),
+            "process {pid} spawned twice"
+        );
+        self.algos[pid.index()] = Some(algo);
+        self
+    }
+
+    /// Installs an algorithm for every process.
+    pub fn spawn_all(mut self, mut make: impl FnMut(ProcessId) -> AlgoFn<D>) -> Self {
+        for i in 0..self.algos.len() {
+            self = self.spawn(ProcessId(i), make(ProcessId(i)));
+        }
+        self
+    }
+
+    /// Executes the run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from process algorithms (unless
+    /// [`propagate_panics`](Self::propagate_panics)`(false)`), and panics if
+    /// the adversary schedules an ineligible process.
+    pub fn run(mut self) -> SimOutcome<D> {
+        let n_plus_1 = self.pattern.n_plus_1();
+        let world = Arc::new(Mutex::new(World {
+            memory: Memory::new(),
+            oracle: self.oracle,
+            trace_level: self.trace_level,
+        }));
+
+        let (reply_tx, reply_rx) = unbounded::<(ProcessId, Reply<D>)>();
+        let mut grant_txs: Vec<Option<Sender<Grant>>> = Vec::with_capacity(n_plus_1);
+        let mut handles = Vec::with_capacity(n_plus_1);
+        for (i, slot) in self.algos.iter_mut().enumerate() {
+            match slot.take() {
+                Some(algo) => {
+                    let (gtx, grx) = unbounded::<Grant>();
+                    let ctx = Ctx::new(
+                        ProcessId(i),
+                        n_plus_1,
+                        grx,
+                        reply_tx.clone(),
+                        Arc::clone(&world),
+                    );
+                    grant_txs.push(Some(gtx));
+                    handles.push(Some(
+                        thread::Builder::new()
+                            .name(format!("p{}", i + 1))
+                            .spawn(move || process_main(ctx, algo))
+                            .expect("spawn process thread"),
+                    ));
+                }
+                None => {
+                    grant_txs.push(None);
+                    handles.push(None);
+                }
+            }
+        }
+        drop(reply_tx);
+
+        let mut events: Vec<Event<D>> = Vec::new();
+        let mut outputs = Vec::new();
+        let mut fd_samples = Vec::new();
+        let mut steps_by = vec![0u64; n_plus_1];
+        let mut last_output: Vec<Option<crate::trace::Output>> = vec![None; n_plus_1];
+        let mut known_finished = vec![false; n_plus_1];
+        let mut stopped = vec![false; n_plus_1];
+        let mut crash_observed = vec![None; n_plus_1];
+        let mut total_steps = 0u64;
+        let mut t = Time::ZERO;
+
+        let stop = loop {
+            // Deliver crashes due by the current time (run condition 1: a
+            // crashed process takes no step at or after its crash time).
+            for i in 0..n_plus_1 {
+                if !stopped[i] && self.pattern.is_crashed_at(ProcessId(i), t) {
+                    stopped[i] = true;
+                    crash_observed[i] = Some(t);
+                    if let Some(tx) = &grant_txs[i] {
+                        let _ = tx.send(Grant::Stop);
+                    }
+                }
+            }
+
+            let mut eligible = ProcessSet::new();
+            for i in 0..n_plus_1 {
+                if grant_txs[i].is_some() && !stopped[i] && !known_finished[i] {
+                    eligible.insert(ProcessId(i));
+                }
+            }
+            if eligible.is_empty() {
+                break StopReason::AllDone;
+            }
+            if total_steps >= self.max_steps {
+                break StopReason::BudgetExhausted;
+            }
+
+            let view = SchedView {
+                time: t,
+                eligible,
+                steps_by: &steps_by,
+                outputs: &outputs,
+                last_output: &last_output,
+            };
+            if let Some(pred) = self.stop_when.as_mut() {
+                if pred(&view) {
+                    break StopReason::Predicate;
+                }
+            }
+            let Some(p) = self.adversary.next_process(&view) else {
+                break StopReason::AdversaryStopped;
+            };
+            assert!(
+                eligible.contains(p),
+                "adversary scheduled ineligible process {p} at {t}"
+            );
+
+            let granted = grant_txs[p.index()]
+                .as_ref()
+                .expect("eligible process has a grant channel")
+                .send(Grant::Step(t));
+            if granted.is_err() {
+                // The thread died (it must have panicked); treat as finished
+                // and let shutdown surface the panic.
+                known_finished[p.index()] = true;
+                continue;
+            }
+
+            // Wait for p's reply, absorbing stray Finished notices from
+            // other (e.g. panicked) processes along the way so the lockstep
+            // invariant — at most one outstanding grant — is preserved.
+            loop {
+                match reply_rx.recv() {
+                    Ok((pid, Reply::Step(kind))) => {
+                        assert_eq!(pid, p, "reply from unexpected process");
+                        match &kind {
+                            StepKind::Query(v) => fd_samples.push((t, p, v.clone())),
+                            StepKind::Output(o) => {
+                                outputs.push((t, p, *o));
+                                last_output[p.index()] = Some(*o);
+                            }
+                            StepKind::Op { .. } | StepKind::NoOp => {}
+                        }
+                        events.push(Event {
+                            time: t,
+                            pid: p,
+                            kind,
+                        });
+                        steps_by[p.index()] += 1;
+                        total_steps += 1;
+                        t = t.next();
+                        break;
+                    }
+                    Ok((pid, Reply::Finished)) => {
+                        known_finished[pid.index()] = true;
+                        if pid == p {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        // All process threads are gone; shut down.
+                        known_finished[p.index()] = true;
+                        break;
+                    }
+                }
+            }
+        };
+
+        // Shutdown: wake every blocked process, then join.
+        for tx in grant_txs.iter().flatten() {
+            let _ = tx.send(Grant::Stop);
+        }
+        drop(grant_txs);
+        drop(reply_rx);
+
+        let mut finished = vec![false; n_plus_1];
+        let mut first_panic = None;
+        for (i, handle) in handles.into_iter().enumerate() {
+            let Some(handle) = handle else { continue };
+            match handle.join() {
+                Ok(ProcOutcome::FinishedOk) => finished[i] = true,
+                Ok(ProcOutcome::Crashed) => {}
+                Ok(ProcOutcome::Panicked(payload)) | Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if self.propagate_panics {
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+        }
+
+        let world = Arc::try_unwrap(world)
+            .unwrap_or_else(|_| panic!("world still shared after all threads joined"))
+            .into_inner();
+
+        SimOutcome {
+            run: Run {
+                pattern: self.pattern,
+                events,
+                outputs,
+                fd_samples,
+                steps_by,
+                finished,
+                crash_observed,
+                total_steps,
+                stop,
+            },
+            memory: world.memory,
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Errors surfaced to algorithm code.
+
+use std::error::Error;
+use std::fmt;
+
+/// The process has crashed (or the run ended); the current step was denied.
+///
+/// Algorithm code receives this from every context operation once its
+/// process is crashed by the failure pattern or the run is being shut down.
+/// Propagating it with `?` unwinds the algorithm, modelling a crash-stop
+/// failure: the process simply takes no further steps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Crashed;
+
+impl fmt::Display for Crashed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "process crashed; no further steps will be granted")
+    }
+}
+
+impl Error for Crashed {}
+
+/// Result alias for algorithm code: `Ok` on normal completion, `Err(Crashed)`
+/// when the process was crashed mid-protocol.
+pub type AlgoResult = Result<(), Crashed>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashed_is_an_error() {
+        let e: Box<dyn Error> = Box::new(Crashed);
+        assert!(e.to_string().contains("crashed"));
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner() -> AlgoResult {
+            Err(Crashed)?;
+            unreachable!()
+        }
+        assert_eq!(inner(), Err(Crashed));
+    }
+}

@@ -1,0 +1,95 @@
+//! # upsilon-sim
+//!
+//! A deterministic simulator of the asynchronous shared-memory model with
+//! crash failures and failure-detector oracles, as defined in §3 of
+//! *"On the weakest failure detector ever"* (Guerraoui, Herlihy, Kuznetsov,
+//! Lynch, Newport; PODC 2007 / Distributed Computing 2009).
+//!
+//! The model, in the paper's terms:
+//!
+//! * A system `Π = {p_1, …, p_{n+1}}` of processes subject to crash
+//!   failures, described by a [`FailurePattern`] `F(t)`.
+//! * Processes communicate by *atomic steps* on shared objects
+//!   ([`ObjectType`]; registers and snapshots live in `upsilon-mem`) and may
+//!   query a failure-detector module ([`Oracle`]) whose history `H(p, t)` is
+//!   schedule-independent.
+//! * The step order is chosen by an [`Adversary`]; fair built-ins model the
+//!   "every correct process takes infinitely many steps" requirement, and
+//!   reactive ones reproduce the paper's partial-run impossibility
+//!   constructions.
+//! * Completed executions are [`Run`]s: the `⟨F, H, S, T⟩` tuple of §3.3
+//!   together with the induced trace of §3.4.
+//!
+//! Algorithms are ordinary sequential Rust closures over a [`Ctx`]; each
+//! `Ctx` operation costs exactly one granted step, so step complexity in the
+//! traces equals step complexity in the paper's model.
+//!
+//! ```
+//! use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+//!
+//! // Two processes race to write a register; whoever reads the other's
+//! // value first decides it.
+//! use upsilon_sim::{Key, ObjectType, ProcessId};
+//!
+//! #[derive(Debug, Default)]
+//! struct Cell(Option<u64>);
+//! #[derive(Debug)]
+//! enum Op { Write(u64), Read }
+//! impl ObjectType for Cell {
+//!     type Op = Op;
+//!     type Resp = Option<u64>;
+//!     fn invoke(&mut self, _p: ProcessId, op: Op) -> Option<u64> {
+//!         match op {
+//!             Op::Write(v) => { self.0 = Some(v); None }
+//!             Op::Read => self.0,
+//!         }
+//!     }
+//! }
+//!
+//! let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
+//!     .adversary(SeededRandom::new(42))
+//!     .spawn_all(|pid| Box::new(move |ctx| {
+//!         let me = pid.index() as u64;
+//!         let other = 1 - pid.index();
+//!         ctx.invoke(&Key::new("c").at(pid.index() as u64), Cell::default, Op::Write(me))?;
+//!         loop {
+//!             let seen = ctx.invoke(&Key::new("c").at(other as u64), Cell::default, Op::Read)?;
+//!             if let Some(v) = seen {
+//!                 ctx.decide(v)?;
+//!                 return Ok(());
+//!             }
+//!         }
+//!     }))
+//!     .run();
+//! assert_eq!(outcome.run.decisions(), vec![Some(1), Some(0)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+mod failure;
+mod object;
+mod oracle;
+mod phased;
+mod process;
+mod runtime;
+mod sched;
+mod time;
+mod trace;
+
+pub use builder::{AlgoFn, SimBuilder, SimOutcome};
+pub use error::{AlgoResult, Crashed};
+pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
+pub use object::{Key, Memory, ObjectId, ObjectType};
+pub use oracle::{DummyOracle, FdValue, MappedOracle, NullOracle, Oracle};
+pub use phased::{Phase, PhasedAdversary};
+pub use process::{Iter, ProcessId, ProcessSet};
+pub use runtime::Ctx;
+pub use sched::{
+    Adversary, FnAdversary, RoundRobin, SchedView, Scripted, SeededRandom, WeightedRandom,
+};
+pub use time::Time;
+pub use trace::{Event, InducedTrace, Output, Run, StepKind, StopReason, TraceLevel};

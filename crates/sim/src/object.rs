@@ -1,0 +1,315 @@
+//! Shared objects (§3.1, §3.3).
+//!
+//! Processes communicate by applying *atomic* operations on shared objects:
+//! each operation (invocation plus response) is a single step of the run.
+//! The paper's algorithms use registers, atomic snapshot objects and (for
+//! Corollary 4) `n`-process consensus objects; the necessity results allow
+//! *any* object type. This module therefore exposes an open-ended
+//! [`ObjectType`] trait; concrete objects live in the `upsilon-mem` crate.
+//!
+//! Objects are addressed by a structured [`Key`] (a name plus indices, e.g.
+//! `D[r]` or `converge[r][k]`), because the paper's protocols allocate an
+//! unbounded number of per-round objects. An object is created lazily at the
+//! first operation that touches its key; creation is deterministic because
+//! every process derives the initial state from the protocol itself.
+
+use crate::process::ProcessId;
+use std::any::{Any, TypeId};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A linearizable shared-object type.
+///
+/// An implementation defines the sequential behaviour of the object; the
+/// simulator guarantees each [`invoke`](ObjectType::invoke) executes atomically
+/// within one granted step, so the object is trivially linearizable.
+pub trait ObjectType: Send + 'static {
+    /// The operations the object accepts.
+    type Op: Send + fmt::Debug + 'static;
+    /// The responses the object returns.
+    type Resp: Send + fmt::Debug + 'static;
+
+    /// Applies `op` on behalf of `caller`, mutating the object and returning
+    /// the response, atomically.
+    fn invoke(&mut self, caller: ProcessId, op: Self::Op) -> Self::Resp;
+}
+
+/// A structured shared-object name: a static label plus numeric indices.
+///
+/// ```
+/// use upsilon_sim::Key;
+/// let k = Key::new("converge").at(3).at(1);
+/// assert_eq!(k.to_string(), "converge[3][1]");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Key {
+    name: Cow<'static, str>,
+    index: Vec<u64>,
+}
+
+impl Key {
+    /// A key with no indices.
+    pub fn new(name: impl Into<Cow<'static, str>>) -> Self {
+        Key {
+            name: name.into(),
+            index: Vec::new(),
+        }
+    }
+
+    /// Appends an index, turning `D` into `D[r]`, etc.
+    pub fn at(mut self, i: u64) -> Self {
+        self.index.push(i);
+        self
+    }
+
+    /// The base name of the key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The indices of the key.
+    pub fn indices(&self) -> &[u64] {
+        &self.index
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for i in &self.index {
+            write!(f, "[{i}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&'static str> for Key {
+    fn from(name: &'static str) -> Self {
+        Key::new(name)
+    }
+}
+
+/// Dense identifier of an allocated object within a run's memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjectId(pub(crate) u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Object-erased storage: every [`ObjectType`] is stored behind this trait.
+trait AnyObject: Send {
+    fn invoke_any(&mut self, caller: ProcessId, op: Box<dyn Any + Send>) -> Box<dyn Any + Send>;
+    fn as_any(&self) -> &dyn Any;
+    fn type_name(&self) -> &'static str;
+}
+
+impl<O: ObjectType> AnyObject for O {
+    fn invoke_any(&mut self, caller: ProcessId, op: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
+        let op = op
+            .downcast::<O::Op>()
+            .unwrap_or_else(|_| panic!("operation type mismatch for {}", self.type_name()));
+        Box::new(self.invoke(caller, *op))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<O>()
+    }
+}
+
+/// The shared memory of a run: the collection of all allocated objects.
+///
+/// Only one process executes a step at a time (lockstep), so interior
+/// operations need no further synchronization beyond the owning mutex.
+pub struct Memory {
+    by_key: HashMap<(TypeId, Key), ObjectId>,
+    objects: Vec<Box<dyn AnyObject>>,
+    names: Vec<Key>,
+}
+
+impl Memory {
+    pub(crate) fn new() -> Self {
+        Memory {
+            by_key: HashMap::new(),
+            objects: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Resolves (creating if absent) the object of type `O` named `key`.
+    pub(crate) fn resolve<O: ObjectType>(
+        &mut self,
+        key: &Key,
+        init: impl FnOnce() -> O,
+    ) -> ObjectId {
+        let tid = TypeId::of::<O>();
+        if let Some(&id) = self.by_key.get(&(tid, key.clone())) {
+            return id;
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(Box::new(init()));
+        self.names.push(key.clone());
+        self.by_key.insert((tid, key.clone()), id);
+        id
+    }
+
+    /// Applies an operation to an allocated object.
+    pub(crate) fn invoke<O: ObjectType>(
+        &mut self,
+        id: ObjectId,
+        caller: ProcessId,
+        op: O::Op,
+    ) -> O::Resp {
+        let resp = self.objects[id.0 as usize].invoke_any(caller, Box::new(op));
+        *resp.downcast::<O::Resp>().expect("response type mismatch")
+    }
+
+    /// Post-run inspection: a typed view of the object named `key`, if it was
+    /// ever created.
+    pub fn get<O: ObjectType>(&self, key: &Key) -> Option<&O> {
+        let id = *self.by_key.get(&(TypeId::of::<O>(), key.clone()))?;
+        self.objects[id.0 as usize].as_any().downcast_ref::<O>()
+    }
+
+    /// The display name of an allocated object.
+    pub fn name_of(&self, id: ObjectId) -> Option<&Key> {
+        self.names.get(id.0 as usize)
+    }
+
+    /// Number of objects allocated during the run.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether no object was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over `(id, key, type name)` for every allocated object.
+    pub fn inventory(&self) -> impl Iterator<Item = (ObjectId, &Key, &'static str)> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u32), &self.names[i], o.type_name()))
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("objects", &self.objects.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy fetch-and-add object for exercising the framework.
+    #[derive(Debug, Default)]
+    struct Counter {
+        value: u64,
+        last_caller: Option<ProcessId>,
+    }
+
+    #[derive(Debug)]
+    enum CounterOp {
+        FetchAdd(u64),
+        Read,
+    }
+
+    impl ObjectType for Counter {
+        type Op = CounterOp;
+        type Resp = u64;
+
+        fn invoke(&mut self, caller: ProcessId, op: CounterOp) -> u64 {
+            self.last_caller = Some(caller);
+            match op {
+                CounterOp::FetchAdd(d) => {
+                    let old = self.value;
+                    self.value += d;
+                    old
+                }
+                CounterOp::Read => self.value,
+            }
+        }
+    }
+
+    #[test]
+    fn key_display_and_equality() {
+        let k = Key::new("A").at(2).at(0);
+        assert_eq!(k.to_string(), "A[2][0]");
+        assert_eq!(k, Key::new("A").at(2).at(0));
+        assert_ne!(k, Key::new("A").at(2));
+        assert_eq!(k.name(), "A");
+        assert_eq!(k.indices(), &[2, 0]);
+    }
+
+    #[test]
+    fn lazy_creation_resolves_to_same_object() {
+        let mut mem = Memory::new();
+        let a = mem.resolve::<Counter>(&Key::new("c"), Counter::default);
+        let b = mem.resolve::<Counter>(&Key::new("c"), Counter::default);
+        assert_eq!(a, b);
+        assert_eq!(mem.len(), 1);
+        let other = mem.resolve::<Counter>(&Key::new("c").at(1), Counter::default);
+        assert_ne!(a, other);
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn invoke_applies_sequential_semantics() {
+        let mut mem = Memory::new();
+        let id = mem.resolve::<Counter>(&Key::new("c"), Counter::default);
+        assert_eq!(
+            mem.invoke::<Counter>(id, ProcessId(0), CounterOp::FetchAdd(5)),
+            0
+        );
+        assert_eq!(
+            mem.invoke::<Counter>(id, ProcessId(1), CounterOp::FetchAdd(2)),
+            5
+        );
+        assert_eq!(mem.invoke::<Counter>(id, ProcessId(2), CounterOp::Read), 7);
+        let c = mem.get::<Counter>(&Key::new("c")).expect("exists");
+        assert_eq!(c.value, 7);
+        assert_eq!(c.last_caller, Some(ProcessId(2)));
+    }
+
+    #[test]
+    fn distinct_types_under_same_key_are_distinct_objects() {
+        #[derive(Debug, Default)]
+        struct Other;
+        impl ObjectType for Other {
+            type Op = ();
+            type Resp = ();
+            fn invoke(&mut self, _: ProcessId, _: ()) {}
+        }
+        let mut mem = Memory::new();
+        let a = mem.resolve::<Counter>(&Key::new("x"), Counter::default);
+        let b = mem.resolve::<Other>(&Key::new("x"), Other::default);
+        assert_ne!(a, b);
+        assert!(mem.get::<Counter>(&Key::new("x")).is_some());
+        assert!(mem.get::<Other>(&Key::new("x")).is_some());
+    }
+
+    #[test]
+    fn inventory_reports_names() {
+        let mut mem = Memory::new();
+        mem.resolve::<Counter>(&Key::new("c").at(3), Counter::default);
+        let inv: Vec<_> = mem.inventory().collect();
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].1.to_string(), "c[3]");
+        assert!(inv[0].2.contains("Counter"));
+        assert_eq!(mem.name_of(inv[0].0).unwrap().to_string(), "c[3]");
+        assert!(!mem.is_empty());
+    }
+}

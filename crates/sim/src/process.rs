@@ -1,0 +1,352 @@
+//! Process identifiers and sets of processes.
+//!
+//! The paper (§3.1) considers a system `Π = {p_1, …, p_{n+1}}` of `n + 1`
+//! processes. We index processes from `0` to `n` and render them as
+//! `p1 … p(n+1)` in human-readable output so that displayed traces match the
+//! paper's notation.
+
+use std::fmt;
+
+/// Identifier of a process in the system `Π`.
+///
+/// Internally zero-based; [`fmt::Display`] renders the paper's one-based
+/// `p<i>` notation.
+///
+/// ```
+/// use upsilon_sim::ProcessId;
+/// let p = ProcessId(0);
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// A set of processes, represented as a bitmask.
+///
+/// Supports at most [`ProcessSet::MAX_PROCESSES`] processes, far beyond any
+/// configuration exercised by the paper's experiments. `ProcessSet` is `Copy`
+/// and ordered, so it can be used directly as a failure-detector range value
+/// (e.g. the range of Υ is `2^Π − {∅}`, §4).
+///
+/// ```
+/// use upsilon_sim::{ProcessId, ProcessSet};
+/// let u = ProcessSet::from_iter([ProcessId(0), ProcessId(2)]);
+/// assert!(u.contains(ProcessId(2)));
+/// assert_eq!(u.len(), 2);
+/// assert_eq!(u.complement(3), ProcessSet::singleton(ProcessId(1)));
+/// assert_eq!(u.to_string(), "{p1,p3}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessSet(u64);
+
+impl ProcessSet {
+    /// Maximum number of processes a `ProcessSet` can hold.
+    pub const MAX_PROCESSES: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: ProcessSet = ProcessSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ProcessSet(0)
+    }
+
+    /// The set `Π = {p_1, …, p_{n_plus_1}}` of all processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_plus_1` exceeds [`ProcessSet::MAX_PROCESSES`].
+    pub fn all(n_plus_1: usize) -> Self {
+        assert!(n_plus_1 <= Self::MAX_PROCESSES, "too many processes");
+        if n_plus_1 == 64 {
+            ProcessSet(u64::MAX)
+        } else {
+            ProcessSet((1u64 << n_plus_1) - 1)
+        }
+    }
+
+    /// The singleton `{p}`.
+    pub fn singleton(p: ProcessId) -> Self {
+        assert!(p.0 < Self::MAX_PROCESSES, "process id out of range");
+        ProcessSet(1u64 << p.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of processes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `p` belongs to the set.
+    pub fn contains(self, p: ProcessId) -> bool {
+        p.0 < Self::MAX_PROCESSES && self.0 & (1u64 << p.0) != 0
+    }
+
+    /// Inserts `p`, returning whether it was newly added.
+    pub fn insert(&mut self, p: ProcessId) -> bool {
+        let fresh = !self.contains(p);
+        self.0 |= 1u64 << p.0;
+        fresh
+    }
+
+    /// Removes `p`, returning whether it was present.
+    pub fn remove(&mut self, p: ProcessId) -> bool {
+        let present = self.contains(p);
+        self.0 &= !(1u64 << p.0);
+        present
+    }
+
+    /// Set union.
+    pub fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Complement within a universe of `n_plus_1` processes (`Π − self`).
+    pub fn complement(self, n_plus_1: usize) -> ProcessSet {
+        Self::all(n_plus_1).difference(self)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    pub fn is_proper_subset(self, other: ProcessSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// The member with the smallest identifier, if any.
+    pub fn min(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// The member with the largest identifier, if any.
+    pub fn max(self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessId(63 - self.0.leading_zeros() as usize))
+        }
+    }
+
+    /// Iterates over members in increasing identifier order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Enumerates every non-empty subset of `Π` for a small system.
+    ///
+    /// Used by exhaustive tests and by oracle constructors that need "any
+    /// legal output of Υ".
+    pub fn all_nonempty_subsets(n_plus_1: usize) -> Vec<ProcessSet> {
+        assert!(
+            n_plus_1 <= 16,
+            "exhaustive enumeration limited to 16 processes"
+        );
+        (1u64..(1u64 << n_plus_1)).map(ProcessSet).collect()
+    }
+
+    /// Raw bitmask accessor (stable across the crate; used for hashing into
+    /// deterministic RNG streams).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a set from a raw bitmask.
+    pub fn from_bits(bits: u64) -> Self {
+        ProcessSet(bits)
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let mut s = ProcessSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`].
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(ProcessId(0).to_string(), "p1");
+        assert_eq!(ProcessId(4).to_string(), "p5");
+    }
+
+    #[test]
+    fn all_has_expected_members() {
+        let s = ProcessSet::all(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ProcessId(0)));
+        assert!(s.contains(ProcessId(2)));
+        assert!(!s.contains(ProcessId(3)));
+    }
+
+    #[test]
+    fn all_with_max_processes() {
+        let s = ProcessSet::all(64);
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ProcessSet::new();
+        assert!(s.insert(ProcessId(5)));
+        assert!(!s.insert(ProcessId(5)));
+        assert!(s.contains(ProcessId(5)));
+        assert!(s.remove(ProcessId(5)));
+        assert!(!s.remove(ProcessId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn complement_within_universe() {
+        let u = ProcessSet::from_iter([ProcessId(0), ProcessId(2)]);
+        let c = u.complement(4);
+        assert_eq!(c, ProcessSet::from_iter([ProcessId(1), ProcessId(3)]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::from_iter([ProcessId(0), ProcessId(1)]);
+        let b = ProcessSet::from_iter([ProcessId(1), ProcessId(2)]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), ProcessSet::singleton(ProcessId(1)));
+        assert_eq!(a.difference(b), ProcessSet::singleton(ProcessId(0)));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(a.intersection(b).is_proper_subset(a));
+        assert!(!a.is_proper_subset(a));
+    }
+
+    #[test]
+    fn min_max_members() {
+        let s = ProcessSet::from_iter([ProcessId(3), ProcessId(1), ProcessId(5)]);
+        assert_eq!(s.min(), Some(ProcessId(1)));
+        assert_eq!(s.max(), Some(ProcessId(5)));
+        assert_eq!(ProcessSet::EMPTY.min(), None);
+        assert_eq!(ProcessSet::EMPTY.max(), None);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = ProcessSet::from_iter([ProcessId(4), ProcessId(0), ProcessId(2)]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![ProcessId(0), ProcessId(2), ProcessId(4)]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn nonempty_subset_enumeration_is_complete() {
+        let subsets = ProcessSet::all_nonempty_subsets(3);
+        assert_eq!(subsets.len(), 7);
+        assert!(subsets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn display_set_matches_paper_notation() {
+        let s = ProcessSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert_eq!(s.to_string(), "{p1,p2,p3}");
+        assert_eq!(ProcessSet::EMPTY.to_string(), "{}");
+    }
+}

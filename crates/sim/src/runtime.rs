@@ -1,0 +1,257 @@
+//! The lockstep process runtime.
+//!
+//! Every process runs its algorithm on a dedicated OS thread, but the
+//! simulator grants *atomic steps* one at a time: an algorithm blocks inside
+//! every [`Ctx`] operation until the scheduler grants it the next step, then
+//! performs exactly one shared-memory operation (or failure-detector query,
+//! or output) under the world lock, reports what it did, and resumes local
+//! computation. Since at most one grant is outstanding at any moment, shared
+//! state is accessed by at most one process at a time — each step is atomic
+//! as §3.3 requires — and the whole run is deterministic given the
+//! adversary's choices.
+
+use crate::error::Crashed;
+use crate::object::{Key, Memory, ObjectType};
+use crate::oracle::{FdValue, Oracle};
+use crate::process::ProcessId;
+use crate::time::Time;
+use crate::trace::{Output, StepKind, TraceLevel};
+use crossbeam_channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// Message from the scheduler to a process: take a step, or stop forever.
+#[derive(Debug)]
+pub(crate) enum Grant {
+    /// Permission to take exactly one step at the given time.
+    Step(Time),
+    /// The process is crashed (or the run is over); unwind.
+    Stop,
+}
+
+/// Message from a process back to the scheduler.
+#[derive(Debug)]
+pub(crate) enum Reply<D> {
+    /// The granted step was taken; here is what it did.
+    Step(StepKind<D>),
+    /// The algorithm has returned; the grant was not used.
+    Finished,
+}
+
+/// The shared world: memory, oracle and trace configuration.
+pub(crate) struct World<D: FdValue> {
+    pub(crate) memory: Memory,
+    pub(crate) oracle: Box<dyn Oracle<D>>,
+    pub(crate) trace_level: TraceLevel,
+}
+
+/// The per-process execution context handed to algorithm code.
+///
+/// All methods that take a step return `Err(`[`Crashed`]`)` once the process
+/// has crashed according to the failure pattern (or the run is shutting
+/// down); algorithms propagate it with `?`, which models crash-stop cleanly.
+///
+/// # Deadlock hazard: external locks across steps
+///
+/// Test harnesses often share an `Arc<Mutex<…>>` between process closures
+/// to collect results. Never hold such a lock across a `Ctx` call: every
+/// `Ctx` method blocks until the scheduler grants a step, and the scheduler
+/// in turn waits for whichever process it *last* granted — if that process
+/// is blocked on your mutex, the run deadlocks. In particular beware
+/// receiver-first evaluation order: `shared.lock().unwrap().push(ctx_op()?)`
+/// acquires the lock *before* running `ctx_op`. Bind the step result to a
+/// local first, then lock.
+pub struct Ctx<D: FdValue> {
+    pid: ProcessId,
+    n_plus_1: usize,
+    grant_rx: Receiver<Grant>,
+    reply_tx: Sender<(ProcessId, Reply<D>)>,
+    world: Arc<Mutex<World<D>>>,
+    now: Cell<Time>,
+}
+
+impl<D: FdValue> std::fmt::Debug for Ctx<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("now", &self.now.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: FdValue> Ctx<D> {
+    pub(crate) fn new(
+        pid: ProcessId,
+        n_plus_1: usize,
+        grant_rx: Receiver<Grant>,
+        reply_tx: Sender<(ProcessId, Reply<D>)>,
+        world: Arc<Mutex<World<D>>>,
+    ) -> Self {
+        Ctx {
+            pid,
+            n_plus_1,
+            grant_rx,
+            reply_tx,
+            world,
+            now: Cell::new(Time::ZERO),
+        }
+    }
+
+    /// This process's identifier.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The system size `n + 1`.
+    pub fn n_plus_1(&self) -> usize {
+        self.n_plus_1
+    }
+
+    /// `n`, the maximum number of failures in the wait-free case.
+    pub fn n(&self) -> usize {
+        self.n_plus_1 - 1
+    }
+
+    /// The time of the most recently granted step.
+    ///
+    /// Algorithms may read this between steps; it does not take a step.
+    pub fn now(&self) -> Time {
+        self.now.get()
+    }
+
+    /// Core step primitive: waits for a grant, runs `f` atomically under the
+    /// world lock, reports the step, returns `f`'s result.
+    fn step<R>(
+        &self,
+        f: impl FnOnce(&mut World<D>, ProcessId, Time) -> (StepKind<D>, R),
+    ) -> Result<R, Crashed> {
+        match self.grant_rx.recv() {
+            Ok(Grant::Step(t)) => {
+                self.now.set(t);
+                let (kind, out) = {
+                    let mut world = self.world.lock();
+                    f(&mut world, self.pid, t)
+                };
+                // The scheduler always outlives granted steps; if it dropped
+                // the channel the run is over and we unwind like a crash.
+                match self.reply_tx.send((self.pid, Reply::Step(kind))) {
+                    Ok(()) => Ok(out),
+                    Err(_) => Err(Crashed),
+                }
+            }
+            Ok(Grant::Stop) | Err(_) => Err(Crashed),
+        }
+    }
+
+    /// Applies `op` to the shared object of type `O` named `key`, creating
+    /// it with `init` on first touch. One atomic step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Crashed`] if this process crashed or the run ended.
+    pub fn invoke<O: ObjectType>(
+        &self,
+        key: &Key,
+        init: impl FnOnce() -> O,
+        op: O::Op,
+    ) -> Result<O::Resp, Crashed> {
+        self.step(move |world, pid, _t| {
+            let id = world.memory.resolve::<O>(key, init);
+            let detail_prefix = match world.trace_level {
+                TraceLevel::Full => Some(format!("{op:?}")),
+                TraceLevel::Steps => None,
+            };
+            let resp = world.memory.invoke::<O>(id, pid, op);
+            let detail = detail_prefix.map(|p| format!("{p} -> {resp:?}").into_boxed_str());
+            (StepKind::Op { object: id, detail }, resp)
+        })
+    }
+
+    /// Queries this process's failure-detector module: returns `H(p, t)` for
+    /// the current step's time `t`. One atomic step (a *query step*, §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Crashed`] if this process crashed or the run ended.
+    pub fn query_fd(&self) -> Result<D, Crashed> {
+        self.step(|world, pid, t| {
+            let v = world.oracle.output(pid, t);
+            (StepKind::Query(v.clone()), v)
+        })
+    }
+
+    /// Produces an application output (§3.3 item iii). One atomic step.
+    ///
+    /// Reduction algorithms use this to publish the current value of the
+    /// emulated failure-detector variable (`D-output` of §3.5); agreement
+    /// algorithms use it to decide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Crashed`] if this process crashed or the run ended.
+    pub fn output(&self, out: Output) -> Result<(), Crashed> {
+        self.step(move |_world, _pid, _t| (StepKind::Output(out), ()))
+    }
+
+    /// Decides `v` — sugar for `output(Output::Decide(v))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Crashed`] if this process crashed or the run ended.
+    pub fn decide(&self, v: u64) -> Result<(), Crashed> {
+        self.output(Output::Decide(v))
+    }
+
+    /// Takes a step that touches nothing shared. Used to model idle spinning
+    /// and to keep custom adversary constructions honest about step counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Crashed`] if this process crashed or the run ended.
+    pub fn yield_step(&self) -> Result<(), Crashed> {
+        self.step(|_world, _pid, _t| (StepKind::NoOp, ()))
+    }
+}
+
+/// How a process thread ended.
+pub(crate) enum ProcOutcome {
+    /// The algorithm returned `Ok` — the process finished its protocol.
+    FinishedOk,
+    /// The algorithm observed its crash and unwound with `Err(Crashed)`.
+    Crashed,
+    /// The algorithm panicked; the payload is re-raised by the runner.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Runs the algorithm body and then answers every further grant with
+/// `Finished` until told to stop.
+///
+/// Panics inside the algorithm are caught here (not at the thread boundary)
+/// so the scheduler can be unblocked if the panic happened mid-step: a
+/// `Finished` notice is sent, which the runner absorbs whether or not a
+/// grant was outstanding.
+pub(crate) fn process_main<D: FdValue>(
+    ctx: Ctx<D>,
+    algo: Box<dyn FnOnce(Ctx<D>) -> Result<(), Crashed> + Send>,
+) -> ProcOutcome {
+    let pid = ctx.pid;
+    let grant_rx = ctx.grant_rx.clone();
+    let reply_tx = ctx.reply_tx.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || algo(ctx)));
+    let outcome = match result {
+        Ok(Ok(())) => ProcOutcome::FinishedOk,
+        Ok(Err(Crashed)) => ProcOutcome::Crashed,
+        Err(payload) => {
+            // A grant may be outstanding; unblock the scheduler.
+            let _ = reply_tx.send((pid, Reply::Finished));
+            ProcOutcome::Panicked(payload)
+        }
+    };
+    while let Ok(Grant::Step(_)) = grant_rx.recv() {
+        if reply_tx.send((pid, Reply::Finished)).is_err() {
+            break;
+        }
+    }
+    outcome
+}

@@ -1,0 +1,426 @@
+//! Schedulers (adversaries).
+//!
+//! Asynchrony means the order in which processes take steps is controlled by
+//! an adversary. An [`Adversary`] observes the run so far (times, step
+//! counts, published outputs) and picks the next process to move among the
+//! eligible ones. Fair adversaries ([`RoundRobin`], [`SeededRandom`]) model
+//! the "every correct process takes infinitely many steps" clause of §3.3;
+//! unfair, *reactive* adversaries build the partial-run constructions of the
+//! paper's impossibility proofs (Theorems 1 and 5) — those live in
+//! `upsilon-extract`.
+
+use crate::process::{ProcessId, ProcessSet};
+use crate::time::Time;
+use crate::trace::Output;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// What an adversary can see when choosing the next process to schedule.
+#[derive(Debug)]
+pub struct SchedView<'a> {
+    /// The time the next step will carry.
+    pub time: Time,
+    /// Processes that are alive, spawned and not finished.
+    pub eligible: ProcessSet,
+    /// Steps taken so far by each process.
+    pub steps_by: &'a [u64],
+    /// All outputs published so far, in order.
+    pub outputs: &'a [(Time, ProcessId, Output)],
+    /// The latest output of each process, if any.
+    pub last_output: &'a [Option<Output>],
+}
+
+impl SchedView<'_> {
+    /// Number of processes in the system.
+    pub fn n_plus_1(&self) -> usize {
+        self.steps_by.len()
+    }
+}
+
+/// A scheduling adversary: picks which eligible process moves next.
+///
+/// Returning `None` ends the run (with
+/// [`StopReason::AdversaryStopped`](crate::StopReason::AdversaryStopped));
+/// reactive adversaries use this once their construction is complete.
+pub trait Adversary: Send {
+    /// Chooses the next process among `view.eligible`, or `None` to stop.
+    ///
+    /// Implementations must return a member of `view.eligible` (the runner
+    /// panics otherwise, because scheduling a crashed or finished process
+    /// would violate run condition 1).
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId>;
+
+    /// A short human-readable description for tables and traces.
+    fn describe(&self) -> String {
+        "adversary".to_string()
+    }
+}
+
+impl Adversary for Box<dyn Adversary> {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        (**self).next_process(view)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Fair round-robin scheduling: cycles through eligible processes.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin scheduler starting at `p1`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        let n = view.n_plus_1();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            if view.eligible.contains(ProcessId(i)) {
+                self.cursor = i + 1;
+                return Some(ProcessId(i));
+            }
+        }
+        None
+    }
+
+    fn describe(&self) -> String {
+        "round-robin".to_string()
+    }
+}
+
+/// Fair (with probability 1) uniformly random scheduling from a seed.
+///
+/// The same seed always produces the same schedule, which keeps every run in
+/// the repository reproducible.
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: ChaCha8Rng,
+}
+
+impl SeededRandom {
+    /// A random scheduler derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for SeededRandom {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        let k = view.eligible.len();
+        if k == 0 {
+            return None;
+        }
+        let pick = self.rng.gen_range(0..k);
+        view.eligible.iter().nth(pick)
+    }
+
+    fn describe(&self) -> String {
+        "seeded-random".to_string()
+    }
+}
+
+/// Random scheduling with per-process weights: models skewed relative speeds
+/// (some processes much faster than others) while remaining fair as long as
+/// every weight is positive.
+#[derive(Clone, Debug)]
+pub struct WeightedRandom {
+    rng: ChaCha8Rng,
+    weights: Vec<u32>,
+}
+
+impl WeightedRandom {
+    /// A weighted scheduler; `weights[i]` is the relative speed of `p_{i+1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is zero (a zero weight
+    /// would starve a process, violating fairness).
+    pub fn new(seed: u64, weights: Vec<u32>) -> Self {
+        assert!(!weights.is_empty(), "weights must be provided");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "weights must be positive for fairness"
+        );
+        WeightedRandom {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            weights,
+        }
+    }
+}
+
+impl Adversary for WeightedRandom {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        let total: u64 = view
+            .eligible
+            .iter()
+            .map(|p| u64::from(self.weights[p.index()]))
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut ticket = self.rng.gen_range(0..total);
+        for p in view.eligible {
+            let w = u64::from(self.weights[p.index()]);
+            if ticket < w {
+                return Some(p);
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket always falls within total weight")
+    }
+
+    fn describe(&self) -> String {
+        "weighted-random".to_string()
+    }
+}
+
+/// Plays back an explicit schedule prefix, then hands over to a fallback
+/// adversary (or stops if none) — the building block of the paper's
+/// partial-run constructions ("consider partial runs in which … every
+/// process takes exactly one step after R1 and then p_i1 is the only process
+/// that takes steps", Theorem 1).
+pub struct Scripted {
+    script: Vec<ProcessId>,
+    pos: usize,
+    fallback: Option<Box<dyn Adversary>>,
+}
+
+impl std::fmt::Debug for Scripted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scripted")
+            .field("script_len", &self.script.len())
+            .field("pos", &self.pos)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scripted {
+    /// Plays `script` then stops the run.
+    pub fn new(script: Vec<ProcessId>) -> Self {
+        Scripted {
+            script,
+            pos: 0,
+            fallback: None,
+        }
+    }
+
+    /// Plays `script` then defers to `fallback` forever.
+    pub fn then(script: Vec<ProcessId>, fallback: impl Adversary + 'static) -> Self {
+        Scripted {
+            script,
+            pos: 0,
+            fallback: Some(Box::new(fallback)),
+        }
+    }
+}
+
+impl Adversary for Scripted {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        while self.pos < self.script.len() {
+            let p = self.script[self.pos];
+            self.pos += 1;
+            if view.eligible.contains(p) {
+                return Some(p);
+            }
+            // Scheduled a process that crashed or finished: skip that entry
+            // (the adversary cannot revive it).
+        }
+        self.fallback.as_mut().and_then(|f| f.next_process(view))
+    }
+
+    fn describe(&self) -> String {
+        match &self.fallback {
+            Some(f) => format!(
+                "scripted({} steps) then {}",
+                self.script.len(),
+                f.describe()
+            ),
+            None => format!("scripted({} steps)", self.script.len()),
+        }
+    }
+}
+
+/// An adversary driven by a closure over the scheduling view — convenient
+/// for one-off reactive constructions in tests.
+pub struct FnAdversary<F>(pub F);
+
+impl<F> std::fmt::Debug for FnAdversary<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnAdversary").finish_non_exhaustive()
+    }
+}
+
+impl<F> Adversary for FnAdversary<F>
+where
+    F: FnMut(&SchedView<'_>) -> Option<ProcessId> + Send,
+{
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        (self.0)(view)
+    }
+
+    fn describe(&self) -> String {
+        "fn-adversary".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        eligible: ProcessSet,
+        steps: &'a [u64],
+        outputs: &'a [(Time, ProcessId, Output)],
+        last: &'a [Option<Output>],
+    ) -> SchedView<'a> {
+        SchedView {
+            time: Time(0),
+            eligible,
+            steps_by: steps,
+            outputs,
+            last_output: last,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_eligible() {
+        let mut rr = RoundRobin::new();
+        let steps = [0u64; 3];
+        let outs = [];
+        let last = [None, None, None];
+        let elig = ProcessSet::from_iter([ProcessId(0), ProcessId(2)]);
+        let picks: Vec<_> = (0..4)
+            .map(|_| rr.next_process(&view(elig, &steps, &outs, &last)).unwrap())
+            .collect();
+        assert_eq!(
+            picks,
+            vec![ProcessId(0), ProcessId(2), ProcessId(0), ProcessId(2)]
+        );
+    }
+
+    #[test]
+    fn round_robin_stops_when_no_one_is_eligible() {
+        let mut rr = RoundRobin::new();
+        let steps = [0u64; 2];
+        assert_eq!(
+            rr.next_process(&view(ProcessSet::EMPTY, &steps, &[], &[None, None])),
+            None
+        );
+    }
+
+    #[test]
+    fn seeded_random_is_reproducible_and_in_range() {
+        let steps = [0u64; 4];
+        let last = [None; 4];
+        let elig = ProcessSet::all(4);
+        let run = |seed| {
+            let mut a = SeededRandom::new(seed);
+            (0..50)
+                .map(|_| a.next_process(&view(elig, &steps, &[], &last)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+        assert!(run(5).iter().all(|p| elig.contains(*p)));
+    }
+
+    #[test]
+    fn seeded_random_eventually_schedules_everyone() {
+        let steps = [0u64; 3];
+        let last = [None; 3];
+        let elig = ProcessSet::all(3);
+        let mut a = SeededRandom::new(11);
+        let mut seen = ProcessSet::new();
+        for _ in 0..100 {
+            seen.insert(a.next_process(&view(elig, &steps, &[], &last)).unwrap());
+        }
+        assert_eq!(seen, elig, "fair scheduler must reach everyone");
+    }
+
+    #[test]
+    fn weighted_random_respects_eligibility_and_bias() {
+        let steps = [0u64; 2];
+        let last = [None; 2];
+        let elig = ProcessSet::all(2);
+        let mut a = WeightedRandom::new(7, vec![1, 99]);
+        let mut counts = [0u32; 2];
+        for _ in 0..1000 {
+            counts[a
+                .next_process(&view(elig, &steps, &[], &last))
+                .unwrap()
+                .index()] += 1;
+        }
+        assert!(
+            counts[1] > counts[0] * 5,
+            "heavy process should dominate: {counts:?}"
+        );
+        assert!(
+            counts[0] > 0,
+            "light process must still be scheduled (fairness)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_random_rejects_zero_weights() {
+        let _ = WeightedRandom::new(0, vec![1, 0]);
+    }
+
+    #[test]
+    fn scripted_plays_prefix_then_fallback() {
+        let steps = [0u64; 2];
+        let last = [None; 2];
+        let elig = ProcessSet::all(2);
+        let mut a = Scripted::then(vec![ProcessId(1), ProcessId(1)], RoundRobin::new());
+        let v = view(elig, &steps, &[], &last);
+        assert_eq!(a.next_process(&v), Some(ProcessId(1)));
+        assert_eq!(a.next_process(&v), Some(ProcessId(1)));
+        assert_eq!(
+            a.next_process(&v),
+            Some(ProcessId(0)),
+            "fallback takes over"
+        );
+    }
+
+    #[test]
+    fn scripted_without_fallback_stops() {
+        let steps = [0u64; 1];
+        let last = [None];
+        let elig = ProcessSet::all(1);
+        let mut a = Scripted::new(vec![ProcessId(0)]);
+        let v = view(elig, &steps, &[], &last);
+        assert_eq!(a.next_process(&v), Some(ProcessId(0)));
+        assert_eq!(a.next_process(&v), None);
+    }
+
+    #[test]
+    fn scripted_skips_ineligible_entries() {
+        let steps = [0u64; 2];
+        let last = [None; 2];
+        let elig = ProcessSet::singleton(ProcessId(1));
+        let mut a = Scripted::new(vec![ProcessId(0), ProcessId(1)]);
+        let v = view(elig, &steps, &[], &last);
+        assert_eq!(a.next_process(&v), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn fn_adversary_delegates() {
+        let steps = [0u64; 2];
+        let last = [None; 2];
+        let mut a = FnAdversary(|v: &SchedView<'_>| v.eligible.min());
+        let v = view(ProcessSet::all(2), &steps, &[], &last);
+        assert_eq!(a.next_process(&v), Some(ProcessId(0)));
+    }
+}

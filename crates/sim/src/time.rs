@@ -1,0 +1,85 @@
+//! Discrete time.
+//!
+//! The paper's time range is `T = {0} ∪ ℕ` (§3.2). The simulator assigns a
+//! strictly increasing time to every step it grants, which trivially
+//! satisfies run condition (3) of §3.3 (steps at the same time belong to
+//! different processes — here no two steps ever share a time).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in discrete time (also a global step index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero.
+    pub const ZERO: Time = Time(0);
+
+    /// The underlying counter value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately following time.
+    pub fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    /// Saturating distance `self − earlier`.
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let t = Time(5);
+        assert!(t < t.next());
+        assert_eq!(t + 3, Time(8));
+        assert_eq!(Time(8) - t, 3);
+        assert_eq!(t - Time(8), 0, "subtraction saturates");
+        assert_eq!(Time(9).since(Time(4)), 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time(42).to_string(), "t=42");
+    }
+}

@@ -1,0 +1,96 @@
+//! Model-based property tests: `ProcessSet` against `BTreeSet`, and
+//! `FailurePattern` invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use upsilon_sim::{FailurePattern, ProcessId, ProcessSet, Time};
+
+const UNIVERSE: usize = 12;
+
+fn arb_ids() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..UNIVERSE, 0..20)
+}
+
+fn build(ids: &[usize]) -> (ProcessSet, BTreeSet<usize>) {
+    let ps: ProcessSet = ids.iter().map(|&i| ProcessId(i)).collect();
+    let model: BTreeSet<usize> = ids.iter().copied().collect();
+    (ps, model)
+}
+
+proptest! {
+    #[test]
+    fn membership_and_len_match_model(ids in arb_ids()) {
+        let (ps, model) = build(&ids);
+        prop_assert_eq!(ps.len(), model.len());
+        for i in 0..UNIVERSE {
+            prop_assert_eq!(ps.contains(ProcessId(i)), model.contains(&i));
+        }
+        prop_assert_eq!(ps.is_empty(), model.is_empty());
+        prop_assert_eq!(ps.min().map(|p| p.index()), model.first().copied());
+        prop_assert_eq!(ps.max().map(|p| p.index()), model.last().copied());
+    }
+
+    #[test]
+    fn set_algebra_matches_model(a in arb_ids(), b in arb_ids()) {
+        let (pa, ma) = build(&a);
+        let (pb, mb) = build(&b);
+        let union: BTreeSet<usize> = ma.union(&mb).copied().collect();
+        let inter: BTreeSet<usize> = ma.intersection(&mb).copied().collect();
+        let diff: BTreeSet<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(
+            pa.union(pb).iter().map(|p| p.index()).collect::<BTreeSet<_>>(), union);
+        prop_assert_eq!(
+            pa.intersection(pb).iter().map(|p| p.index()).collect::<BTreeSet<_>>(), inter);
+        prop_assert_eq!(
+            pa.difference(pb).iter().map(|p| p.index()).collect::<BTreeSet<_>>(), diff);
+        prop_assert_eq!(pa.is_subset(pb), ma.is_subset(&mb));
+    }
+
+    #[test]
+    fn complement_laws(a in arb_ids()) {
+        let (pa, _) = build(&a);
+        let c = pa.complement(UNIVERSE);
+        prop_assert!(pa.intersection(c).is_empty());
+        prop_assert_eq!(pa.union(c), ProcessSet::all(UNIVERSE));
+        prop_assert_eq!(c.complement(UNIVERSE), pa, "double complement");
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete(a in arb_ids()) {
+        let (pa, ma) = build(&a);
+        let iterated: Vec<usize> = pa.iter().map(|p| p.index()).collect();
+        let mut sorted = iterated.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&iterated, &sorted, "ascending order");
+        prop_assert_eq!(iterated.into_iter().collect::<BTreeSet<_>>(), ma);
+    }
+
+    #[test]
+    fn failure_pattern_monotone_and_consistent(
+        crash_times in proptest::collection::vec(proptest::option::of(0u64..100), 5),
+    ) {
+        // Keep at least one process correct.
+        let mut crash_times = crash_times;
+        crash_times[0] = None;
+        let mut builder = FailurePattern::builder(5);
+        for (i, t) in crash_times.iter().enumerate() {
+            if let Some(t) = t {
+                builder = builder.crash(ProcessId(i), Time(*t));
+            }
+        }
+        let pattern = builder.build();
+        // F(t) ⊆ F(t+1), and faulty = lim F(t).
+        let mut prev = ProcessSet::EMPTY;
+        for t in 0..120u64 {
+            let cur = pattern.crashed_by(Time(t));
+            prop_assert!(prev.is_subset(cur));
+            prev = cur;
+        }
+        prop_assert_eq!(prev, pattern.faulty());
+        prop_assert_eq!(pattern.faulty().union(pattern.correct()), ProcessSet::all(5));
+        prop_assert!(pattern.faulty().intersection(pattern.correct()).is_empty());
+        // settled_at is the time the pattern stops changing.
+        let settled = pattern.settled_at();
+        prop_assert_eq!(pattern.crashed_by(settled), pattern.faulty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Theorems 1 and 5 live: no algorithm extracts Ω_n (or Ω^f, f ≥ 2) from Υ.
+//!
+//! The proofs build a run in which any candidate's output is forced to
+//! change forever. This example plays that run construction as a game
+//! against three natural candidates and prints each verdict:
+//!
+//! * a *live* candidate gets dragged through an endless trajectory of sets
+//!   (`NeverStabilizes`);
+//! * a *stubborn* candidate is refuted: the adversary exhibits an extension
+//!   where its stable set contains no correct process.
+//!
+//! Run with: `cargo run --example adversary_game`
+
+use weakest_failure_detector::extract::{all_candidates, play, GameConfig, GameVerdict};
+use weakest_failure_detector::table::Table;
+
+fn main() {
+    println!("Theorem 1 game: extract Omega_n from Upsilon, n+1 = 4 processes.");
+    println!("The oracle is pinned to U = {{p1,p2,p3}} — legal whether p4 is");
+    println!("correct or the others are faulty; that ambiguity is the weapon.\n");
+
+    let mut table = Table::new(
+        "Theorem 1 verdicts (8 phases)",
+        &["candidate", "verdict", "forced changes", "detail"],
+    );
+    for candidate in all_candidates() {
+        let verdict = play(GameConfig::theorem_1(4, 8), candidate.as_ref());
+        match &verdict {
+            GameVerdict::NeverStabilizes {
+                changes,
+                trajectory,
+            } => {
+                let path: Vec<String> = trajectory.iter().take(5).map(|s| s.to_string()).collect();
+                table.row([
+                    candidate.name().to_string(),
+                    "never stabilizes".to_string(),
+                    changes.to_string(),
+                    format!("{} …", path.join(" -> ")),
+                ]);
+            }
+            GameVerdict::Refuted {
+                phase, stuck_on, ..
+            } => {
+                table.row([
+                    candidate.name().to_string(),
+                    "refuted".to_string(),
+                    verdict.changes().to_string(),
+                    format!(
+                        "stuck on {stuck_on} at phase {phase}: if {stuck_on} crash, \
+                         no correct process is ever trusted"
+                    ),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+
+    println!("Theorem 5 generalization (Upsilon^f vs Omega^f), n+1 = 5:");
+    let mut t5 = Table::new(
+        "Theorem 5 verdicts (5 phases)",
+        &["f", "candidate", "verdict"],
+    );
+    for f in 2..=4usize {
+        for candidate in all_candidates() {
+            let verdict = play(GameConfig::theorem_5(5, f, 5), candidate.as_ref());
+            let label = match verdict {
+                GameVerdict::NeverStabilizes { changes, .. } => {
+                    format!("never stabilizes ({changes} changes)")
+                }
+                GameVerdict::Refuted { .. } => "refuted".to_string(),
+            };
+            t5.row([f.to_string(), candidate.name().to_string(), label]);
+        }
+    }
+    println!("{t5}");
+    println!("Either way each candidate fails — which is Theorem 1/5's claim,");
+    println!("instantiated. (For f = 1 the game refuses to run: Υ¹ → Ω is");
+    println!("genuinely possible; see `cargo run --example quickstart`.)");
+}

@@ -1,0 +1,82 @@
+//! The gladiators-and-citizens dynamics of the Fig. 1 protocol, narrated.
+//!
+//! Υ eventually splits the processes into *gladiators* (inside the output
+//! set U) and *citizens* (outside). Gladiators must eliminate one of their
+//! values — guaranteed if one of them crashes — or adopt a citizen's value;
+//! either way one proposal dies and n-converge can commit. This example
+//! pins the stable set with [`UpsilonChoice::Fixed`] and shows both
+//! endgames of Theorem 2's proof.
+//!
+//! Run with: `cargo run --example gladiators_and_citizens`
+
+use weakest_failure_detector::agreement::{check_k_set_agreement, fig1, Fig1Config};
+use weakest_failure_detector::fd::{UpsilonChoice, UpsilonOracle};
+use weakest_failure_detector::sim::{
+    FailurePattern, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
+};
+
+fn narrate(title: &str, pattern: FailurePattern, stable: ProcessSet) {
+    println!("=== {title} ===");
+    println!("pattern    : {pattern}");
+    println!("stable U   : {stable}   (gladiators)");
+    println!("citizens   : {}", stable.complement(pattern.n_plus_1()));
+
+    let n_plus_1 = pattern.n_plus_1();
+    let proposals: Vec<Option<u64>> = (0..n_plus_1).map(|i| Some(10 * (i as u64 + 1))).collect();
+    let oracle = UpsilonOracle::wait_free(&pattern, UpsilonChoice::Fixed(stable), Time(80), 1);
+
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern.clone())
+        .oracle(oracle)
+        .adversary(SeededRandom::new(1))
+        .max_steps(500_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    let outcome = builder.run();
+    check_k_set_agreement(&outcome.run, pattern.n(), &proposals).expect("Theorem 2");
+
+    println!("proposals  : {proposals:?}");
+    println!("decisions  : {:?}", outcome.run.decisions());
+    let eliminated: Vec<u64> = proposals
+        .iter()
+        .flatten()
+        .filter(|v| !outcome.run.decided_values().contains(v))
+        .copied()
+        .collect();
+    println!("eliminated : {eliminated:?}  (at least one proposal must die)");
+    let rounds = outcome
+        .memory
+        .inventory()
+        .filter(|(_, key, _)| key.name() == "n-conv")
+        .count();
+    println!("rounds     : {rounds} round(s) of n-convergence were played");
+    println!();
+}
+
+fn main() {
+    // Endgame 1: a gladiator is faulty. U = Π and p3 crashes: the gladiators
+    // eventually run (|U|−1)-converge among n survivors and commit.
+    narrate(
+        "a gladiator crashes",
+        FailurePattern::builder(3)
+            .crash(ProcessId(2), Time(50))
+            .build(),
+        ProcessSet::all(3),
+    );
+
+    // Endgame 2: a citizen is correct. U = {p1} in a failure-free run: the
+    // citizen p2 (or p3) writes its value to D[r]; gladiator p1 adopts it.
+    narrate(
+        "a citizen saves the round",
+        FailurePattern::failure_free(3),
+        ProcessSet::from_iter([ProcessId(0)]),
+    );
+
+    // Endgame 3: U is a strict subset of the correct processes — both a
+    // faulty-free gladiator arena and live citizens outside.
+    narrate(
+        "gladiators all correct, citizens too",
+        FailurePattern::failure_free(4),
+        ProcessSet::from_iter([ProcessId(1), ProcessId(2)]),
+    );
+}

@@ -1,0 +1,53 @@
+//! Inspect a run at the model's granularity: per-process summaries and an
+//! event timeline, straight from the §3.3 run representation.
+//!
+//! Run with: `cargo run --example trace_explorer`
+
+use weakest_failure_detector::agreement::{fig1, Fig1Config};
+use weakest_failure_detector::fd::{UpsilonChoice, UpsilonOracle};
+use weakest_failure_detector::render::{render_summary, render_timeline};
+use weakest_failure_detector::sim::{
+    FailurePattern, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time, TraceLevel,
+};
+
+fn main() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(1), Time(30))
+        .build();
+    let proposals = [Some(11), Some(22), Some(33)];
+    let oracle = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(60), 99);
+
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern)
+        .oracle(oracle)
+        .adversary(SeededRandom::new(99))
+        .trace_level(TraceLevel::Full) // record op payloads for the timeline
+        .max_steps(200_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    let outcome = builder.run();
+
+    println!("=== summary ===");
+    print!("{}", render_summary(&outcome.run));
+
+    println!("\n=== timeline (first/last 15 events) ===");
+    print!(
+        "{}",
+        render_timeline(&outcome.run, Some(&outcome.memory), 15)
+    );
+
+    println!("\n=== shared-memory inventory ===");
+    let mut by_name: std::collections::BTreeMap<&str, usize> = Default::default();
+    for (_, key, _) in outcome.memory.inventory() {
+        *by_name.entry(key.name()).or_default() += 1;
+    }
+    for (name, count) in by_name {
+        println!("  {count:>3} × {name}[..]");
+    }
+
+    println!("\n=== run conditions (§3.3) ===");
+    match outcome.run.validate_run_conditions() {
+        Ok(()) => println!("  all satisfied"),
+        Err(e) => println!("  VIOLATED: {e}"),
+    }
+}

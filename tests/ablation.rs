@@ -1,0 +1,78 @@
+//! The E14 ablation as a regression test: Fig. 2's line 25 min-adoption is
+//! exactly what Termination hinges on in the all-citizens-faulty scenario,
+//! and nothing else changes — Safety holds in both variants.
+
+use weakest_failure_detector::agreement::Fig2Config;
+use weakest_failure_detector::experiment::{run_fig2_custom, AgreementConfig, Sched};
+use weakest_failure_detector::fd::UpsilonChoice;
+use weakest_failure_detector::mem::SnapshotFlavor;
+use weakest_failure_detector::sim::{FailurePattern, ProcessId, ProcessSet, Time};
+
+fn scenario() -> (AgreementConfig, ProcessSet) {
+    // n+1 = 4, f = 2: p3 and p4 crash after proposing, Υ² pinned to
+    // {p1,p2,p3}, lock-step schedule. Only gladiators p1 and p2 survive.
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(2), Time(20))
+        .crash(ProcessId(3), Time(20))
+        .build();
+    let stable = ProcessSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(2)]);
+    let cfg = AgreementConfig::new(pattern)
+        .sched(Sched::RoundRobin)
+        .stabilize_at(Time(0))
+        .max_steps(60_000);
+    (cfg, stable)
+}
+
+#[test]
+fn faithful_protocol_terminates() {
+    let (cfg, stable) = scenario();
+    let out = run_fig2_custom(&cfg, Fig2Config::new(2), UpsilonChoice::Fixed(stable));
+    out.assert_ok();
+    assert!(out.decided_by.is_some());
+    assert_eq!(
+        out.distinct.len(),
+        1,
+        "both gladiators adopt the same minimum"
+    );
+}
+
+#[test]
+fn ablated_protocol_loses_termination_but_not_safety() {
+    let (cfg, stable) = scenario();
+    let out = run_fig2_custom(&cfg, Fig2Config::ablated(2), UpsilonChoice::Fixed(stable));
+    assert!(
+        out.decided_by.is_none(),
+        "no decision without the adoption rule"
+    );
+    // Safety is untouched: nothing wrong was decided (nothing was decided).
+    assert!(out.distinct.is_empty());
+    assert_eq!(out.total_steps, 60_000, "the run spun its full budget");
+}
+
+#[test]
+fn ablation_is_harmless_when_citizens_survive() {
+    // With a correct citizen the round resolves through D[r] regardless of
+    // the adoption rule — the ablation only bites in the proof's exact case.
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(2), Time(20))
+        .build();
+    let stable = ProcessSet::from_iter([ProcessId(0), ProcessId(1), ProcessId(2)]);
+    let cfg = AgreementConfig::new(pattern)
+        .sched(Sched::RoundRobin)
+        .stabilize_at(Time(0))
+        .max_steps(200_000);
+    let out = run_fig2_custom(
+        &cfg,
+        Fig2Config {
+            f: 2,
+            flavor: SnapshotFlavor::Native,
+            ablate_min_adoption: true,
+        },
+        UpsilonChoice::Fixed(stable),
+    );
+    out.assert_ok();
+    assert!(
+        out.decided_by.is_some(),
+        "the correct citizen p4 rescues the round"
+    );
+}

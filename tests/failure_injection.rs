@@ -1,0 +1,128 @@
+//! Crash-timing sweeps: the protocols must satisfy their specifications no
+//! matter *when* crashes land — before, during or after any protocol phase,
+//! the oracle's stabilization, or another crash.
+
+use weakest_failure_detector::experiment::{
+    run_boost, run_fig1, run_fig2, run_omega_consensus, AgreementConfig, Sched,
+};
+use weakest_failure_detector::fd::{LeaderChoice, OmegaKChoice, UpsilonChoice};
+use weakest_failure_detector::sim::{FailurePattern, ProcessId, Time};
+
+/// Fig. 1 with a single crash swept across the whole interesting window
+/// (before, straddling and after Υ's stabilization at t = 100).
+#[test]
+fn fig1_single_crash_time_sweep() {
+    for crash_at in (0..240).step_by(12) {
+        for victim in 0..3usize {
+            let pattern = FailurePattern::builder(3)
+                .crash(ProcessId(victim), Time(crash_at))
+                .build();
+            let cfg = AgreementConfig::new(pattern).seed(crash_at);
+            let out = run_fig1(&cfg, UpsilonChoice::default());
+            if let Err(e) = &out.spec {
+                panic!("victim=p{} crash_at={crash_at}: {e}", victim + 1);
+            }
+        }
+    }
+}
+
+/// Fig. 1 with two crashes at all ordered pairs from a coarse grid.
+#[test]
+fn fig1_double_crash_grid() {
+    let grid = [5u64, 60, 150];
+    for &a in &grid {
+        for &b in &grid {
+            let pattern = FailurePattern::builder(4)
+                .crash(ProcessId(1), Time(a))
+                .crash(ProcessId(3), Time(b))
+                .build();
+            let cfg = AgreementConfig::new(pattern).seed(a * 1_000 + b);
+            let out = run_fig1(&cfg, UpsilonChoice::FaultyPadded);
+            if let Err(e) = &out.spec {
+                panic!("crashes at ({a},{b}): {e}");
+            }
+        }
+    }
+}
+
+/// Fig. 2: crash lands inside the gladiators' snapshot wait (the lines
+/// 17–19 window the Termination proof sweats over). Round-robin keeps the
+/// protocol in that window until stabilization.
+#[test]
+fn fig2_crash_during_snapshot_wait() {
+    for crash_at in (20..200).step_by(20) {
+        let pattern = FailurePattern::builder(4)
+            .crash(ProcessId(2), Time(crash_at))
+            .build();
+        let cfg = AgreementConfig::new(pattern)
+            .sched(Sched::RoundRobin)
+            .stabilize_at(Time(90))
+            .seed(crash_at);
+        for f in [1usize, 2, 3] {
+            let out = run_fig2(&cfg, f, UpsilonChoice::All);
+            if let Err(e) = &out.spec {
+                panic!("f={f} crash_at={crash_at}: {e}");
+            }
+        }
+    }
+}
+
+/// Ω-consensus: the noisy pre-stabilization leader crashes at every phase
+/// of the round structure.
+#[test]
+fn consensus_leader_crash_sweep() {
+    for crash_at in (0..160).step_by(16) {
+        let pattern = FailurePattern::builder(3)
+            .crash(ProcessId(0), Time(crash_at))
+            .build();
+        let cfg = AgreementConfig::new(pattern)
+            .stabilize_at(Time(120))
+            .seed(crash_at);
+        let out = run_omega_consensus(&cfg, LeaderChoice::MinCorrect);
+        if let Err(e) = &out.spec {
+            panic!("crash_at={crash_at}: {e}");
+        }
+        assert_eq!(out.distinct.len(), 1, "crash_at={crash_at}");
+    }
+}
+
+/// Boosting: crashes inside the n-consensus-object round and inside the
+/// board wait.
+#[test]
+fn boost_crash_sweep() {
+    for crash_at in (0..120).step_by(15) {
+        let pattern = FailurePattern::builder(3)
+            .crash(ProcessId(1), Time(crash_at))
+            .build();
+        let cfg = AgreementConfig::new(pattern).seed(crash_at);
+        let out = run_boost(&cfg, OmegaKChoice::OneCorrectRestFaulty);
+        if let Err(e) = &out.spec {
+            panic!("crash_at={crash_at}: {e}");
+        }
+    }
+}
+
+/// All-but-one crash (the wait-free extreme): the lone survivor always
+/// decides, whoever it is.
+#[test]
+fn lone_survivor_always_decides() {
+    for survivor in 0..4usize {
+        let mut builder = FailurePattern::builder(4);
+        let mut delay = 10;
+        for v in 0..4usize {
+            if v != survivor {
+                builder = builder.crash(ProcessId(v), Time(delay));
+                delay += 25;
+            }
+        }
+        let pattern = builder.build();
+        let cfg = AgreementConfig::new(pattern).seed(survivor as u64);
+        let out = run_fig1(&cfg, UpsilonChoice::FaultyPadded);
+        out.assert_ok();
+        assert!(
+            out.decided[survivor].is_some(),
+            "survivor p{} must decide",
+            survivor + 1
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The failure-detector hierarchy around Υ, as the paper charts it:
+//!
+//! * Ω ≡ Υ for two processes (§4);
+//! * Ω_n → Υ by complement, and the complemented oracle drives Fig. 1
+//!   (Corollary 3's baseline);
+//! * Υ¹ → Ω in E_1 (§5.3), hence consensus from Υ¹ (the pipeline);
+//! * Ω_n boosts n-consensus objects to (n+1)-consensus (Corollary 4),
+//!   while Υ cannot even emulate Ω_n (Theorem 1 game, see minimality.rs) —
+//!   the strict separation of Corollary 4.
+
+use weakest_failure_detector::experiment::{
+    run_baseline_omega_k, run_boost, run_omega_consensus, run_upsilon1_consensus,
+    run_upsilon1_to_omega, AgreementConfig, Sched,
+};
+use weakest_failure_detector::fd::{
+    check_omega, check_upsilon, omega_from_upsilon_two_proc, upsilon_from_omega, LeaderChoice,
+    OmegaKChoice, OmegaOracle, UpsilonChoice, UpsilonOracle,
+};
+use weakest_failure_detector::sim::{FailurePattern, Oracle, ProcessId, Time};
+
+fn dense_samples<D: weakest_failure_detector::sim::FdValue>(
+    pattern: &FailurePattern,
+    oracle: &mut dyn Oracle<D>,
+    horizon: u64,
+) -> Vec<(Time, ProcessId, D)> {
+    let mut out = Vec::new();
+    for t in 0..horizon {
+        for i in 0..pattern.n_plus_1() {
+            let p = ProcessId(i);
+            if !pattern.is_crashed_at(p, Time(t)) {
+                out.push((Time(t), p, oracle.output(p, Time(t))));
+            }
+        }
+    }
+    out
+}
+
+/// §4's two-process equivalence, both directions, all patterns.
+#[test]
+fn two_process_equivalence_both_ways() {
+    let patterns = [
+        FailurePattern::failure_free(2),
+        FailurePattern::builder(2)
+            .crash(ProcessId(0), Time(10))
+            .build(),
+        FailurePattern::builder(2)
+            .crash(ProcessId(1), Time(10))
+            .build(),
+    ];
+    for pattern in &patterns {
+        // Ω → Υ.
+        let omega = OmegaOracle::new(pattern, LeaderChoice::MinCorrect, Time(30), 1);
+        let mut ups = upsilon_from_omega(2, omega);
+        let samples = dense_samples(pattern, &mut ups, 100);
+        check_upsilon(pattern, &samples, 5).unwrap_or_else(|e| panic!("Ω→Υ {pattern}: {e}"));
+
+        // Υ → Ω.
+        let ups = UpsilonOracle::wait_free(pattern, UpsilonChoice::default(), Time(30), 2);
+        let mut omega = omega_from_upsilon_two_proc(ups);
+        let samples = dense_samples(pattern, &mut omega, 100);
+        check_omega(pattern, &samples, 5).unwrap_or_else(|e| panic!("Υ→Ω {pattern}: {e}"));
+    }
+}
+
+/// Corollary 3 baseline: Fig. 1 on the complement of Ω_n solves
+/// n-set-agreement — so Ω_n is sufficient, just not necessary.
+#[test]
+fn omega_n_complement_baseline() {
+    for seed in 0..4u64 {
+        let pattern = FailurePattern::builder(4)
+            .crash(ProcessId(1), Time(40))
+            .build();
+        let cfg = AgreementConfig::new(pattern).seed(seed);
+        let out = run_baseline_omega_k(&cfg, 3, OmegaKChoice::default());
+        out.assert_ok();
+    }
+}
+
+/// The Ω_k complement also yields k-set agreement for k < n (Ω_f → Υ^f).
+#[test]
+fn omega_f_complement_for_smaller_f() {
+    let pattern = FailurePattern::builder(5)
+        .crash(ProcessId(0), Time(50))
+        .build();
+    for k in 2..=3usize {
+        let cfg = AgreementConfig::new(pattern.clone()).seed(k as u64);
+        let out = run_baseline_omega_k(&cfg, k, OmegaKChoice::default());
+        out.assert_ok();
+        assert!(out.distinct.len() <= k);
+    }
+}
+
+/// §5.3: Υ¹ → Ω in E_1 under every stable-choice shape.
+#[test]
+fn upsilon1_to_omega_extraction() {
+    let patterns = [
+        FailurePattern::failure_free(4),
+        FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(60))
+            .build(),
+        FailurePattern::builder(4)
+            .crash(ProcessId(3), Time(80))
+            .build(),
+    ];
+    for pattern in &patterns {
+        for choice in [UpsilonChoice::ComplementOfCorrect, UpsilonChoice::All] {
+            let report = run_upsilon1_to_omega(pattern, choice, Time(150), 3, 50_000)
+                .unwrap_or_else(|e| panic!("{pattern} {choice:?}: {e}"));
+            assert!(
+                pattern.is_correct(report.value),
+                "elected leader must be correct"
+            );
+        }
+    }
+}
+
+/// Consensus from Υ¹ end to end (extraction + Ω-consensus composed),
+/// versus plain Ω-consensus — both decide a single value.
+#[test]
+fn consensus_from_upsilon1_matches_omega_consensus() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(2), Time(70))
+        .build();
+    for seed in 0..3u64 {
+        let cfg = AgreementConfig::new(pattern.clone()).seed(seed);
+        let via_upsilon1 = run_upsilon1_consensus(&cfg, UpsilonChoice::default());
+        via_upsilon1.assert_ok();
+        assert_eq!(via_upsilon1.distinct.len(), 1);
+
+        let via_omega = run_omega_consensus(&cfg, LeaderChoice::MinCorrect);
+        via_omega.assert_ok();
+        assert_eq!(via_omega.distinct.len(), 1);
+    }
+}
+
+/// Corollary 4's positive half: Ω_n + n-consensus objects solve
+/// (n+1)-process consensus, even with n crashes and under round-robin.
+#[test]
+fn boosting_under_stress() {
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(0), Time(30))
+        .crash(ProcessId(1), Time(60))
+        .crash(ProcessId(2), Time(90))
+        .build();
+    for sched in [Sched::Random, Sched::RoundRobin] {
+        let cfg = AgreementConfig::new(pattern.clone()).sched(sched).seed(2);
+        let out = run_boost(&cfg, OmegaKChoice::default());
+        out.assert_ok();
+        assert_eq!(out.distinct.len(), 1);
+    }
+}
+
+/// Late Ω_n stabilization does not endanger boosting safety.
+#[test]
+fn boosting_with_late_stabilization() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(1), Time(25))
+        .build();
+    let cfg = AgreementConfig::new(pattern)
+        .stabilize_at(Time(700))
+        .seed(11);
+    let out = run_boost(&cfg, OmegaKChoice::OneCorrectRestFaulty);
+    out.assert_ok();
+}

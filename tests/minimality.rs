@@ -1,0 +1,130 @@
+//! The minimality story end to end (§6):
+//!
+//! * Fig. 3 extracts Υ^f from every stable detector in the repository
+//!   (Theorem 10), and the extracted output is *usable*: feeding it into
+//!   Fig. 1 closes the loop  D → Υ → set-agreement.
+//! * The Theorem 1/5 adversary games refute every candidate Υ → Ω_n
+//!   extractor, separating Υ from Ω_n.
+
+use weakest_failure_detector::agreement::{check_k_set_agreement, fig1, Fig1Config};
+use weakest_failure_detector::experiment::{run_fig3, StableSource};
+use weakest_failure_detector::extract::{all_candidates, play, GameConfig, GameVerdict};
+use weakest_failure_detector::fd::{LeaderChoice, OmegaKChoice, UpsilonChoice, UpsilonOracle};
+use weakest_failure_detector::sim::{
+    FailurePattern, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
+};
+
+/// Fig. 3 over every stable source and several patterns; emulated output
+/// satisfies Υ^f.
+#[test]
+fn extraction_from_every_stable_source() {
+    let patterns = [
+        FailurePattern::failure_free(3),
+        FailurePattern::builder(3)
+            .crash(ProcessId(1), Time(9_000))
+            .build(),
+        FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(50))
+            .build(),
+    ];
+    for pattern in &patterns {
+        let f = pattern.n();
+        for source in [
+            StableSource::Omega(LeaderChoice::MinCorrect),
+            StableSource::OmegaK(pattern.n(), OmegaKChoice::default()),
+            StableSource::Perfect,
+            StableSource::EventuallyPerfect,
+        ] {
+            let out = run_fig3(pattern, source, f, Time(150), 3, 60_000);
+            if let Err(e) = &out.report {
+                panic!("{pattern} via {}: {e}", out.source);
+            }
+        }
+    }
+}
+
+/// The full reduction chain: run Fig. 3 on ◇P to learn a legal stable set,
+/// then solve set agreement with a Υ pinned to exactly that set — i.e.
+/// "◇P can do anything Υ can" made concrete.
+#[test]
+fn extracted_output_powers_set_agreement() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(0), Time(9_000))
+        .build();
+    let out = run_fig3(
+        &pattern,
+        StableSource::EventuallyPerfect,
+        2,
+        Time(100),
+        5,
+        50_000,
+    );
+    let report = out.report.expect("valid extraction");
+    let extracted = report.value;
+
+    // Stage 2: Υ fixed to the extracted set drives Fig. 1.
+    let proposals = [Some(1), Some(2), Some(3)];
+    let oracle = UpsilonOracle::wait_free(&pattern, UpsilonChoice::Fixed(extracted), Time(0), 5);
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern.clone())
+        .oracle(oracle)
+        .adversary(SeededRandom::new(5))
+        .max_steps(400_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    let run = builder.run().run;
+    check_k_set_agreement(&run, 2, &proposals).expect("extracted Υ solves set agreement");
+}
+
+/// Theorem 1: every shipped candidate Υ → Ω_n extractor fails, for several
+/// system sizes.
+#[test]
+fn theorem_1_defeats_every_candidate() {
+    for n_plus_1 in [3usize, 4, 5] {
+        for candidate in all_candidates() {
+            let verdict = play(GameConfig::theorem_1(n_plus_1, 4), candidate.as_ref());
+            match verdict {
+                GameVerdict::NeverStabilizes {
+                    changes,
+                    ref trajectory,
+                } => {
+                    assert_eq!(changes, 4, "{}", candidate.name());
+                    for w in trajectory.windows(2) {
+                        assert_ne!(w[0], w[1], "consecutive sets must differ");
+                    }
+                    // Every set has size n, as Ω_n requires.
+                    assert!(trajectory.iter().all(|s| s.len() == n_plus_1 - 1));
+                }
+                GameVerdict::Refuted { stuck_on, .. } => {
+                    assert!(!stuck_on.is_empty(), "{}", candidate.name());
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 5: same for Ω^f, 2 ≤ f ≤ n.
+#[test]
+fn theorem_5_defeats_every_candidate() {
+    for f in 2..=4usize {
+        for candidate in all_candidates() {
+            let verdict = play(GameConfig::theorem_5(6, f, 3), candidate.as_ref());
+            let changes = verdict.changes();
+            match verdict {
+                GameVerdict::NeverStabilizes { .. } => assert_eq!(changes, 3),
+                GameVerdict::Refuted { .. } => {}
+            }
+        }
+    }
+}
+
+/// The adversary's trajectory is deterministic: replays produce identical
+/// verdicts.
+#[test]
+fn games_are_reproducible() {
+    for candidate in all_candidates() {
+        let a = play(GameConfig::theorem_1(4, 3), candidate.as_ref());
+        let b = play(GameConfig::theorem_1(4, 3), candidate.as_ref());
+        assert_eq!(a, b, "{}", candidate.name());
+    }
+}

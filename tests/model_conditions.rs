@@ -1,0 +1,182 @@
+//! Model fidelity: every protocol run satisfies the run conditions of §3.3
+//! (crashed processes take no steps, strictly increasing times, consistent
+//! failure-detector samples), and whole runs are deterministic functions of
+//! their configuration.
+
+use weakest_failure_detector::agreement::{fig1, fig2, Fig1Config, Fig2Config};
+use weakest_failure_detector::extract::extraction_algorithm;
+use weakest_failure_detector::extract::phi_omega;
+use weakest_failure_detector::fd::{LeaderChoice, OmegaOracle, UpsilonChoice, UpsilonOracle};
+use weakest_failure_detector::sim::{
+    FailurePattern, ProcessId, ProcessSet, Run, SeededRandom, SimBuilder, Time, TraceLevel,
+};
+
+fn fig1_run(seed: u64, trace: TraceLevel) -> Run<ProcessSet> {
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(1), Time(35))
+        .crash(ProcessId(3), Time(70))
+        .build();
+    let proposals = [Some(1), Some(2), Some(3), Some(4)];
+    let oracle = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(90), seed);
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern)
+        .oracle(oracle)
+        .adversary(SeededRandom::new(seed))
+        .trace_level(trace)
+        .max_steps(400_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    builder.run().run
+}
+
+#[test]
+fn fig1_runs_satisfy_run_conditions() {
+    for seed in 0..6u64 {
+        let run = fig1_run(seed, TraceLevel::Steps);
+        run.validate_run_conditions()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn fig2_runs_satisfy_run_conditions() {
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(0), Time(40))
+        .build();
+    let proposals = [Some(9), Some(8), Some(7), Some(6)];
+    for f in 1..=3usize {
+        let oracle = UpsilonOracle::new(&pattern, f, UpsilonChoice::default(), Time(100), 3);
+        let mut builder = SimBuilder::<ProcessSet>::new(pattern.clone())
+            .oracle(oracle)
+            .adversary(SeededRandom::new(3))
+            .max_steps(500_000);
+        for (pid, algo) in fig2::algorithms(Fig2Config::new(f), &proposals) {
+            builder = builder.spawn(pid, algo);
+        }
+        let run = builder.run().run;
+        run.validate_run_conditions()
+            .unwrap_or_else(|e| panic!("f {f}: {e}"));
+    }
+}
+
+#[test]
+fn extraction_runs_satisfy_run_conditions() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(2), Time(30))
+        .build();
+    let oracle = OmegaOracle::new(&pattern, LeaderChoice::MinCorrect, Time(70), 5);
+    let run = SimBuilder::<ProcessId>::new(pattern)
+        .oracle(oracle)
+        .adversary(SeededRandom::new(5))
+        .max_steps(20_000)
+        .spawn_all(|_| extraction_algorithm(phi_omega(3)))
+        .run()
+        .run;
+    run.validate_run_conditions().expect("well-formed run");
+}
+
+#[test]
+fn identical_configurations_reproduce_identical_runs() {
+    let a = fig1_run(42, TraceLevel::Full);
+    let b = fig1_run(42, TraceLevel::Full);
+    assert_eq!(a.events(), b.events());
+    assert_eq!(a.outputs(), b.outputs());
+    assert_eq!(a.fd_samples(), b.fd_samples());
+    assert_eq!(a.decisions(), b.decisions());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = fig1_run(1, TraceLevel::Steps);
+    let b = fig1_run(2, TraceLevel::Steps);
+    assert_ne!(
+        a.events(),
+        b.events(),
+        "schedules and noise must differ across seeds"
+    );
+}
+
+#[test]
+fn crashed_processes_stop_exactly_at_their_crash_time() {
+    let run = fig1_run(7, TraceLevel::Steps);
+    for ev in run.events() {
+        assert!(
+            !run.pattern().is_crashed_at(ev.pid, ev.time),
+            "{} took a step at {} after crashing",
+            ev.pid,
+            ev.time
+        );
+    }
+    // And the correct processes kept taking steps to the end of their
+    // protocol (they all finished).
+    for p in run.pattern().correct() {
+        assert!(run.finished(p), "{p} is correct and must finish");
+    }
+}
+
+#[test]
+fn fd_samples_match_the_oracle_history() {
+    // Re-query a fresh oracle at the recorded (p, t) points: the values
+    // must agree (histories are schedule-independent functions).
+    use weakest_failure_detector::sim::Oracle;
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(1), Time(35))
+        .crash(ProcessId(3), Time(70))
+        .build();
+    let run = fig1_run(9, TraceLevel::Steps);
+    let mut fresh = UpsilonOracle::wait_free(&pattern, UpsilonChoice::default(), Time(90), 9);
+    for (t, p, v) in run.fd_samples() {
+        assert_eq!(*v, fresh.output(*p, *t), "H({p}, {t}) must be reproducible");
+    }
+}
+
+#[test]
+fn indistinguishability_closure_of_the_task_spec() {
+    // §3.4: the problems considered are closed under indistinguishability —
+    // if a trace ⟨F, σ, T⟩ is in the problem, so is ⟨F′, σ, T′⟩ whenever
+    // correct(F) = correct(F′). Check the k-set-agreement checker honours
+    // this: two runs with the same σ and patterns sharing a correct set get
+    // the same verdict, regardless of crash *times* and step times.
+    use weakest_failure_detector::agreement::check_k_set_agreement;
+    let proposals = [Some(1), Some(2), Some(3)];
+    let make = |crash_at: u64, seed: u64| {
+        let pattern = FailurePattern::builder(3)
+            .crash(ProcessId(1), Time(crash_at))
+            .build();
+        let oracle =
+            UpsilonOracle::wait_free(&pattern, UpsilonChoice::ComplementOfCorrect, Time(60), seed);
+        let mut builder = SimBuilder::<ProcessSet>::new(pattern)
+            .oracle(oracle)
+            .adversary(SeededRandom::new(seed))
+            .max_steps(400_000);
+        for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+            builder = builder.spawn(pid, algo);
+        }
+        builder.run().run
+    };
+    // Same correct set {p1, p3}; different crash times, same seed — runs
+    // may or may not share σ, but whenever they do the verdicts agree.
+    let a = make(40, 3);
+    let b = make(90, 3);
+    let va = check_k_set_agreement(&a, 2, &proposals).is_ok();
+    let vb = check_k_set_agreement(&b, 2, &proposals).is_ok();
+    assert!(va && vb);
+    if a.induced_trace().same_sigma(&b.induced_trace()) {
+        assert_eq!(a.decided_values(), b.decided_values());
+    }
+    // And a run re-timed (replayed through its own schedule) has an
+    // identical induced trace.
+    let schedule = a.schedule();
+    let pattern = FailurePattern::builder(3).crash(ProcessId(1), Time(40)).build();
+    let oracle =
+        UpsilonOracle::wait_free(&pattern, UpsilonChoice::ComplementOfCorrect, Time(60), 3);
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern)
+        .oracle(oracle)
+        .adversary(weakest_failure_detector::sim::Scripted::new(schedule))
+        .max_steps(400_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config::default(), &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    let replayed = builder.run().run;
+    assert!(a.induced_trace().same_sigma(&replayed.induced_trace()));
+}

@@ -1,0 +1,156 @@
+//! Theorem 2, exhaustively: the Fig. 1 protocol solves n-set-agreement
+//! using Υ and registers, across *every* failure pattern of the wait-free
+//! environment, *every* legal stable output of Υ, and several schedules.
+
+use weakest_failure_detector::agreement::{check_k_set_agreement, fig1, Fig1Config};
+use weakest_failure_detector::experiment::{run_fig1, AgreementConfig, Sched};
+use weakest_failure_detector::fd::{
+    all_legal_stable_sets, UpsilonChoice, UpsilonNoise, UpsilonOracle,
+};
+use weakest_failure_detector::mem::SnapshotFlavor;
+use weakest_failure_detector::sim::{
+    Environment, FailurePattern, ProcessSet, SeededRandom, SimBuilder, Time,
+};
+
+fn run_once(
+    pattern: &FailurePattern,
+    stable: ProcessSet,
+    seed: u64,
+    flavor: SnapshotFlavor,
+) -> Result<(), String> {
+    let n = pattern.n();
+    let proposals: Vec<Option<u64>> = (0..pattern.n_plus_1())
+        .map(|i| Some(i as u64 + 1))
+        .collect();
+    let oracle = UpsilonOracle::wait_free(pattern, UpsilonChoice::Fixed(stable), Time(120), seed);
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern.clone())
+        .oracle(oracle)
+        .adversary(SeededRandom::new(seed))
+        .max_steps(600_000);
+    for (pid, algo) in fig1::algorithms(Fig1Config { flavor }, &proposals) {
+        builder = builder.spawn(pid, algo);
+    }
+    let run = builder.run().run;
+    check_k_set_agreement(&run, n, &proposals)
+        .map_err(|e| format!("pattern={pattern} U={stable} seed={seed}: {e}"))
+}
+
+/// Every (pattern, legal stable set) pair for a 3-process system: the
+/// paper's §1 example ("eventually output any subset but {p2, p3}")
+/// systematically.
+#[test]
+fn exhaustive_three_processes() {
+    let env = Environment::wait_free(3);
+    for pattern in env.all_patterns_crashing_at(Time(60)) {
+        for stable in all_legal_stable_sets(&pattern, pattern.n()) {
+            for seed in [1u64, 2] {
+                run_once(&pattern, stable, seed, SnapshotFlavor::Native)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+}
+
+/// Spot-check of 4-process patterns with every legal stable set.
+#[test]
+fn four_processes_all_stable_sets() {
+    use weakest_failure_detector::sim::ProcessId;
+    let patterns = [
+        FailurePattern::failure_free(4),
+        FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(30))
+            .build(),
+        FailurePattern::builder(4)
+            .crash(ProcessId(1), Time(30))
+            .crash(ProcessId(3), Time(75))
+            .build(),
+        FailurePattern::builder(4)
+            .crash(ProcessId(0), Time(20))
+            .crash(ProcessId(1), Time(40))
+            .crash(ProcessId(2), Time(60))
+            .build(),
+    ];
+    for pattern in &patterns {
+        for stable in all_legal_stable_sets(pattern, pattern.n()) {
+            run_once(pattern, stable, 7, SnapshotFlavor::Native).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+/// The register-only claim: Fig. 1 works when every snapshot inside
+/// k-converge is the Afek et al. register construction.
+#[test]
+fn register_only_substrate() {
+    use weakest_failure_detector::sim::ProcessId;
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(2), Time(40))
+        .build();
+    for stable in all_legal_stable_sets(&pattern, 2).into_iter().take(3) {
+        run_once(&pattern, stable, 11, SnapshotFlavor::RegisterBased)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// Adversarial worst case: constant-Π noise plus lock-step scheduling makes
+/// every decision wait for true stabilization; the protocol still
+/// terminates right after it.
+#[test]
+fn worst_case_noise_terminates_after_stabilization() {
+    for (n_plus_1, stab) in [(3usize, 500u64), (4, 800), (5, 1_000)] {
+        let cfg = AgreementConfig::new(FailurePattern::failure_free(n_plus_1))
+            .sched(Sched::RoundRobin)
+            .noise(UpsilonNoise::ConstantAll)
+            .stabilize_at(Time(stab));
+        let out = run_fig1(&cfg, UpsilonChoice::default());
+        out.assert_ok();
+        let decided_by = out.decided_by.expect("terminated");
+        assert!(
+            decided_by.value() >= stab,
+            "n+1={n_plus_1}: decision at {decided_by} cannot precede stabilization at {stab}"
+        );
+        assert!(
+            out.total_steps < stab + 40_000,
+            "n+1={n_plus_1}: decision should come promptly after stabilization"
+        );
+    }
+}
+
+/// Heavily skewed relative speeds (asynchrony!) change nothing.
+#[test]
+fn skewed_speeds_are_harmless() {
+    use weakest_failure_detector::sim::ProcessId;
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(2), Time(55))
+        .build();
+    for seed in 0..4u64 {
+        let cfg = AgreementConfig::new(pattern.clone())
+            .sched(Sched::SkewedRandom)
+            .seed(seed);
+        run_fig1(&cfg, UpsilonChoice::default()).assert_ok();
+    }
+}
+
+/// Many random seeds on a mid-size system, mixing stable-set policies.
+#[test]
+fn randomized_five_processes() {
+    use weakest_failure_detector::sim::ProcessId;
+    let pattern = FailurePattern::builder(5)
+        .crash(ProcessId(1), Time(45))
+        .crash(ProcessId(4), Time(90))
+        .build();
+    for seed in 0..8u64 {
+        for choice in [
+            UpsilonChoice::ComplementOfCorrect,
+            UpsilonChoice::All,
+            UpsilonChoice::FaultyPadded,
+            UpsilonChoice::SubsetOfCorrect,
+            UpsilonChoice::RandomLegal,
+        ] {
+            let cfg = AgreementConfig::new(pattern.clone()).seed(seed);
+            let out = run_fig1(&cfg, choice);
+            if let Err(e) = &out.spec {
+                panic!("seed={seed} {choice:?}: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Theorem 6 across the resilience spectrum: Fig. 2 solves f-set-agreement
+//! with Υ^f and registers in E_f, plus the consistency corner cases
+//! (f = n reduces to the wait-free problem; f = 1 is consensus).
+
+use weakest_failure_detector::agreement::{check_k_set_agreement, fig2, Fig2Config};
+use weakest_failure_detector::experiment::{run_fig2, AgreementConfig, Sched};
+use weakest_failure_detector::fd::{all_legal_stable_sets, UpsilonChoice, UpsilonOracle};
+use weakest_failure_detector::mem::SnapshotFlavor;
+use weakest_failure_detector::sim::{
+    Environment, FailurePattern, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
+};
+
+fn run_once(
+    pattern: &FailurePattern,
+    f: usize,
+    stable: ProcessSet,
+    seed: u64,
+    flavor: SnapshotFlavor,
+) -> Result<(), String> {
+    let proposals: Vec<Option<u64>> = (0..pattern.n_plus_1())
+        .map(|i| Some(i as u64 + 1))
+        .collect();
+    let oracle = UpsilonOracle::new(pattern, f, UpsilonChoice::Fixed(stable), Time(120), seed);
+    let mut builder = SimBuilder::<ProcessSet>::new(pattern.clone())
+        .oracle(oracle)
+        .adversary(SeededRandom::new(seed))
+        .max_steps(800_000);
+    for (pid, algo) in fig2::algorithms(
+        Fig2Config {
+            f,
+            flavor,
+            ablate_min_adoption: false,
+        },
+        &proposals,
+    ) {
+        builder = builder.spawn(pid, algo);
+    }
+    let run = builder.run().run;
+    check_k_set_agreement(&run, f, &proposals)
+        .map_err(|e| format!("pattern={pattern} f={f} U={stable} seed={seed}: {e}"))
+}
+
+/// Exhaustive 3-process check: every f, every pattern of E_f, every legal
+/// stable set of Υ^f.
+#[test]
+fn exhaustive_three_processes_all_f() {
+    for f in 1..=2usize {
+        let env = Environment::new(3, f);
+        for pattern in env.all_patterns_crashing_at(Time(50)) {
+            for stable in all_legal_stable_sets(&pattern, f) {
+                run_once(&pattern, f, stable, 3, SnapshotFlavor::Native)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+}
+
+/// Four processes, every f, exactly f crashes (the maximum the environment
+/// allows), every legal stable set.
+#[test]
+fn max_crashes_for_every_f() {
+    for f in 1..=3usize {
+        let mut builder = FailurePattern::builder(4);
+        for c in 0..f {
+            builder = builder.crash(ProcessId(c), Time(30 + 25 * c as u64));
+        }
+        let pattern = builder.build();
+        for stable in all_legal_stable_sets(&pattern, f) {
+            run_once(&pattern, f, stable, 9, SnapshotFlavor::Native)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+/// The f = n corner: Fig. 2 solves exactly the problem Fig. 1 solves.
+#[test]
+fn wait_free_corner_agrees_with_fig1() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(0), Time(35))
+        .crash(ProcessId(1), Time(70))
+        .build();
+    for stable in all_legal_stable_sets(&pattern, 2) {
+        run_once(&pattern, 2, stable, 5, SnapshotFlavor::Native).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// The f = 1 corner is consensus (single decided value).
+#[test]
+fn one_resilient_corner_is_consensus() {
+    for seed in 0..5u64 {
+        let pattern = FailurePattern::builder(4)
+            .crash(ProcessId(3), Time(40))
+            .build();
+        let cfg = AgreementConfig::new(pattern).seed(seed);
+        let out = run_fig2(&cfg, 1, UpsilonChoice::default());
+        out.assert_ok();
+        assert_eq!(
+            out.distinct.len(),
+            1,
+            "seed {seed}: f = 1 must yield one value"
+        );
+    }
+}
+
+/// Register-only substrate for Fig. 2 (snapshots and converges both built
+/// from registers).
+#[test]
+fn register_only_substrate() {
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(1), Time(45))
+        .build();
+    run_once(
+        &pattern,
+        2,
+        ProcessSet::all(3),
+        13,
+        SnapshotFlavor::RegisterBased,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Round-robin schedules with five processes across all f.
+#[test]
+fn round_robin_five_processes() {
+    for f in 1..=4usize {
+        let pattern = FailurePattern::builder(5)
+            .crash(ProcessId(2), Time(60))
+            .build();
+        if !pattern.in_environment(f) {
+            continue;
+        }
+        let cfg = AgreementConfig::new(pattern)
+            .sched(Sched::RoundRobin)
+            .seed(f as u64);
+        let out = run_fig2(&cfg, f, UpsilonChoice::default());
+        out.assert_ok();
+        assert!(out.distinct.len() <= f);
+    }
+}
