@@ -1,0 +1,76 @@
+//! Determinism lint driver.
+//!
+//! Scans the simulator crates for constructs that break deterministic
+//! replay and exits nonzero if any unallowlisted finding remains:
+//!
+//! ```text
+//! cargo run -p upsilon-analysis --bin lint
+//! cargo run -p upsilon-analysis --bin lint -- --root . \
+//!     --allowlist crates/analysis/lint-allowlist.txt
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use upsilon_analysis::lint::{scan_workspace, Allowlist};
+
+fn usage() -> ! {
+    eprintln!("usage: lint [--root <workspace-root>] [--allowlist <file>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--allowlist" => {
+                allowlist_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let allowlist_path =
+        allowlist_path.unwrap_or_else(|| root.join("crates/analysis/lint-allowlist.txt"));
+    let allow = if allowlist_path.exists() {
+        match Allowlist::load(&allowlist_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lint: bad allowlist {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = match scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.violations {
+        println!("{finding}");
+    }
+    println!(
+        "lint: {} files scanned, {} violations, {} allowlisted",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

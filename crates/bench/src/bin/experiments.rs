@@ -95,18 +95,35 @@ fn e16_faithful_zoo() {
 
     let n_plus_1 = 4usize;
     let f = 3usize;
-    let pattern = FailurePattern::builder(4).crash(ProcessId(1), Time(9_000)).build();
+    let pattern = FailurePattern::builder(4)
+        .crash(ProcessId(1), Time(9_000))
+        .build();
 
     let mut t = Table::new(
         "E16 — §6.1: faithful detectors with computed φ (n+1 = 4, crash p2@9000)",
-        &["detector (reveals…)", "stable output", "emulated Υ set", "Υ spec"],
+        &[
+            "detector (reveals…)",
+            "stable output",
+            "emulated Υ set",
+            "Υ spec",
+        ],
     );
 
     // Each zoo member: label + output function of the correct set.
-    let zoo: Vec<(&str, Box<dyn FnMut(ProcessSet) -> u64>)> = vec![
-        ("parity of |correct|", Box::new(|c: ProcessSet| (c.len() % 2) as u64)),
-        ("whether |correct| ≥ 3", Box::new(|c: ProcessSet| u64::from(c.len() >= 3))),
-        ("min id of correct", Box::new(|c: ProcessSet| c.min().expect("non-empty").index() as u64)),
+    type ZooFn = Box<dyn FnMut(ProcessSet) -> u64>;
+    let zoo: Vec<(&str, ZooFn)> = vec![
+        (
+            "parity of |correct|",
+            Box::new(|c: ProcessSet| (c.len() % 2) as u64),
+        ),
+        (
+            "whether |correct| ≥ 3",
+            Box::new(|c: ProcessSet| u64::from(c.len() >= 3)),
+        ),
+        (
+            "min id of correct",
+            Box::new(|c: ProcessSet| c.min().expect("non-empty").index() as u64),
+        ),
         ("|correct| itself", Box::new(|c: ProcessSet| c.len() as u64)),
     ];
 

@@ -24,6 +24,9 @@ struct Campaign {
     name: &'static str,
     runs: u64,
     failures: Vec<String>,
+    /// §3.3 run-condition violations flagged by `upsilon-analysis` — every
+    /// run is validated, independently of its agreement spec verdict.
+    run_violations: Vec<String>,
     steps: Vec<u64>,
 }
 
@@ -33,6 +36,7 @@ impl Campaign {
             name,
             runs: 0,
             failures: Vec::new(),
+            run_violations: Vec::new(),
             steps: Vec::new(),
         }
     }
@@ -42,6 +46,9 @@ impl Campaign {
         self.steps.push(outcome.total_steps);
         if let Err(e) = &outcome.spec {
             self.failures.push(format!("{recipe}: {e}"));
+        }
+        if let Err(e) = &outcome.run_conditions {
+            self.run_violations.push(format!("{recipe}: {e}"));
         }
     }
 }
@@ -179,14 +186,20 @@ fn main() {
             s.p95.to_string(),
             s.max.to_string(),
         ]);
-        any_failure |= !c.failures.is_empty();
+        any_failure |= !c.failures.is_empty() || !c.run_violations.is_empty();
     }
     println!("{table}");
     for c in &campaigns {
         for f in &c.failures {
             eprintln!("VIOLATION: {f}");
         }
+        for f in &c.run_violations {
+            eprintln!("RUN-CONDITION VIOLATION: {f}");
+        }
     }
+    let checked: u64 = campaigns.iter().map(|c| c.runs).sum();
+    let bad: usize = campaigns.iter().map(|c| c.run_violations.len()).sum();
+    println!("run conditions (§3.3): {checked} runs checked, {bad} violations.");
     if any_failure {
         std::process::exit(1);
     }

@@ -88,7 +88,7 @@ pub fn count_interleavings(counts: &[usize]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn counting_matches_enumeration() {
@@ -116,7 +116,7 @@ mod tests {
     fn schedules_are_distinct_and_well_formed() {
         let counts = [2usize, 3];
         let all = interleavings(&counts);
-        let set: HashSet<&Vec<ProcessId>> = all.iter().collect();
+        let set: BTreeSet<&Vec<ProcessId>> = all.iter().collect();
         assert_eq!(set.len(), all.len(), "no duplicates");
         for s in &all {
             assert_eq!(s.len(), 5);

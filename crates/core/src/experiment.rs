@@ -153,6 +153,9 @@ pub struct AgreementOutcome {
     /// Protocol rounds opened (round-indexed converge/board objects seen in
     /// memory); 0 when the protocol has no such objects.
     pub rounds: u64,
+    /// Verdict of the §3.3 run-condition validator (`upsilon-analysis`):
+    /// `Ok` iff the recorded trace is a well-formed run of the model.
+    pub run_conditions: Result<(), String>,
 }
 
 impl AgreementOutcome {
@@ -176,6 +179,9 @@ impl AgreementOutcome {
             .max()
             .unwrap_or(0);
         let spec = check_k_set_agreement(run, k, proposals);
+        let run_conditions = upsilon_analysis::check_run_for(run)
+            .map(|_| ())
+            .map_err(|v| v.to_string());
         let decided_by =
             run.outputs()
                 .iter()
@@ -197,13 +203,18 @@ impl AgreementOutcome {
             steps_by: run.steps_by().to_vec(),
             fd_queries: run.fd_samples().len(),
             rounds,
+            run_conditions,
         }
     }
 
-    /// Panics with a readable message if the specification was violated.
+    /// Panics with a readable message if the specification was violated or
+    /// the recorded trace is not a well-formed §3.3 run.
     pub fn assert_ok(&self) {
         if let Err(e) = &self.spec {
             panic!("agreement specification violated: {e}");
+        }
+        if let Err(e) = &self.run_conditions {
+            panic!("§3.3 run conditions violated: {e}");
         }
     }
 }

@@ -121,7 +121,7 @@ mod tests {
     fn output_keeps_fluctuating_after_quiescence() {
         let pat = one_crash();
         let mut o = AntiOmegaOracle::new(&pat, Time(0), 3);
-        let distinct: std::collections::HashSet<ProcessId> = (0..200u64)
+        let distinct: std::collections::BTreeSet<ProcessId> = (0..200u64)
             .map(|t| o.output(ProcessId(1), Time(t)))
             .collect();
         assert!(

@@ -275,7 +275,7 @@ mod tests {
                 assert_eq!(o.output(ProcessId(i), Time(t)), ProcessId(1));
             }
         }
-        let noisy: std::collections::HashSet<ProcessId> = (0..30u64)
+        let noisy: std::collections::BTreeSet<ProcessId> = (0..30u64)
             .map(|t| o.output(ProcessId(0), Time(t)))
             .collect();
         assert!(noisy.len() > 1, "leaders before stabilization vary");

@@ -379,7 +379,7 @@ mod tests {
     fn noise_actually_varies_before_stabilization() {
         let p = FailurePattern::failure_free(4);
         let mut o = UpsilonOracle::wait_free(&p, UpsilonChoice::default(), Time(500), 17);
-        let distinct: std::collections::HashSet<u64> = (0..100u64)
+        let distinct: std::collections::BTreeSet<u64> = (0..100u64)
             .map(|t| o.output(ProcessId(0), Time(t)).bits())
             .collect();
         assert!(

@@ -29,7 +29,7 @@ impl<T: Value> RegisterObject<T> {
 }
 
 /// Operations on a register.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum RegOp<T> {
     /// Read the current value.
     Read,
@@ -38,7 +38,7 @@ pub enum RegOp<T> {
 }
 
 /// Responses from a register.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum RegResp<T> {
     /// The value read.
     Value(T),

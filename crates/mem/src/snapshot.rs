@@ -87,7 +87,7 @@ impl<T: Value> SnapshotObject<T> {
 }
 
 /// Operations on the native snapshot object.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum SnapOp<T> {
     /// `update(i, v)`.
     Update(usize, T),
@@ -96,7 +96,7 @@ pub enum SnapOp<T> {
 }
 
 /// Responses from the native snapshot object.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum SnapResp<T> {
     /// Acknowledgement of an update.
     Ack,

@@ -150,7 +150,9 @@ impl fmt::Display for FailurePattern {
             write!(
                 f,
                 "{p}@{}",
-                self.crash_at[p.index()].expect("faulty").value()
+                self.crash_at[p.index()]
+                    .expect("process reported faulty must have a crash time")
+                    .value()
             )?;
         }
         write!(f, "]")

@@ -16,7 +16,7 @@
 use crate::process::ProcessId;
 use std::any::{Any, TypeId};
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A linearizable shared-object type.
@@ -42,7 +42,7 @@ pub trait ObjectType: Send + 'static {
 /// let k = Key::new("converge").at(3).at(1);
 /// assert_eq!(k.to_string(), "converge[3][1]");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Key {
     name: Cow<'static, str>,
     index: Vec<u64>,
@@ -129,7 +129,9 @@ impl<O: ObjectType> AnyObject for O {
 /// Only one process executes a step at a time (lockstep), so interior
 /// operations need no further synchronization beyond the owning mutex.
 pub struct Memory {
-    by_key: HashMap<(TypeId, Key), ObjectId>,
+    // BTreeMap, not HashMap: iteration order must not depend on the hasher —
+    // the determinism lint (`upsilon-analysis`) enforces this workspace-wide.
+    by_key: BTreeMap<(TypeId, Key), ObjectId>,
     objects: Vec<Box<dyn AnyObject>>,
     names: Vec<Key>,
 }
@@ -137,7 +139,7 @@ pub struct Memory {
 impl Memory {
     pub(crate) fn new() -> Self {
         Memory {
-            by_key: HashMap::new(),
+            by_key: BTreeMap::new(),
             objects: Vec::new(),
             names: Vec::new(),
         }

@@ -235,7 +235,7 @@ fn commit_adopt_every_interleaving_every_crash_point() {
                 .filter(|(i, p)| p.index() != 0 || *i < cut)
                 .map(|(_, p)| *p)
                 .collect();
-            truncated.extend(std::iter::repeat(ProcessId(1)).take(4));
+            truncated.extend(std::iter::repeat_n(ProcessId(1), 4));
             let outs = run_converge_script_only(&inputs, 1, truncated);
             assert!(
                 outs[1].is_some(),

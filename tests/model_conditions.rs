@@ -167,7 +167,9 @@ fn indistinguishability_closure_of_the_task_spec() {
     // And a run re-timed (replayed through its own schedule) has an
     // identical induced trace.
     let schedule = a.schedule();
-    let pattern = FailurePattern::builder(3).crash(ProcessId(1), Time(40)).build();
+    let pattern = FailurePattern::builder(3)
+        .crash(ProcessId(1), Time(40))
+        .build();
     let oracle =
         UpsilonOracle::wait_free(&pattern, UpsilonChoice::ComplementOfCorrect, Time(60), 3);
     let mut builder = SimBuilder::<ProcessSet>::new(pattern)

@@ -1,0 +1,224 @@
+//! Offline vendored stand-in for `crossbeam-channel`.
+//!
+//! Implements the unbounded MPMC subset the simulator's lockstep runtime
+//! uses: [`unbounded`], cloneable [`Sender`]/[`Receiver`], blocking
+//! [`Receiver::recv`], and disconnect semantics (send fails once every
+//! receiver is gone; recv fails once the queue is empty and every sender is
+//! gone). Built on `std` mutex + condvar; throughput is irrelevant here —
+//! the simulator grants one step at a time anyway.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Error returned by [`Sender::send`] when every receiver has dropped;
+/// carries the undelivered message.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: Send> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has dropped.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, failing if every receiver has dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        if st.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake blocked receivers so they observe the disconnect.
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, failing once the channel is empty and
+    /// every sender has dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking receive: `None` when the queue is currently empty.
+    pub fn try_recv(&self) -> Option<T> {
+        self.chan.lock().queue.pop_front()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.chan.lock().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || rx.recv().unwrap());
+        tx.send(41u32).unwrap();
+        assert_eq!(h.join().unwrap(), 41);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx1.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        assert_eq!(rx1.try_recv(), None);
+    }
+}
