@@ -22,7 +22,7 @@ use upsilon_sim::{AlgoFn, Crashed, Ctx, ProcessId, ProcessSet};
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose_with_omega_k(
+pub async fn propose_with_omega_k(
     ctx: &Ctx<ProcessSet>,
     cfg: Fig1Config,
     v: u64,
@@ -30,7 +30,7 @@ pub fn propose_with_omega_k(
     // The reduction is applied by the oracle wrapper
     // (`upsilon_fd::upsilon_f_from_omega_k`); algorithm-side the protocol is
     // literally Fig. 1.
-    fig1::propose(ctx, cfg, v)
+    fig1::propose(ctx, cfg, v).await
 }
 
 /// Builds the baseline algorithm closures. Identical to Fig. 1's; the

@@ -20,7 +20,7 @@
 use crate::proposals;
 use upsilon_converge::ConvergeInstance;
 use upsilon_mem::{Consensus, Register, SnapshotFlavor};
-use upsilon_sim::{AlgoFn, Crashed, Ctx, Key, ProcessId, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, ProcessId, ProcessSet};
 
 /// Configuration of the boosting protocol.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,44 +36,44 @@ pub struct BoostConfig {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose(ctx: &Ctx<ProcessSet>, cfg: BoostConfig, v: u64) -> Result<u64, Crashed> {
+pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: BoostConfig, v: u64) -> Result<u64, Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let me = ctx.pid();
     let decision = Register::<Option<u64>>::new(Key::new("D"), None);
     let mut v = v;
     let mut r: u64 = 1;
     loop {
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
-        let leaders = ctx.query_fd()?;
+        let leaders = ctx.query_fd().await?;
         debug_assert_eq!(leaders.len(), ctx.n(), "Ω_n outputs sets of size n");
         let board = Register::<Option<u64>>::new(Key::new("B").at(r), None);
         if leaders.contains(me) {
             // Members of L agree through an n-process consensus object
             // dedicated to this (round, L) pair — only members touch it.
             let obj = Consensus::new(Key::new("n-cons").at(r).at(leaders.bits()), leaders);
-            v = obj.propose(ctx, v)?;
-            board.write(ctx, Some(v))?;
+            v = obj.propose(ctx, v).await?;
+            board.write(ctx, Some(v)).await?;
         } else {
             loop {
-                if let Some(w) = board.read(ctx)? {
+                if let Some(w) = board.read(ctx).await? {
                     v = w;
                     break;
                 }
-                if let Some(d) = decision.read(ctx)? {
+                if let Some(d) = decision.read(ctx).await? {
                     return Ok(d);
                 }
-                if ctx.query_fd()? != leaders {
+                if ctx.query_fd().await? != leaders {
                     break;
                 }
             }
         }
         let ca = ConvergeInstance::new(Key::new("bca").at(r), n_plus_1, cfg.flavor);
-        let (picked, committed) = ca.converge(ctx, 1, v)?;
+        let (picked, committed) = ca.converge(ctx, 1, v).await?;
         v = picked;
         if committed {
-            decision.write(ctx, Some(v))?;
+            decision.write(ctx, Some(v)).await?;
             return Ok(v);
         }
         r += 1;
@@ -82,9 +82,9 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: BoostConfig, v: u64) -> Result<u64, C
 
 /// Builds the algorithm closure for one process.
 pub fn algorithm(cfg: BoostConfig, v: u64) -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| {
-        let d = propose(&ctx, cfg, v)?;
-        ctx.decide(d)?;
+    algo(move |ctx| async move {
+        let d = propose(&ctx, cfg, v).await?;
+        ctx.decide(d).await?;
         Ok(())
     })
 }

@@ -20,7 +20,7 @@
 use crate::proposals;
 use upsilon_converge::ConvergeInstance;
 use upsilon_mem::{Register, SnapshotFlavor};
-use upsilon_sim::{AlgoFn, Crashed, Ctx, FdValue, Key, ProcessId};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, FdValue, Key, ProcessId};
 
 /// Configuration of the Ω-based consensus protocol.
 #[derive(Clone, Copy, Debug, Default)]
@@ -35,13 +35,14 @@ pub struct OmegaConsensusConfig {
 /// pipelines substitute an *emulated* Ω — e.g. the Υ¹ → Ω extraction of
 /// §5.3 — without touching the protocol (the `upsilon-core` crate wires
 /// that composition).
+#[allow(async_fn_in_trait)] // algorithms are single-threaded state machines; futures need not be Send
 pub trait LeaderSource<D: FdValue> {
     /// The process currently trusted as leader. May take steps.
     ///
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    fn current_leader(&mut self, ctx: &Ctx<D>) -> Result<ProcessId, Crashed>;
+    async fn current_leader(&mut self, ctx: &Ctx<D>) -> Result<ProcessId, Crashed>;
 }
 
 /// The canonical leader source: query the Ω module (one step).
@@ -49,8 +50,8 @@ pub trait LeaderSource<D: FdValue> {
 pub struct OmegaQuery;
 
 impl LeaderSource<ProcessId> for OmegaQuery {
-    fn current_leader(&mut self, ctx: &Ctx<ProcessId>) -> Result<ProcessId, Crashed> {
-        ctx.query_fd()
+    async fn current_leader(&mut self, ctx: &Ctx<ProcessId>) -> Result<ProcessId, Crashed> {
+        ctx.query_fd().await
     }
 }
 
@@ -60,7 +61,7 @@ impl LeaderSource<ProcessId> for OmegaQuery {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose_with<D: FdValue>(
+pub async fn propose_with<D: FdValue>(
     ctx: &Ctx<D>,
     cfg: OmegaConsensusConfig,
     v: u64,
@@ -72,34 +73,34 @@ pub fn propose_with<D: FdValue>(
     let mut v = v;
     let mut r: u64 = 1;
     loop {
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
         let prop = Register::<Option<u64>>::new(Key::new("prop").at(r), None);
-        let leader = source.current_leader(ctx)?;
+        let leader = source.current_leader(ctx).await?;
         if leader == me {
-            prop.write(ctx, Some(v))?;
+            prop.write(ctx, Some(v)).await?;
         }
         // Wait for the leader's proposal; escape on leader change or
         // decision. A stable correct leader passes through every round (or
         // decides), so this wait is non-blocking after stabilization.
         loop {
-            if let Some(w) = prop.read(ctx)? {
+            if let Some(w) = prop.read(ctx).await? {
                 v = w;
                 break;
             }
-            if let Some(d) = decision.read(ctx)? {
+            if let Some(d) = decision.read(ctx).await? {
                 return Ok(d);
             }
-            if source.current_leader(ctx)? != leader {
+            if source.current_leader(ctx).await? != leader {
                 break;
             }
         }
         let ca = ConvergeInstance::new(Key::new("ca").at(r), n_plus_1, cfg.flavor);
-        let (picked, committed) = ca.converge(ctx, 1, v)?;
+        let (picked, committed) = ca.converge(ctx, 1, v).await?;
         v = picked;
         if committed {
-            decision.write(ctx, Some(v))?;
+            decision.write(ctx, Some(v)).await?;
             return Ok(v);
         }
         r += 1;
@@ -112,15 +113,19 @@ pub fn propose_with<D: FdValue>(
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose(ctx: &Ctx<ProcessId>, cfg: OmegaConsensusConfig, v: u64) -> Result<u64, Crashed> {
-    propose_with(ctx, cfg, v, &mut OmegaQuery)
+pub async fn propose(
+    ctx: &Ctx<ProcessId>,
+    cfg: OmegaConsensusConfig,
+    v: u64,
+) -> Result<u64, Crashed> {
+    propose_with(ctx, cfg, v, &mut OmegaQuery).await
 }
 
 /// Builds the algorithm closure for one process.
 pub fn algorithm(cfg: OmegaConsensusConfig, v: u64) -> AlgoFn<ProcessId> {
-    Box::new(move |ctx| {
-        let d = propose(&ctx, cfg, v)?;
-        ctx.decide(d)?;
+    algo(move |ctx| async move {
+        let d = propose(&ctx, cfg, v).await?;
+        ctx.decide(d).await?;
         Ok(())
     })
 }

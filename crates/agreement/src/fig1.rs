@@ -30,7 +30,7 @@
 use crate::proposals;
 use upsilon_converge::ConvergeInstance;
 use upsilon_mem::{Register, SnapshotFlavor};
-use upsilon_sim::{AlgoFn, Crashed, Ctx, Key, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, ProcessSet};
 
 /// Configuration of the Fig. 1 protocol.
 #[derive(Clone, Copy, Debug, Default)]
@@ -45,7 +45,7 @@ pub struct Fig1Config {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u64, Crashed> {
+pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u64, Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let n = ctx.n();
     let me = ctx.pid();
@@ -55,63 +55,63 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u64, Cr
     loop {
         // Line 4: try to commit one of at most n surviving values.
         let main = ConvergeInstance::new(Key::new("n-conv").at(r), n_plus_1, cfg.flavor);
-        let (picked, committed) = main.converge(ctx, n, v)?;
+        let (picked, committed) = main.converge(ctx, n, v).await?;
         v = picked;
         if committed {
-            decision.write(ctx, Some(v))?;
+            decision.write(ctx, Some(v)).await?;
             return Ok(v);
         }
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
 
         let d_r = Register::<Option<u64>>::new(Key::new("D_r").at(r), None);
         let stable_r = Register::<bool>::new(Key::new("Stable").at(r), false);
-        let mut u = ctx.query_fd()?;
+        let mut u = ctx.query_fd().await?;
         let mut k: u64 = 0;
 
         // Lines 12–17: gladiators vs citizens, until the round resolves.
         let adopted = loop {
             k += 1;
-            let u_now = ctx.query_fd()?;
+            let u_now = ctx.query_fd().await?;
             if u_now != u {
                 // Observed instability of Υ: report it and refresh U.
-                stable_r.write(ctx, true)?;
+                stable_r.write(ctx, true).await?;
                 u = u_now;
             }
 
             if !u.contains(me) {
                 // Citizen: publish the value for the round and move on.
-                d_r.write(ctx, Some(v))?;
+                d_r.write(ctx, Some(v)).await?;
                 break v;
             }
 
             // Gladiator: try to eliminate one of U's values.
             let sub = ConvergeInstance::new(Key::new("u-conv").at(r).at(k), n_plus_1, cfg.flavor);
-            let (picked, committed) = sub.converge(ctx, u.len() - 1, v)?;
+            let (picked, committed) = sub.converge(ctx, u.len() - 1, v).await?;
             v = picked;
             if committed {
-                d_r.write(ctx, Some(v))?;
+                d_r.write(ctx, Some(v)).await?;
                 break v;
             }
 
             // Line 17 exit conditions.
-            if let Some(d) = decision.read(ctx)? {
+            if let Some(d) = decision.read(ctx).await? {
                 return Ok(d);
             }
-            if let Some(w) = d_r.read(ctx)? {
+            if let Some(w) = d_r.read(ctx).await? {
                 break w;
             }
-            if stable_r.read(ctx)? {
+            if stable_r.read(ctx).await? {
                 break v;
             }
         };
 
         v = adopted;
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
-        if let Some(w) = d_r.read(ctx)? {
+        if let Some(w) = d_r.read(ctx).await? {
             v = w;
         }
         r += 1;
@@ -137,9 +137,9 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u64, Cr
 /// check_k_set_agreement(&run, 2, &[Some(0), Some(1), Some(2)]).unwrap();
 /// ```
 pub fn algorithm(cfg: Fig1Config, v: u64) -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| {
-        let d = propose(&ctx, cfg, v)?;
-        ctx.decide(d)?;
+    algo(move |ctx| async move {
+        let d = propose(&ctx, cfg, v).await?;
+        ctx.decide(d).await?;
         Ok(())
     })
 }

@@ -30,7 +30,7 @@
 use crate::proposals;
 use upsilon_converge::ConvergeInstance;
 use upsilon_mem::{min_value, non_bot_count, FlavoredSnapshot, Register, Snapshot, SnapshotFlavor};
-use upsilon_sim::{AlgoFn, Crashed, Ctx, Key, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, ProcessSet};
 
 /// Configuration of the Fig. 2 protocol.
 #[derive(Clone, Copy, Debug)]
@@ -91,7 +91,7 @@ enum SubRound {
 /// # Panics
 ///
 /// Panics if `cfg.f` is out of range for the system size.
-pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Crashed> {
+pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let f = cfg.f;
     assert!(f >= 1 && f <= ctx.n(), "f must be in 1..=n");
@@ -103,36 +103,38 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Cr
     loop {
         // Round opener: f-converge over the surviving values.
         let main = ConvergeInstance::new(Key::new("f-conv").at(r), n_plus_1, cfg.flavor);
-        let (picked, committed) = main.converge(ctx, f, v)?;
+        let (picked, committed) = main.converge(ctx, f, v).await?;
         v = picked;
         if committed {
-            decision.write(ctx, Some(v))?;
+            decision.write(ctx, Some(v)).await?;
             return Ok(v);
         }
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
 
         let d_r = Register::<Option<u64>>::new(Key::new("D_r").at(r), None);
         let stable_r = Register::<bool>::new(Key::new("Stable").at(r), false);
-        let mut u = ctx.query_fd()?;
+        let mut u = ctx.query_fd().await?;
         let mut k: u64 = 0;
 
         let adopted = loop {
             k += 1;
-            let u_now = ctx.query_fd()?;
+            let u_now = ctx.query_fd().await?;
             if u_now != u {
-                stable_r.write(ctx, true)?;
+                stable_r.write(ctx, true).await?;
                 u = u_now;
             }
 
             if !u.contains(me) {
                 // Citizen (line 11): publish and move to the next round.
-                d_r.write(ctx, Some(v))?;
+                d_r.write(ctx, Some(v)).await?;
                 break v;
             }
 
-            match gladiator_sub_round(ctx, cfg, r, k, &mut u, &mut v, &decision, &d_r, &stable_r)? {
+            match gladiator_sub_round(ctx, cfg, r, k, &mut u, &mut v, &decision, &d_r, &stable_r)
+                .await?
+            {
                 SubRound::Continue => {}
                 SubRound::Leave(w) => break w,
                 SubRound::Decide(d) => return Ok(d),
@@ -140,10 +142,10 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Cr
         };
 
         v = adopted;
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
         }
-        if let Some(w) = d_r.read(ctx)? {
+        if let Some(w) = d_r.read(ctx).await? {
             v = w;
         }
         r += 1;
@@ -153,7 +155,7 @@ pub fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Cr
 /// One gladiator sub-round (lines 15–30): snapshot publish, bounded wait,
 /// min adoption, `(|U| + f − n − 1)`-converge.
 #[allow(clippy::too_many_arguments)]
-fn gladiator_sub_round(
+async fn gladiator_sub_round(
     ctx: &Ctx<ProcessSet>,
     cfg: Fig2Config,
     r: u64,
@@ -170,27 +172,27 @@ fn gladiator_sub_round(
 
     // Line 16: publish the current value in A[r][k].
     let a = FlavoredSnapshot::<u64>::new(cfg.flavor, Key::new("A").at(r).at(k), n_plus_1);
-    a.update(ctx, *v)?;
+    a.update(ctx, *v).await?;
 
     // Lines 17–19: wait for at least n+1−f non-⊥ entries, escaping on
     // D / D[r] / observed instability.
     let snap = loop {
-        let s = a.scan(ctx)?;
+        let s = a.scan(ctx).await?;
         if non_bot_count(&s) >= quorum {
             break Some(s);
         }
-        if let Some(d) = decision.read(ctx)? {
+        if let Some(d) = decision.read(ctx).await? {
             return Ok(SubRound::Decide(d));
         }
-        if let Some(w) = d_r.read(ctx)? {
+        if let Some(w) = d_r.read(ctx).await? {
             return Ok(SubRound::Leave(w));
         }
-        if stable_r.read(ctx)? {
+        if stable_r.read(ctx).await? {
             break None;
         }
-        let u_now = ctx.query_fd()?;
+        let u_now = ctx.query_fd().await?;
         if u_now != *u {
-            stable_r.write(ctx, true)?;
+            stable_r.write(ctx, true).await?;
             *u = u_now;
             break None;
         }
@@ -215,21 +217,21 @@ fn gladiator_sub_round(
     // Line 26: gladiators commit on at most |U| + f − n − 1 values.
     let threshold = (u.len() + f).saturating_sub(n_plus_1);
     let sub = ConvergeInstance::new(Key::new("u-conv").at(r).at(k), n_plus_1, cfg.flavor);
-    let (picked, committed) = sub.converge(ctx, threshold, *v)?;
+    let (picked, committed) = sub.converge(ctx, threshold, *v).await?;
     *v = picked;
     if committed {
-        d_r.write(ctx, Some(*v))?;
+        d_r.write(ctx, Some(*v)).await?;
         return Ok(SubRound::Leave(*v));
     }
 
     // Line 30 exit conditions.
-    if let Some(d) = decision.read(ctx)? {
+    if let Some(d) = decision.read(ctx).await? {
         return Ok(SubRound::Decide(d));
     }
-    if let Some(w) = d_r.read(ctx)? {
+    if let Some(w) = d_r.read(ctx).await? {
         return Ok(SubRound::Leave(w));
     }
-    if stable_r.read(ctx)? {
+    if stable_r.read(ctx).await? {
         return Ok(SubRound::Leave(*v));
     }
     Ok(SubRound::Continue)
@@ -238,9 +240,9 @@ fn gladiator_sub_round(
 /// Builds the algorithm closure for one process: run Fig. 2 with proposal
 /// `v`, then decide.
 pub fn algorithm(cfg: Fig2Config, v: u64) -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| {
-        let d = propose(&ctx, cfg, v)?;
-        ctx.decide(d)?;
+    algo(move |ctx| async move {
+        let d = propose(&ctx, cfg, v).await?;
+        ctx.decide(d).await?;
         Ok(())
     })
 }

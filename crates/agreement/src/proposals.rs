@@ -24,12 +24,13 @@ pub fn distinct_proposals(n_plus_1: usize) -> Vec<Option<u64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use upsilon_sim::algo;
 
     #[test]
     fn skips_non_participants() {
         let algos = to_algorithms::<()>(&[Some(1), None, Some(3)], |v| {
-            Box::new(move |ctx| {
-                ctx.decide(v)?;
+            algo(move |ctx| async move {
+                ctx.decide(v).await?;
                 Ok(())
             })
         });

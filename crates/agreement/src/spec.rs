@@ -81,13 +81,13 @@ impl std::error::Error for TaskViolation {}
 ///
 /// ```
 /// use upsilon_agreement::{check_k_set_agreement, TaskViolation};
-/// use upsilon_sim::{FailurePattern, SimBuilder};
+/// use upsilon_sim::{algo, FailurePattern, SimBuilder};
 ///
 /// // Three processes decide two distinct values: fine for k = 2, an
 /// // Agreement violation for k = 1.
 /// let run = SimBuilder::<()>::new(FailurePattern::failure_free(3))
-///     .spawn_all(|pid| Box::new(move |ctx| {
-///         ctx.decide(pid.index() as u64 % 2)?;
+///     .spawn_all(|pid| algo(move |ctx| async move {
+///         ctx.decide(pid.index() as u64 % 2).await?;
 ///         Ok(())
 ///     }))
 ///     .run()
@@ -180,16 +180,16 @@ pub fn check_consensus<D: FdValue>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upsilon_sim::{FailurePattern, SimBuilder};
+    use upsilon_sim::{algo, FailurePattern, SimBuilder};
 
     fn run_with_decisions(decisions: Vec<Option<u64>>) -> Run<()> {
         let n = decisions.len();
         SimBuilder::<()>::new(FailurePattern::failure_free(n))
             .spawn_all(|pid| {
                 let d = decisions[pid.index()];
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     if let Some(v) = d {
-                        ctx.decide(v)?;
+                        ctx.decide(v).await?;
                     }
                     Ok(())
                 })
@@ -239,9 +239,9 @@ mod tests {
     fn rejects_revoked_decision() {
         let run = SimBuilder::<()>::new(FailurePattern::failure_free(1))
             .spawn_all(|_| {
-                Box::new(move |ctx| {
-                    ctx.decide(1)?;
-                    ctx.decide(2)?;
+                algo(move |ctx| async move {
+                    ctx.decide(1).await?;
+                    ctx.decide(2).await?;
                     Ok(())
                 })
             })

@@ -39,9 +39,10 @@ pub const SCANNED_CRATES: &[&str] = &[
     "core",
 ];
 
-/// Files exempt from [`Rule::ThreadSpawn`]: the lockstep runtime itself,
-/// which owns the one sanctioned spawn site per process.
-const SPAWN_EXEMPT: &[&str] = &["crates/sim/src/builder.rs", "crates/sim/src/runtime.rs"];
+/// Files exempt from [`Rule::ThreadSpawn`]: the thread-lockstep engine
+/// (one sanctioned spawn site per process) and the run-batch worker pool
+/// (parallelism *between* runs, never inside one).
+const SPAWN_EXEMPT: &[&str] = &["crates/sim/src/engine.rs", "crates/sim/src/batch.rs"];
 
 /// The individual determinism rules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -455,8 +456,8 @@ mod tests {
             rules_of(&scan_source("crates/mem/src/foo.rs", src)),
             vec![Rule::ThreadSpawn]
         );
-        assert!(scan_source("crates/sim/src/builder.rs", src).is_empty());
-        assert!(scan_source("crates/sim/src/runtime.rs", src).is_empty());
+        assert!(scan_source("crates/sim/src/engine.rs", src).is_empty());
+        assert!(scan_source("crates/sim/src/batch.rs", src).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use upsilon_analysis::{check_fd_history, check_run, check_run_for, RunView, RunViolation};
 use upsilon_mem::{RegOp, RegisterObject};
 use upsilon_sim::{
-    DummyOracle, Event, FailurePattern, Key, MappedOracle, NullOracle, Output, ProcessId,
+    algo, DummyOracle, Event, FailurePattern, Key, MappedOracle, NullOracle, Output, ProcessId,
     SeededRandom, SimBuilder, StepKind, Time,
 };
 
@@ -24,25 +24,28 @@ fn leader_workload(pattern: FailurePattern, seed: u64) -> upsilon_sim::SimOutcom
         .oracle(DummyOracle::new(0u64))
         .adversary(SeededRandom::new(seed))
         .spawn_all(move |pid| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let me = pid.index() as u64;
                 let mine = Key::new("reg").at(me);
-                ctx.invoke(&mine, || RegisterObject::new(u64::MAX), RegOp::Write(me))?;
-                let leader = ctx.query_fd()?;
+                ctx.invoke(&mine, || RegisterObject::new(u64::MAX), RegOp::Write(me))
+                    .await?;
+                let leader = ctx.query_fd().await?;
                 loop {
-                    let resp = ctx.invoke(
-                        &Key::new("reg").at(leader),
-                        || RegisterObject::new(u64::MAX),
-                        RegOp::Read,
-                    )?;
+                    let resp = ctx
+                        .invoke(
+                            &Key::new("reg").at(leader),
+                            || RegisterObject::new(u64::MAX),
+                            RegOp::Read,
+                        )
+                        .await?;
                     if let upsilon_mem::RegResp::Value(v) = resp {
                         if v != u64::MAX {
-                            ctx.decide(v)?;
+                            ctx.decide(v).await?;
                             return Ok(());
                         }
                     }
                     let _ = n_plus_1; // capture for symmetry with real harnesses
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                 }
             })
         })
@@ -212,9 +215,9 @@ fn mapped_oracle_runs_validate() {
         .oracle(MappedOracle::new(NullOracle, |_p, _t, ()| 0u64))
         .adversary(SeededRandom::new(8))
         .spawn_all(|_pid| {
-            Box::new(move |ctx| {
-                let leader = ctx.query_fd()?;
-                ctx.decide(leader)?;
+            algo(move |ctx| async move {
+                let leader = ctx.query_fd().await?;
+                ctx.decide(leader).await?;
                 Ok(())
             })
         })

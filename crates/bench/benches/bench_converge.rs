@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::{Arc, Mutex};
 use upsilon_core::converge::ConvergeInstance;
 use upsilon_core::mem::SnapshotFlavor;
-use upsilon_core::sim::{FailurePattern, Key, SeededRandom, SimBuilder};
+use upsilon_core::sim::{algo, FailurePattern, Key, SeededRandom, SimBuilder};
 
 /// Shared per-process (picked, committed) results of a converge run.
 type SharedResults = std::sync::Arc<std::sync::Mutex<Vec<Option<(u64, bool)>>>>;
@@ -18,9 +18,9 @@ fn run_converge(n: usize, k: usize, flavor: SnapshotFlavor, seed: u64) -> u64 {
         .spawn_all(move |pid| {
             let results = Arc::clone(&results2);
             let v = pid.index() as u64;
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let inst = ConvergeInstance::new(Key::new("cv"), ctx.n_plus_1(), flavor);
-                let out = inst.converge(&ctx, k, v)?;
+                let out = inst.converge(&ctx, k, v).await?;
                 results.lock().unwrap()[pid.index()] = Some(out);
                 Ok(())
             })

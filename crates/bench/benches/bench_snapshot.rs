@@ -3,17 +3,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use upsilon_core::mem::{non_bot_count, FlavoredSnapshot, Snapshot, SnapshotFlavor};
-use upsilon_core::sim::{FailurePattern, Key, SeededRandom, SimBuilder};
+use upsilon_core::sim::{algo, FailurePattern, Key, SeededRandom, SimBuilder};
 
 fn snapshot_workload(n: usize, flavor: SnapshotFlavor, seed: u64) -> u64 {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(n))
         .adversary(SeededRandom::new(seed))
         .spawn_all(move |pid| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), ctx.n_plus_1());
                 for round in 0..4u64 {
-                    snap.update(&ctx, pid.index() as u64 * 10 + round)?;
-                    let s = snap.scan(&ctx)?;
+                    snap.update(&ctx, pid.index() as u64 * 10 + round).await?;
+                    let s = snap.scan(&ctx).await?;
                     assert!(non_bot_count(&s) >= 1);
                 }
                 Ok(())

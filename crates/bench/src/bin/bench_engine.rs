@@ -1,0 +1,132 @@
+//! Steps/second throughput of the two execution engines, per process
+//! count, emitting `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin bench_engine [steps-per-run]
+//! ```
+//!
+//! The workload is the engine-overhead worst case: every process spins on
+//! `yield_step` (no shared-memory contention, no oracle), so the measured
+//! cost is almost entirely the per-step grant/reply machinery — a poll of
+//! a resumable future under the inline engine, a channel round-trip plus
+//! two thread context switches under the thread-lockstep engine. Both
+//! engines execute the identical schedule (same seeded adversary), so the
+//! step counts agree and only wall time differs.
+
+use std::time::Instant;
+use upsilon_core::sim::{algo, EngineKind, FailurePattern, SeededRandom, SimBuilder};
+use upsilon_core::table::Table;
+
+struct Sample {
+    engine: &'static str,
+    n_plus_1: usize,
+    steps: u64,
+    secs: f64,
+    steps_per_sec: f64,
+}
+
+/// One bounded spin run; returns (total steps, wall seconds).
+fn spin_run(engine: EngineKind, n_plus_1: usize, max_steps: u64) -> (u64, f64) {
+    let start = Instant::now();
+    let run = SimBuilder::<()>::new(FailurePattern::failure_free(n_plus_1))
+        .engine(engine)
+        .adversary(SeededRandom::new(1))
+        .max_steps(max_steps)
+        .spawn_all(|_| {
+            algo(move |ctx| async move {
+                loop {
+                    ctx.yield_step().await?;
+                }
+            })
+        })
+        .run()
+        .run;
+    (run.total_steps(), start.elapsed().as_secs_f64())
+}
+
+/// Median-of-3 measurement after one warmup run.
+fn measure(engine: EngineKind, name: &'static str, n_plus_1: usize, max_steps: u64) -> Sample {
+    let _ = spin_run(engine, n_plus_1, max_steps);
+    let mut runs: Vec<(u64, f64)> = (0..3)
+        .map(|_| spin_run(engine, n_plus_1, max_steps))
+        .collect();
+    runs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (steps, secs) = runs[1];
+    Sample {
+        engine: name,
+        n_plus_1,
+        steps,
+        secs,
+        steps_per_sec: steps as f64 / secs,
+    }
+}
+
+fn main() {
+    let max_steps: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("steps-per-run must be an integer"))
+        .unwrap_or(200_000);
+
+    let mut samples = Vec::new();
+    let mut speedups = Vec::new();
+    let mut t = Table::new(
+        format!("Engine throughput — spin workload, {max_steps} steps per run"),
+        &["n+1", "engine", "steps", "secs", "steps/sec", "speedup"],
+    );
+    for n_plus_1 in [2usize, 4, 8] {
+        let inline = measure(EngineKind::Inline, "inline", n_plus_1, max_steps);
+        let threads = measure(EngineKind::Threads, "threads", n_plus_1, max_steps);
+        assert_eq!(
+            inline.steps, threads.steps,
+            "both engines must execute the identical schedule"
+        );
+        let speedup = inline.steps_per_sec / threads.steps_per_sec;
+        t.row([
+            n_plus_1.to_string(),
+            inline.engine.to_string(),
+            inline.steps.to_string(),
+            format!("{:.4}", inline.secs),
+            format!("{:.0}", inline.steps_per_sec),
+            format!("{speedup:.1}x"),
+        ]);
+        t.row([
+            n_plus_1.to_string(),
+            threads.engine.to_string(),
+            threads.steps.to_string(),
+            format!("{:.4}", threads.secs),
+            format!("{:.0}", threads.steps_per_sec),
+            "1.0x".to_string(),
+        ]);
+        speedups.push((n_plus_1, speedup));
+        samples.push(inline);
+        samples.push(threads);
+    }
+    println!("{t}");
+
+    let json = render_json(&samples, &speedups);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+    for (n_plus_1, speedup) in &speedups {
+        println!("n+1={n_plus_1}: inline is {speedup:.1}x the thread-lockstep engine");
+    }
+}
+
+/// Hand-rolled JSON: the workspace deliberately has no serde dependency.
+fn render_json(samples: &[Sample], speedups: &[(usize, f64)]) -> String {
+    let mut out =
+        String::from("{\n  \"workload\": \"spin (yield_step loop)\",\n  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 < samples.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"n_plus_1\": {}, \"steps\": {}, \"elapsed_secs\": {:.6}, \"steps_per_sec\": {:.1}}}{sep}\n",
+            s.engine, s.n_plus_1, s.steps, s.secs, s.steps_per_sec
+        ));
+    }
+    out.push_str("  ],\n  \"inline_speedup_over_threads\": {\n");
+    for (i, (n, x)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() { "," } else { "" };
+        out.push_str(&format!("    \"{n}\": {x:.2}{sep}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
+}

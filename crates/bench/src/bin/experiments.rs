@@ -11,7 +11,8 @@
 use upsilon_bench::{average_case_config, staggered_crashes, worst_case_config};
 use upsilon_core::experiment::{
     run_baseline_omega_k, run_boost, run_fig1, run_fig2, run_fig3, run_omega_consensus,
-    run_upsilon1_consensus, run_upsilon1_to_omega, AgreementConfig, Sched, StableSource,
+    run_upsilon1_consensus, run_upsilon1_to_omega, sweep_seeds, AgreementConfig, Sched,
+    StableSource,
 };
 use upsilon_core::extract::{all_candidates, play, GameConfig, GameVerdict};
 use upsilon_core::fd::{
@@ -19,7 +20,8 @@ use upsilon_core::fd::{
     OmegaKChoice, OmegaOracle, UpsilonChoice, UpsilonNoise, UpsilonOracle,
 };
 use upsilon_core::sim::{
-    FailurePattern, Key, Oracle, Output, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
+    algo, default_workers, run_batch, FailurePattern, Key, Oracle, Output, ProcessId, ProcessSet,
+    SeededRandom, SimBuilder, Time,
 };
 use upsilon_core::stats::Summary;
 use upsilon_core::table::Table;
@@ -601,19 +603,16 @@ fn e9_baseline() {
     );
     for crashes in [0usize, 2] {
         for native in [true, false] {
-            let mut steps = Vec::new();
-            let mut all_ok = true;
-            for seed in 0..8u64 {
-                let pattern = staggered_crashes(4, crashes, 50);
-                let cfg = average_case_config(pattern, seed);
-                let out = if native {
-                    run_fig1(&cfg, UpsilonChoice::default())
+            let cfg = average_case_config(staggered_crashes(4, crashes, 50), 0);
+            let outs = sweep_seeds(&cfg, 0..8, |cfg| {
+                if native {
+                    run_fig1(cfg, UpsilonChoice::default())
                 } else {
-                    run_baseline_omega_k(&cfg, 3, OmegaKChoice::default())
-                };
-                all_ok &= out.spec.is_ok();
-                steps.push(out.total_steps);
-            }
+                    run_baseline_omega_k(cfg, 3, OmegaKChoice::default())
+                }
+            });
+            let all_ok = outs.iter().all(|o| o.spec.is_ok());
+            let steps: Vec<u64> = outs.iter().map(|o| o.total_steps).collect();
             let s = Summary::of(&steps);
             t.row([
                 if native {
@@ -654,26 +653,38 @@ fn e10_converge() {
             let mut all_commit = 0;
             let mut some_commit = 0;
             let mut violations = 0;
-            for seed in 0..20u64 {
-                let inputs: Vec<u64> = (0..4).map(|i| (i % distinct) as u64 + 1).collect();
-                let results: SharedResults = Arc::new(Mutex::new(vec![None; 4]));
-                let results2 = Arc::clone(&results);
-                let inputs2 = inputs.clone();
-                let _ = SimBuilder::<()>::new(FailurePattern::failure_free(4))
-                    .adversary(SeededRandom::new(seed))
-                    .spawn_all(move |pid| {
-                        let results = Arc::clone(&results2);
-                        let v = inputs2[pid.index()];
-                        Box::new(move |ctx| {
-                            let inst =
-                                ConvergeInstance::new(Key::new("cv"), 4, SnapshotFlavor::Native);
-                            let out = inst.converge(&ctx, k, v)?;
-                            results.lock().unwrap()[pid.index()] = Some(out);
-                            Ok(())
-                        })
-                    })
-                    .run();
-                let outs = results.lock().unwrap().clone();
+            // Independent seeds fan out across the run-batch worker pool;
+            // results come back in seed order.
+            let jobs: Vec<_> = (0..20u64)
+                .map(|seed| {
+                    move || {
+                        let inputs: Vec<u64> = (0..4).map(|i| (i % distinct) as u64 + 1).collect();
+                        let results: SharedResults = Arc::new(Mutex::new(vec![None; 4]));
+                        let results2 = Arc::clone(&results);
+                        let inputs2 = inputs.clone();
+                        let _ = SimBuilder::<()>::new(FailurePattern::failure_free(4))
+                            .adversary(SeededRandom::new(seed))
+                            .spawn_all(move |pid| {
+                                let results = Arc::clone(&results2);
+                                let v = inputs2[pid.index()];
+                                algo(move |ctx| async move {
+                                    let inst = ConvergeInstance::new(
+                                        Key::new("cv"),
+                                        4,
+                                        SnapshotFlavor::Native,
+                                    );
+                                    let out = inst.converge(&ctx, k, v).await?;
+                                    results.lock().unwrap()[pid.index()] = Some(out);
+                                    Ok(())
+                                })
+                            })
+                            .run();
+                        let outs = results.lock().unwrap().clone();
+                        outs
+                    }
+                })
+                .collect();
+            for outs in run_batch(jobs, default_workers()) {
                 let commits = outs.iter().flatten().filter(|(_, c)| *c).count();
                 if commits == 4 {
                     all_commit += 1;
@@ -710,15 +721,10 @@ fn e11_snapshots() {
     );
     for n_plus_1 in [3usize, 4] {
         for flavor in [SnapshotFlavor::Native, SnapshotFlavor::RegisterBased] {
-            let mut steps = Vec::new();
-            let mut ok = true;
-            for seed in 0..5u64 {
-                let pattern = staggered_crashes(n_plus_1, 1, 40);
-                let cfg = average_case_config(pattern, seed).flavor(flavor);
-                let out = run_fig1(&cfg, UpsilonChoice::default());
-                ok &= out.spec.is_ok();
-                steps.push(out.total_steps);
-            }
+            let cfg = average_case_config(staggered_crashes(n_plus_1, 1, 40), 0).flavor(flavor);
+            let outs = sweep_seeds(&cfg, 0..5, |cfg| run_fig1(cfg, UpsilonChoice::default()));
+            let ok = outs.iter().all(|o| o.spec.is_ok());
+            let steps: Vec<u64> = outs.iter().map(|o| o.total_steps).collect();
             t.row([
                 n_plus_1.to_string(),
                 format!("{flavor:?}"),

@@ -57,9 +57,9 @@ use upsilon_sim::{Crashed, Ctx, FdValue, Key};
 /// ```no_run
 /// # use upsilon_converge::ConvergeInstance;
 /// # use upsilon_sim::{Ctx, Key, Crashed};
-/// # fn algo(ctx: &Ctx<()>) -> Result<(), Crashed> {
+/// # async fn algorithm(ctx: &Ctx<()>) -> Result<(), Crashed> {
 /// let inst = ConvergeInstance::new(Key::new("converge").at(1), 4, Default::default());
-/// let (picked, committed) = inst.converge(ctx, 2, 7)?; // 2-converge(7)
+/// let (picked, committed) = inst.converge(ctx, 2, 7).await?; // 2-converge(7)
 /// # let _ = (picked, committed); Ok(()) }
 /// ```
 #[derive(Clone, Debug)]
@@ -94,7 +94,7 @@ impl ConvergeInstance {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed mid-routine.
-    pub fn converge<D, T>(&self, ctx: &Ctx<D>, k: usize, v: T) -> Result<(T, bool), Crashed>
+    pub async fn converge<D, T>(&self, ctx: &Ctx<D>, k: usize, v: T) -> Result<(T, bool), Crashed>
     where
         D: FdValue,
         T: Value + Ord,
@@ -108,13 +108,13 @@ impl ConvergeInstance {
 
         // Phase 1: publish the input; clean iff at most k distinct inputs
         // are visible.
-        s1.update(ctx, v.clone())?;
-        let scan1 = s1.scan(ctx)?;
+        s1.update(ctx, v.clone()).await?;
+        let scan1 = s1.scan(ctx).await?;
         let clean = distinct_values(&scan1).len() <= k;
 
         // Phase 2: publish (input, clean); decide from the observed flags.
-        s2.update(ctx, (v.clone(), clean))?;
-        let scan2 = s2.scan(ctx)?;
+        s2.update(ctx, (v.clone(), clean)).await?;
+        let scan2 = s2.scan(ctx).await?;
         let entries: Vec<&(T, bool)> = scan2.iter().flatten().collect();
         debug_assert!(!entries.is_empty(), "own phase-2 entry is always visible");
 
@@ -141,7 +141,7 @@ impl ConvergeInstance {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashed mid-routine.
-pub fn commit_adopt<D, T>(
+pub async fn commit_adopt<D, T>(
     instance: &ConvergeInstance,
     ctx: &Ctx<D>,
     v: T,
@@ -150,14 +150,14 @@ where
     D: FdValue,
     T: Value + Ord,
 {
-    instance.converge(ctx, 1, v)
+    instance.converge(ctx, 1, v).await
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::{Arc, Mutex};
-    use upsilon_sim::{FailurePattern, ProcessId, SeededRandom, SimBuilder, Time};
+    use upsilon_sim::{algo, FailurePattern, ProcessId, SeededRandom, SimBuilder, Time};
 
     /// Runs one k-converge instance with the given inputs under a seeded
     /// random schedule and returns each process's (picked, committed).
@@ -182,9 +182,9 @@ mod tests {
             .spawn_all(move |pid| {
                 let results = Arc::clone(&results2);
                 let v = inputs[pid.index()];
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let inst = ConvergeInstance::new(Key::new("cv"), ctx.n_plus_1(), flavor);
-                    let out = inst.converge(&ctx, k, v)?;
+                    let out = inst.converge(&ctx, k, v).await?;
                     results.lock().unwrap()[pid.index()] = Some(out);
                     Ok(())
                 })
@@ -251,9 +251,9 @@ mod tests {
         let _ = SimBuilder::<()>::new(FailurePattern::failure_free(3))
             .spawn(
                 ProcessId(1),
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let inst = ConvergeInstance::new(Key::new("cv"), 3, SnapshotFlavor::Native);
-                    let out = inst.converge(&ctx, 1, 42)?;
+                    let out = inst.converge(&ctx, 1, 42).await?;
                     *results2.lock().unwrap() = Some(out);
                     Ok(())
                 }),

@@ -14,8 +14,8 @@ use upsilon_fd::{
 };
 use upsilon_mem::SnapshotFlavor;
 use upsilon_sim::{
-    Adversary, FailurePattern, FdValue, Output, ProcessId, ProcessSet, RoundRobin, Run,
-    SeededRandom, SimBuilder, Time, WeightedRandom,
+    default_workers, run_batch, Adversary, FailurePattern, FdValue, Output, ProcessId, ProcessSet,
+    RoundRobin, Run, SeededRandom, SimBuilder, Time, WeightedRandom,
 };
 
 /// Which scheduler drives an experiment run.
@@ -335,6 +335,32 @@ pub fn run_upsilon1_consensus(cfg: &AgreementConfig, choice: UpsilonChoice) -> A
     run_with_oracle(cfg, oracle, algos, 1)
 }
 
+/// Runs the same experiment at many seeds, fanned across the
+/// [`run_batch`] worker pool; outcomes come back in seed order.
+///
+/// Each run executes single-threaded on the inline step engine, so the
+/// pool parallelises *across* runs without perturbing any individual
+/// trace — `sweep_seeds(cfg, seeds, f)` is observationally identical to
+/// mapping `f` over the seeds sequentially.
+pub fn sweep_seeds<F>(
+    cfg: &AgreementConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    run_one: F,
+) -> Vec<AgreementOutcome>
+where
+    F: Fn(&AgreementConfig) -> AgreementOutcome + Send + Sync,
+{
+    let run_one = &run_one;
+    let jobs: Vec<_> = seeds
+        .into_iter()
+        .map(|seed| {
+            let cfg = cfg.clone().seed(seed);
+            move || run_one(&cfg)
+        })
+        .collect();
+    run_batch(jobs, default_workers())
+}
+
 /// The stable failure detectors Fig. 3 can consume in the harness.
 #[derive(Clone, Copy, Debug)]
 pub enum StableSource {
@@ -515,6 +541,20 @@ mod tests {
         FailurePattern::builder(n_plus_1)
             .crash(ProcessId(who), Time(at))
             .build()
+    }
+
+    #[test]
+    fn sweep_seeds_matches_sequential_runs() {
+        let cfg = AgreementConfig::new(crash_pattern(3, 0, 40));
+        let swept = sweep_seeds(&cfg, 0..6, |cfg| run_fig1(cfg, UpsilonChoice::default()));
+        assert_eq!(swept.len(), 6);
+        for (seed, out) in swept.iter().enumerate() {
+            out.assert_ok();
+            let solo = run_fig1(&cfg.clone().seed(seed as u64), UpsilonChoice::default());
+            assert_eq!(out.total_steps, solo.total_steps, "seed {seed}");
+            assert_eq!(out.decided, solo.decided, "seed {seed}");
+            assert_eq!(out.steps_by, solo.steps_by, "seed {seed}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use upsilon_agreement::consensus::{propose_with, LeaderSource, OmegaConsensusConfig};
 use upsilon_extract::Upsilon1Elector;
-use upsilon_sim::{AlgoFn, Crashed, Ctx, ProcessId, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, ProcessId, ProcessSet};
 
 /// Adapts the Υ¹ → Ω elector into a consensus leader source.
 #[derive(Clone, Debug)]
@@ -26,8 +26,8 @@ impl Upsilon1LeaderSource {
 }
 
 impl LeaderSource<ProcessSet> for Upsilon1LeaderSource {
-    fn current_leader(&mut self, ctx: &Ctx<ProcessSet>) -> Result<ProcessId, Crashed> {
-        self.elector.step(ctx)
+    async fn current_leader(&mut self, ctx: &Ctx<ProcessSet>) -> Result<ProcessId, Crashed> {
+        self.elector.step(ctx).await
     }
 }
 
@@ -37,20 +37,20 @@ impl LeaderSource<ProcessSet> for Upsilon1LeaderSource {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
-pub fn propose_with_upsilon1(
+pub async fn propose_with_upsilon1(
     ctx: &Ctx<ProcessSet>,
     cfg: OmegaConsensusConfig,
     v: u64,
 ) -> Result<u64, Crashed> {
     let mut source = Upsilon1LeaderSource::new(ctx.n_plus_1());
-    propose_with(ctx, cfg, v, &mut source)
+    propose_with(ctx, cfg, v, &mut source).await
 }
 
 /// Builds the pipeline algorithm for one process.
 pub fn upsilon1_consensus_algorithm(cfg: OmegaConsensusConfig, v: u64) -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| {
-        let d = propose_with_upsilon1(&ctx, cfg, v)?;
-        ctx.decide(d)?;
+    algo(move |ctx| async move {
+        let d = propose_with_upsilon1(&ctx, cfg, v).await?;
+        ctx.decide(d).await?;
         Ok(())
     })
 }

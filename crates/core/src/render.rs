@@ -86,7 +86,7 @@ pub fn render_timeline<D: FdValue>(run: &Run<D>, memory: Option<&Memory>, window
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upsilon_sim::{FailurePattern, Key, Output, SimBuilder, Time, TraceLevel};
+    use upsilon_sim::{algo, FailurePattern, Key, Output, SimBuilder, Time, TraceLevel};
 
     fn sample_outcome() -> upsilon_sim::SimOutcome<()> {
         let pattern = FailurePattern::builder(2)
@@ -95,12 +95,12 @@ mod tests {
         SimBuilder::<()>::new(pattern)
             .trace_level(TraceLevel::Full)
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let reg = crate::mem::Register::new(Key::new("r"), 0u64);
                     for i in 0..4 {
-                        reg.write(&ctx, i)?;
+                        reg.write(&ctx, i).await?;
                     }
-                    ctx.output(Output::Decide(pid.index() as u64))?;
+                    ctx.output(Output::Decide(pid.index() as u64)).await?;
                     Ok(())
                 })
             })

@@ -29,7 +29,7 @@
 //! candidate set provides.
 
 use upsilon_mem::RegisterArray;
-use upsilon_sim::{AlgoFn, Crashed, Ctx, Key, Output, ProcessId, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, Output, ProcessId, ProcessSet};
 
 /// Picks the member of `u` with the lowest timestamp (ties toward smaller
 /// ids).
@@ -48,24 +48,24 @@ fn least_active_member(u: ProcessSet, stamps: &[u64]) -> ProcessId {
 /// [`Output::Leader`] at every query. Validate with
 /// [`upsilon_fd::check_anti_omega`].
 pub fn upsilon_to_anti_omega_algorithm() -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| extraction_loop(&ctx))
+    algo(move |ctx| async move { extraction_loop(&ctx).await })
 }
 
-fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
+async fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let board = RegisterArray::<u64>::new(Key::new("hb"), n_plus_1, 0);
     let mut ts: u64 = 0;
     loop {
         ts += 1;
-        board.write_mine(ctx, ts)?;
-        let u = ctx.query_fd()?;
-        let stamps = board.collect(ctx)?;
+        board.write_mine(ctx, ts).await?;
+        let u = ctx.query_fd().await?;
+        let stamps = board.collect(ctx).await?;
         let candidate = least_active_member(u, &stamps);
         // anti-Ω is queried per step and is *unstable*: publish every
         // iteration (not on change), so the published stream faithfully
         // samples the emulated output over time — the spec is about which
         // processes keep appearing, not about a final value.
-        ctx.output(Output::Leader(candidate))?;
+        ctx.output(Output::Leader(candidate)).await?;
     }
 }
 

@@ -12,7 +12,7 @@
 
 use crate::adversary::Candidate;
 use upsilon_mem::RegisterArray;
-use upsilon_sim::{AlgoFn, Key, Output, ProcessId, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Key, Output, ProcessId, ProcessSet};
 
 /// Publishes the `m` most recently active processes (highest heartbeat
 /// timestamps, ties toward smaller ids).
@@ -38,18 +38,18 @@ impl Candidate for ActivityCandidate {
     fn algorithms(&self, n_plus_1: usize, set_size: usize) -> Vec<AlgoFn<ProcessSet>> {
         (0..n_plus_1)
             .map(|_| -> AlgoFn<ProcessSet> {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let board = RegisterArray::<u64>::new(Key::new("hb"), n_plus_1, 0);
                     let mut ts = 0u64;
                     let mut published = None;
                     loop {
                         ts += 1;
-                        board.write_mine(&ctx, ts)?;
-                        let _ = ctx.query_fd()?;
-                        let stamps = board.collect(&ctx)?;
+                        board.write_mine(&ctx, ts).await?;
+                        let _ = ctx.query_fd().await?;
+                        let stamps = board.collect(&ctx).await?;
                         let l = top_m(&stamps, set_size);
                         if published != Some(l) {
-                            ctx.output(Output::LeaderSet(l))?;
+                            ctx.output(Output::LeaderSet(l)).await?;
                             published = Some(l);
                         }
                     }
@@ -75,10 +75,10 @@ impl Candidate for MirrorCandidate {
     fn algorithms(&self, n_plus_1: usize, set_size: usize) -> Vec<AlgoFn<ProcessSet>> {
         (0..n_plus_1)
             .map(|_| -> AlgoFn<ProcessSet> {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let mut published = None;
                     loop {
-                        let u = ctx.query_fd()?;
+                        let u: ProcessSet = ctx.query_fd().await?;
                         // Deterministic trim/pad to the required size.
                         let mut l: ProcessSet = u.iter().take(set_size).collect();
                         let mut next = 0usize;
@@ -87,7 +87,7 @@ impl Candidate for MirrorCandidate {
                             next += 1;
                         }
                         if published != Some(l) {
-                            ctx.output(Output::LeaderSet(l))?;
+                            ctx.output(Output::LeaderSet(l)).await?;
                             published = Some(l);
                         }
                     }
@@ -112,11 +112,11 @@ impl Candidate for StubbornCandidate {
     fn algorithms(&self, n_plus_1: usize, set_size: usize) -> Vec<AlgoFn<ProcessSet>> {
         (0..n_plus_1)
             .map(|_| -> AlgoFn<ProcessSet> {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let l: ProcessSet = (0..set_size).map(ProcessId).collect();
-                    ctx.output(Output::LeaderSet(l))?;
+                    ctx.output(Output::LeaderSet(l)).await?;
                     loop {
-                        ctx.yield_step()?;
+                        ctx.yield_step().await?;
                     }
                 })
             })

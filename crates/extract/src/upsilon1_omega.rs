@@ -21,14 +21,14 @@
 //!   process.
 
 use upsilon_mem::RegisterArray;
-use upsilon_sim::{AlgoFn, Crashed, Ctx, Key, Output, ProcessId, ProcessSet};
+use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, Output, ProcessId, ProcessSet};
 
 /// Builds the Υ¹ → Ω extraction algorithm for one process (environment
 /// `E_1`). The algorithm never returns; it publishes the currently elected
 /// leader via [`Output::Leader`] whenever it changes. Validate with
 /// [`upsilon_fd::check_omega`].
 pub fn upsilon1_to_omega_algorithm() -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| extraction_loop(&ctx))
+    algo(move |ctx| async move { extraction_loop(&ctx).await })
 }
 
 /// Elects the smallest id among the `n` processes with the highest
@@ -68,14 +68,14 @@ impl Upsilon1Elector {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn step(&mut self, ctx: &Ctx<ProcessSet>) -> Result<ProcessId, Crashed> {
+    pub async fn step(&mut self, ctx: &Ctx<ProcessSet>) -> Result<ProcessId, Crashed> {
         let n_plus_1 = ctx.n_plus_1();
         let all = ProcessSet::all(n_plus_1);
         // Ever-growing timestamp heartbeat.
         self.ts += 1;
-        self.board.write_mine(ctx, self.ts)?;
+        self.board.write_mine(ctx, self.ts).await?;
 
-        let u = ctx.query_fd()?;
+        let u = ctx.query_fd().await?;
         if u != all {
             // Proper subset: Υ¹'s range forces |U| = n, so the complement
             // is a singleton — elect it.
@@ -83,19 +83,19 @@ impl Upsilon1Elector {
                 .min()
                 .expect("complement of a proper subset"))
         } else {
-            let stamps = self.board.collect(ctx)?;
+            let stamps = self.board.collect(ctx).await?;
             Ok(elect_from_timestamps(&stamps))
         }
     }
 }
 
-fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
+async fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
     let mut elector = Upsilon1Elector::new(ctx.n_plus_1());
     let mut published: Option<ProcessId> = None;
     loop {
-        let leader = elector.step(ctx)?;
+        let leader = elector.step(ctx).await?;
         if published != Some(leader) {
-            ctx.output(Output::Leader(leader))?;
+            ctx.output(Output::Leader(leader)).await?;
             published = Some(leader);
         }
     }

@@ -82,31 +82,37 @@ impl<T: Value> AfekSnapshot<T> {
     }
 
     /// Reads all `size` registers, one step each.
-    fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<AfekCell<T>>, Crashed> {
-        (0..self.size).map(|i| self.slot(i).read(ctx)).collect()
+    async fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<AfekCell<T>>, Crashed> {
+        let mut out = Vec::with_capacity(self.size);
+        for i in 0..self.size {
+            out.push(self.slot(i).read(ctx).await?);
+        }
+        Ok(out)
     }
 }
 
 impl<T: Value> crate::snapshot::Snapshot<T> for AfekSnapshot<T> {
-    fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
-        let embedded = self.scan(ctx)?;
+    async fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+        let embedded = self.scan(ctx).await?;
         let me = ctx.pid().index();
-        let current = self.slot(me).read(ctx)?;
-        self.slot(me).write(
-            ctx,
-            AfekCell {
-                seq: current.seq + 1,
-                data: Some(v),
-                embedded,
-            },
-        )
+        let current = self.slot(me).read(ctx).await?;
+        self.slot(me)
+            .write(
+                ctx,
+                AfekCell {
+                    seq: current.seq + 1,
+                    data: Some(v),
+                    embedded,
+                },
+            )
+            .await
     }
 
-    fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
-        let mut first = self.collect(ctx)?;
+    async fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
+        let mut first = self.collect(ctx).await?;
         let mut moved = vec![false; self.size];
         loop {
-            let second = self.collect(ctx)?;
+            let second = self.collect(ctx).await?;
             let mut changed = false;
             for j in 0..self.size {
                 if second[j].seq != first[j].seq {
@@ -133,17 +139,17 @@ mod tests {
     use super::*;
     use crate::snapshot::{non_bot_count, scan_contained_in, Snapshot};
     use std::sync::{Arc, Mutex};
-    use upsilon_sim::{FailurePattern, ProcessId, SeededRandom, SimBuilder, Time};
+    use upsilon_sim::{algo, FailurePattern, ProcessId, SeededRandom, SimBuilder, Time};
 
     #[test]
     fn solo_update_and_scan() {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(1))
             .spawn_all(|_| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = AfekSnapshot::<u64>::new(Key::new("S"), 1);
-                    assert_eq!(snap.scan(&ctx)?, vec![None]);
-                    snap.update(&ctx, 7)?;
-                    assert_eq!(snap.scan(&ctx)?, vec![Some(7)]);
+                    assert_eq!(snap.scan(&ctx).await?, vec![None]);
+                    snap.update(&ctx, 7).await?;
+                    assert_eq!(snap.scan(&ctx).await?, vec![Some(7)]);
                     Ok(())
                 })
             })
@@ -156,13 +162,13 @@ mod tests {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(4))
             .adversary(SeededRandom::new(5))
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = AfekSnapshot::<u64>::new(Key::new("S"), 4);
-                    snap.update(&ctx, pid.index() as u64 + 1)?;
+                    snap.update(&ctx, pid.index() as u64 + 1).await?;
                     loop {
-                        let s = snap.scan(&ctx)?;
+                        let s = snap.scan(&ctx).await?;
                         if non_bot_count(&s) == 4 {
-                            ctx.decide(s.iter().flatten().sum())?;
+                            ctx.decide(s.iter().flatten().sum()).await?;
                             return Ok(());
                         }
                     }
@@ -181,11 +187,11 @@ mod tests {
                 .adversary(SeededRandom::new(seed))
                 .spawn_all(move |pid| {
                     let scans = Arc::clone(&scans2);
-                    Box::new(move |ctx| {
+                    algo(move |ctx| async move {
                         let snap = AfekSnapshot::<u64>::new(Key::new("S"), 3);
                         for round in 1..4u64 {
-                            snap.update(&ctx, pid.index() as u64 * 10 + round)?;
-                            let s = snap.scan(&ctx)?;
+                            snap.update(&ctx, pid.index() as u64 * 10 + round).await?;
+                            let s = snap.scan(&ctx).await?;
                             scans.lock().unwrap().push(s);
                         }
                         Ok(())
@@ -213,15 +219,15 @@ mod tests {
             .build();
         let outcome = SimBuilder::<()>::new(pattern)
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = AfekSnapshot::<u64>::new(Key::new("S"), 2);
                     if pid.index() == 0 {
                         loop {
-                            snap.update(&ctx, 1)?;
+                            snap.update(&ctx, 1).await?;
                         }
                     } else {
-                        let s = snap.scan(&ctx)?;
-                        ctx.decide(non_bot_count(&s) as u64)?;
+                        let s = snap.scan(&ctx).await?;
+                        ctx.decide(non_bot_count(&s) as u64).await?;
                         Ok(())
                     }
                 })
@@ -240,9 +246,9 @@ mod tests {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
             .spawn(
                 ProcessId(0),
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = AfekSnapshot::<u64>::new(Key::new("S"), 3);
-                    let _ = snap.scan(&ctx)?;
+                    let _ = snap.scan(&ctx).await?;
                     Ok(())
                 }),
             )

@@ -91,16 +91,17 @@ impl Consensus {
     /// # Panics
     ///
     /// Panics (a type violation) if the caller is outside the access set.
-    pub fn propose<D: FdValue>(&self, ctx: &Ctx<D>, v: u64) -> Result<u64, Crashed> {
+    pub async fn propose<D: FdValue>(&self, ctx: &Ctx<D>, v: u64) -> Result<u64, Crashed> {
         let allowed = self.allowed;
         ctx.invoke(&self.key, || ConsensusObject::new(allowed), Propose(v))
+            .await
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+    use upsilon_sim::{algo, FailurePattern, SeededRandom, SimBuilder};
 
     #[test]
     fn first_proposal_wins_for_everyone() {
@@ -108,10 +109,10 @@ mod tests {
             let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
                 .adversary(SeededRandom::new(seed))
                 .spawn_all(|pid| {
-                    Box::new(move |ctx| {
+                    algo(move |ctx| async move {
                         let obj = Consensus::new(Key::new("cons"), ProcessSet::all(3));
-                        let d = obj.propose(&ctx, pid.index() as u64 + 100)?;
-                        ctx.decide(d)?;
+                        let d = obj.propose(&ctx, pid.index() as u64 + 100).await?;
+                        ctx.decide(d).await?;
                         Ok(())
                     })
                 })

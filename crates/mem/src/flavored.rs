@@ -47,17 +47,17 @@ impl<T: Value> FlavoredSnapshot<T> {
 }
 
 impl<T: Value> Snapshot<T> for FlavoredSnapshot<T> {
-    fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+    async fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
         match self {
-            FlavoredSnapshot::Native(s) => s.update(ctx, v),
-            FlavoredSnapshot::RegisterBased(s) => s.update(ctx, v),
+            FlavoredSnapshot::Native(s) => s.update(ctx, v).await,
+            FlavoredSnapshot::RegisterBased(s) => s.update(ctx, v).await,
         }
     }
 
-    fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
+    async fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
         match self {
-            FlavoredSnapshot::Native(s) => s.scan(ctx),
-            FlavoredSnapshot::RegisterBased(s) => s.scan(ctx),
+            FlavoredSnapshot::Native(s) => s.scan(ctx).await,
+            FlavoredSnapshot::RegisterBased(s) => s.scan(ctx).await,
         }
     }
 }
@@ -66,19 +66,19 @@ impl<T: Value> Snapshot<T> for FlavoredSnapshot<T> {
 mod tests {
     use super::*;
     use crate::snapshot::non_bot_count;
-    use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+    use upsilon_sim::{algo, FailurePattern, SeededRandom, SimBuilder};
 
     fn run_with(flavor: SnapshotFlavor) -> Vec<u64> {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
             .adversary(SeededRandom::new(9))
             .spawn_all(move |pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), 3);
-                    snap.update(&ctx, pid.index() as u64 + 1)?;
+                    snap.update(&ctx, pid.index() as u64 + 1).await?;
                     loop {
-                        let s = snap.scan(&ctx)?;
+                        let s = snap.scan(&ctx).await?;
                         if non_bot_count(&s) == 3 {
-                            ctx.decide(s.iter().flatten().sum())?;
+                            ctx.decide(s.iter().flatten().sum()).await?;
                             return Ok(());
                         }
                     }

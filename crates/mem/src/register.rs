@@ -70,10 +70,10 @@ impl<T: Value> ObjectType for RegisterObject<T> {
 /// ```no_run
 /// # use upsilon_mem::Register;
 /// # use upsilon_sim::{Ctx, Key, Crashed};
-/// # fn algo(ctx: &Ctx<()>) -> Result<(), Crashed> {
+/// # async fn algo(ctx: &Ctx<()>) -> Result<(), Crashed> {
 /// let d: Register<Option<u64>> = Register::new(Key::new("D"), None);
-/// d.write(ctx, Some(7))?;             // one atomic step
-/// assert_eq!(d.read(ctx)?, Some(7));  // one atomic step
+/// d.write(ctx, Some(7)).await?;             // one atomic step
+/// assert_eq!(d.read(ctx).await?, Some(7));  // one atomic step
 /// # Ok(()) }
 /// ```
 #[derive(Clone, Debug)]
@@ -99,9 +99,12 @@ impl<T: Value> Register<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn read<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<T, Crashed> {
+    pub async fn read<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<T, Crashed> {
         let init = self.initial.clone();
-        match ctx.invoke(&self.key, || RegisterObject::new(init), RegOp::Read)? {
+        match ctx
+            .invoke(&self.key, || RegisterObject::new(init), RegOp::Read)
+            .await?
+        {
             RegResp::Value(v) => Ok(v),
             RegResp::Ack => unreachable!("read returns a value"),
         }
@@ -112,9 +115,12 @@ impl<T: Value> Register<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn write<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+    pub async fn write<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
         let init = self.initial.clone();
-        match ctx.invoke(&self.key, || RegisterObject::new(init), RegOp::Write(v))? {
+        match ctx
+            .invoke(&self.key, || RegisterObject::new(init), RegOp::Write(v))
+            .await?
+        {
             RegResp::Ack => Ok(()),
             RegResp::Value(_) => unreachable!("write returns an ack"),
         }
@@ -173,8 +179,8 @@ impl<T: Value> RegisterArray<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn write_mine<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
-        self.mine(ctx).write(ctx, v)
+    pub async fn write_mine<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+        self.mine(ctx).write(ctx, v).await
     }
 
     /// Reads slot `i`. One atomic step.
@@ -182,8 +188,8 @@ impl<T: Value> RegisterArray<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn read<D: FdValue>(&self, ctx: &Ctx<D>, i: usize) -> Result<T, Crashed> {
-        self.slot(i).read(ctx)
+    pub async fn read<D: FdValue>(&self, ctx: &Ctx<D>, i: usize) -> Result<T, Crashed> {
+        self.slot(i).read(ctx).await
     }
 
     /// Reads every slot in index order (a *collect*: `size` steps, not
@@ -193,15 +199,19 @@ impl<T: Value> RegisterArray<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    pub fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<T>, Crashed> {
-        (0..self.size).map(|i| self.read(ctx, i)).collect()
+    pub async fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<T>, Crashed> {
+        let mut out = Vec::with_capacity(self.size);
+        for i in 0..self.size {
+            out.push(self.read(ctx, i).await?);
+        }
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upsilon_sim::{FailurePattern, SimBuilder};
+    use upsilon_sim::{algo, FailurePattern, SimBuilder};
 
     #[test]
     fn register_object_sequential_semantics() {
@@ -225,14 +235,14 @@ mod tests {
     fn register_read_write_through_ctx() {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let r = Register::new(Key::new("r"), 0u64);
                     if pid.index() == 0 {
-                        r.write(&ctx, 42)?;
+                        r.write(&ctx, 42).await?;
                     } else {
                         loop {
-                            if r.read(&ctx)? == 42 {
-                                ctx.decide(42)?;
+                            if r.read(&ctx).await? == 42 {
+                                ctx.decide(42).await?;
                                 return Ok(());
                             }
                         }
@@ -253,13 +263,13 @@ mod tests {
     fn array_collect_reads_every_slot() {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let arr = RegisterArray::new(Key::new("a"), 3, 0u64);
-                    arr.write_mine(&ctx, pid.index() as u64 + 1)?;
+                    arr.write_mine(&ctx, pid.index() as u64 + 1).await?;
                     loop {
-                        let vals = arr.collect(&ctx)?;
+                        let vals = arr.collect(&ctx).await?;
                         if vals.iter().all(|&v| v > 0) {
-                            ctx.decide(vals.iter().sum())?;
+                            ctx.decide(vals.iter().sum()).await?;
                             return Ok(());
                         }
                     }

@@ -31,20 +31,21 @@ use upsilon_sim::{Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
 /// ```no_run
 /// # use upsilon_mem::{NativeSnapshot, Snapshot};
 /// # use upsilon_sim::{Ctx, Key, Crashed};
-/// # fn algo(ctx: &Ctx<()>) -> Result<(), Crashed> {
+/// # async fn algo(ctx: &Ctx<()>) -> Result<(), Crashed> {
 /// let snap = NativeSnapshot::<u64>::new(Key::new("A"), 4);
-/// snap.update(ctx, 7)?;                       // one atomic step
-/// let contents = snap.scan(ctx)?;             // one atomic step (native)
+/// snap.update(ctx, 7).await?;                 // one atomic step
+/// let contents = snap.scan(ctx).await?;       // one atomic step (native)
 /// assert_eq!(contents[ctx.pid().index()], Some(7));
 /// # Ok(()) }
 /// ```
+#[allow(async_fn_in_trait)] // step futures are driven on one thread; no Send bound wanted
 pub trait Snapshot<T: Value> {
     /// Writes `v` into the caller's position.
     ///
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed>;
+    async fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed>;
 
     /// Returns the contents of all positions, atomically (every two scans
     /// are related by containment).
@@ -52,7 +53,7 @@ pub trait Snapshot<T: Value> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
-    fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed>;
+    async fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed>;
 }
 
 /// Which snapshot implementation a protocol instantiates.
@@ -155,22 +156,26 @@ impl<T: Value> NativeSnapshot<T> {
 }
 
 impl<T: Value> Snapshot<T> for NativeSnapshot<T> {
-    fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
+    async fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
         let size = self.size;
-        let resp = ctx.invoke(
-            &self.key,
-            || SnapshotObject::new(size),
-            SnapOp::Update(ctx.pid().index(), v),
-        )?;
+        let resp = ctx
+            .invoke(
+                &self.key,
+                || SnapshotObject::new(size),
+                SnapOp::Update(ctx.pid().index(), v),
+            )
+            .await?;
         match resp {
             SnapResp::Ack => Ok(()),
             SnapResp::Snap(_) => unreachable!("update returns an ack"),
         }
     }
 
-    fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
+    async fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
         let size = self.size;
-        let resp = ctx.invoke(&self.key, || SnapshotObject::new(size), SnapOp::Scan)?;
+        let resp = ctx
+            .invoke(&self.key, || SnapshotObject::new(size), SnapOp::Scan)
+            .await?;
         match resp {
             SnapResp::Snap(s) => Ok(s),
             SnapResp::Ack => unreachable!("scan returns contents"),
@@ -211,19 +216,19 @@ pub fn scan_contained_in<T: Value>(a: &[Option<T>], b: &[Option<T>]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+    use upsilon_sim::{algo, FailurePattern, SeededRandom, SimBuilder};
 
     #[test]
     fn native_snapshot_update_then_scan() {
         let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = NativeSnapshot::<u64>::new(Key::new("A"), 3);
-                    snap.update(&ctx, pid.index() as u64 * 10)?;
+                    snap.update(&ctx, pid.index() as u64 * 10).await?;
                     loop {
-                        let s = snap.scan(&ctx)?;
+                        let s = snap.scan(&ctx).await?;
                         if non_bot_count(&s) == 3 {
-                            ctx.decide(s.iter().flatten().sum())?;
+                            ctx.decide(s.iter().flatten().sum()).await?;
                             return Ok(());
                         }
                     }
@@ -244,11 +249,11 @@ mod tests {
             .adversary(SeededRandom::new(77))
             .spawn_all(move |pid| {
                 let scans = Arc::clone(&scans2);
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = NativeSnapshot::<u64>::new(Key::new("A"), 4);
                     for round in 0..5u64 {
-                        snap.update(&ctx, pid.index() as u64 * 100 + round)?;
-                        let s = snap.scan(&ctx)?;
+                        snap.update(&ctx, pid.index() as u64 * 100 + round).await?;
+                        let s = snap.scan(&ctx).await?;
                         scans.lock().unwrap().push(s);
                     }
                     Ok(())

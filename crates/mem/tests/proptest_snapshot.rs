@@ -9,7 +9,7 @@ use upsilon_analysis::{check_linearizable, OpRecord, SnapshotSpec};
 use upsilon_mem::{
     scan_contained_in, FlavoredSnapshot, Register, SnapOp, SnapResp, Snapshot, SnapshotFlavor,
 };
-use upsilon_sim::{FailurePattern, Key, ProcessId, SeededRandom, SimBuilder, Time};
+use upsilon_sim::{algo, FailurePattern, Key, ProcessId, SeededRandom, SimBuilder, Time};
 
 /// Runs a snapshot workload (each process: update, scan, repeat) under the
 /// given implementation and records the complete concurrent history —
@@ -27,14 +27,14 @@ fn record_history(
         .adversary(SeededRandom::new(seed))
         .spawn_all(move |pid| {
             let history = Arc::clone(&history2);
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), ctx.n_plus_1());
                 for r in 0..rounds {
                     let v = pid.index() as u64 * 1_000 + r;
                     // Never hold the lock across a step: a lock held there
                     // would deadlock the lockstep scheduler.
                     let invoke = ctx.now();
-                    snap.update(&ctx, v)?;
+                    snap.update(&ctx, v).await?;
                     let response = ctx.now();
                     history.lock().unwrap().push(OpRecord {
                         process: pid,
@@ -44,7 +44,7 @@ fn record_history(
                         resp: SnapResp::Ack,
                     });
                     let invoke = ctx.now();
-                    let s = snap.scan(&ctx)?;
+                    let s = snap.scan(&ctx).await?;
                     let response = ctx.now();
                     history.lock().unwrap().push(OpRecord {
                         process: pid,
@@ -100,15 +100,15 @@ proptest! {
             .spawn_all(move |_| {
                 let result = Arc::clone(&result2);
                 let values = values2.clone();
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = FlavoredSnapshot::<u64>::new(
                         SnapshotFlavor::RegisterBased, Key::new("S"), 1);
                     for v in &values {
-                        snap.update(&ctx, *v)?;
-                        let s = snap.scan(&ctx)?;
+                        snap.update(&ctx, *v).await?;
+                        let s = snap.scan(&ctx).await?;
                         assert_eq!(s, vec![Some(*v)]);
                     }
-                    let s = snap.scan(&ctx)?;
+                    let s = snap.scan(&ctx).await?;
                     *result.lock().unwrap() = s;
                     Ok(())
                 })
@@ -129,11 +129,11 @@ proptest! {
             .adversary(SeededRandom::new(seed))
             .spawn_all(move |pid| {
                 let observed = Arc::clone(&observed2);
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let reg = Register::new(Key::new("r"), 0u64);
                     if pid.index() == 0 {
                         for i in 1..=writes {
-                            reg.write(&ctx, i)?;
+                            reg.write(&ctx, i).await?;
                         }
                         Ok(())
                     } else {
@@ -141,7 +141,7 @@ proptest! {
                         // record the stable value.
                         let mut last = 0;
                         for _ in 0..writes * 10 {
-                            last = reg.read(&ctx)?;
+                            last = reg.read(&ctx).await?;
                         }
                         observed.lock().unwrap().push(last);
                         Ok(())
@@ -166,15 +166,15 @@ proptest! {
             .adversary(SeededRandom::new(seed))
             .spawn_all(move |pid| {
                 let scans = Arc::clone(&scans2);
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = FlavoredSnapshot::<u64>::new(
                         SnapshotFlavor::RegisterBased, Key::new("S"), 4);
                     for r in 0..2u64 {
-                        snap.update(&ctx, pid.index() as u64 + r * 10)?;
+                        snap.update(&ctx, pid.index() as u64 + r * 10).await?;
                         // Take the scan *before* touching the shared Vec: a
                         // lock held across a step would deadlock the
                         // lockstep scheduler (see `upsilon_sim::Ctx` docs).
-                        let s = snap.scan(&ctx)?;
+                        let s = snap.scan(&ctx).await?;
                         scans.lock().unwrap().push(s);
                     }
                     Ok(())

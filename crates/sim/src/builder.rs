@@ -4,26 +4,59 @@
 //! oracle, an adversary and one algorithm per participating process, then
 //! [`SimBuilder::run`] drives the lockstep execution to completion and
 //! returns the recorded [`Run`] plus the final shared [`Memory`].
+//!
+//! The scheduler loop below is engine-agnostic: it makes every scheduling
+//! decision, records every trace event and evaluates every stop condition
+//! itself, delegating only "deliver this grant and tell me the step it
+//! produced" to the selected [`EngineKind`]. Both engines therefore yield
+//! bit-identical [`Run`]s for the same configuration.
 
+use crate::engine::{Engine, EngineKind, InlineEngine, ThreadEngine};
 use crate::error::AlgoResult;
 use crate::failure::FailurePattern;
 use crate::object::Memory;
 use crate::oracle::{FdValue, Oracle};
 use crate::process::{ProcessId, ProcessSet};
-use crate::runtime::{process_main, Ctx, Grant, ProcOutcome, Reply, World};
+use crate::runtime::{Ctx, World};
 use crate::sched::{Adversary, RoundRobin, SchedView};
 use crate::time::Time;
 use crate::trace::{Event, Run, StepKind, StopReason, TraceLevel};
-use crossbeam_channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use std::future::Future;
 use std::marker::PhantomData;
 use std::panic::resume_unwind;
-use std::sync::Arc;
-use std::thread;
+use std::pin::Pin;
+
+/// The suspended state machine of one algorithm: what an [`AlgoFn`] returns.
+pub type AlgoFuture = Pin<Box<dyn Future<Output = AlgoResult>>>;
 
 /// The algorithm a process runs: its automaton of §3.3, written as ordinary
-/// sequential code over a [`Ctx`].
-pub type AlgoFn<D> = Box<dyn FnOnce(Ctx<D>) -> AlgoResult + Send>;
+/// sequential `async` code over a [`Ctx`]. Use [`algo`] to build one from an
+/// async closure without spelling out the boxing.
+pub type AlgoFn<D> = Box<dyn FnOnce(Ctx<D>) -> AlgoFuture + Send>;
+
+/// Wraps an async closure into an [`AlgoFn`].
+///
+/// ```
+/// use upsilon_sim::{algo, FailurePattern, SimBuilder};
+///
+/// let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
+///     .spawn_all(|pid| {
+///         algo(move |ctx| async move {
+///             ctx.decide(pid.index() as u64).await?;
+///             Ok(())
+///         })
+///     })
+///     .run();
+/// assert_eq!(outcome.run.decisions(), vec![Some(0), Some(1)]);
+/// ```
+pub fn algo<D, F, Fut>(f: F) -> AlgoFn<D>
+where
+    D: FdValue,
+    F: FnOnce(Ctx<D>) -> Fut + Send + 'static,
+    Fut: Future<Output = AlgoResult> + 'static,
+{
+    Box::new(move |ctx| Box::pin(f(ctx)))
+}
 
 /// Placeholder oracle for runs whose algorithms never query a failure
 /// detector; panics loudly if queried.
@@ -42,12 +75,12 @@ impl<D: FdValue> Oracle<D> for NoOracleConfigured<D> {
 /// Builder for a single simulated run.
 ///
 /// ```
-/// use upsilon_sim::{FailurePattern, Output, SimBuilder};
+/// use upsilon_sim::{algo, FailurePattern, Output, SimBuilder};
 ///
 /// let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
 ///     .spawn_all(|pid| {
-///         Box::new(move |ctx| {
-///             ctx.decide(pid.index() as u64)?;
+///         algo(move |ctx| async move {
+///             ctx.decide(pid.index() as u64).await?;
 ///             Ok(())
 ///         })
 ///     })
@@ -58,6 +91,7 @@ pub struct SimBuilder<D: FdValue> {
     pattern: FailurePattern,
     oracle: Box<dyn Oracle<D>>,
     adversary: Box<dyn Adversary>,
+    engine: EngineKind,
     trace_level: TraceLevel,
     max_steps: u64,
     #[allow(clippy::type_complexity)]
@@ -70,6 +104,7 @@ impl<D: FdValue> std::fmt::Debug for SimBuilder<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimBuilder")
             .field("pattern", &self.pattern)
+            .field("engine", &self.engine)
             .field("max_steps", &self.max_steps)
             .finish_non_exhaustive()
     }
@@ -86,7 +121,8 @@ pub struct SimOutcome<D> {
 
 impl<D: FdValue> SimBuilder<D> {
     /// Starts a run under failure pattern `pattern`, with a round-robin
-    /// scheduler, no oracle and a 2 million step budget by default.
+    /// scheduler, no oracle, the inline engine and a 2 million step budget
+    /// by default.
     pub fn new(pattern: FailurePattern) -> Self {
         let n_plus_1 = pattern.n_plus_1();
         let mut algos = Vec::with_capacity(n_plus_1);
@@ -95,6 +131,7 @@ impl<D: FdValue> SimBuilder<D> {
             pattern,
             oracle: Box::new(NoOracleConfigured(PhantomData)),
             adversary: Box::new(RoundRobin::new()),
+            engine: EngineKind::default(),
             trace_level: TraceLevel::Steps,
             max_steps: 2_000_000,
             stop_when: None,
@@ -112,6 +149,12 @@ impl<D: FdValue> SimBuilder<D> {
     /// Sets the scheduling adversary (default: fair round-robin).
     pub fn adversary(mut self, adversary: impl Adversary + 'static) -> Self {
         self.adversary = Box::new(adversary);
+        self
+    }
+
+    /// Selects the execution engine (default: [`EngineKind::Inline`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -170,195 +213,145 @@ impl<D: FdValue> SimBuilder<D> {
     /// [`propagate_panics`](Self::propagate_panics)`(false)`), and panics if
     /// the adversary schedules an ineligible process.
     pub fn run(mut self) -> SimOutcome<D> {
-        let n_plus_1 = self.pattern.n_plus_1();
-        let world = Arc::new(Mutex::new(World {
+        let world = World {
             memory: Memory::new(),
             oracle: self.oracle,
             trace_level: self.trace_level,
-        }));
-
-        let (reply_tx, reply_rx) = unbounded::<(ProcessId, Reply<D>)>();
-        let mut grant_txs: Vec<Option<Sender<Grant>>> = Vec::with_capacity(n_plus_1);
-        let mut handles = Vec::with_capacity(n_plus_1);
-        for (i, slot) in self.algos.iter_mut().enumerate() {
-            match slot.take() {
-                Some(algo) => {
-                    let (gtx, grx) = unbounded::<Grant>();
-                    let ctx = Ctx::new(
-                        ProcessId(i),
-                        n_plus_1,
-                        grx,
-                        reply_tx.clone(),
-                        Arc::clone(&world),
-                    );
-                    grant_txs.push(Some(gtx));
-                    handles.push(Some(
-                        thread::Builder::new()
-                            .name(format!("p{}", i + 1))
-                            .spawn(move || process_main(ctx, algo))
-                            .expect("spawn process thread"),
-                    ));
-                }
-                None => {
-                    grant_txs.push(None);
-                    handles.push(None);
-                }
-            }
-        }
-        drop(reply_tx);
-
-        let mut events: Vec<Event<D>> = Vec::new();
-        let mut outputs = Vec::new();
-        let mut fd_samples = Vec::new();
-        let mut steps_by = vec![0u64; n_plus_1];
-        let mut last_output: Vec<Option<crate::trace::Output>> = vec![None; n_plus_1];
-        let mut known_finished = vec![false; n_plus_1];
-        let mut stopped = vec![false; n_plus_1];
-        let mut crash_observed = vec![None; n_plus_1];
-        let mut total_steps = 0u64;
-        let mut t = Time::ZERO;
-
-        let stop = loop {
-            // Deliver crashes due by the current time (run condition 1: a
-            // crashed process takes no step at or after its crash time).
-            for i in 0..n_plus_1 {
-                if !stopped[i] && self.pattern.is_crashed_at(ProcessId(i), t) {
-                    stopped[i] = true;
-                    crash_observed[i] = Some(t);
-                    if let Some(tx) = &grant_txs[i] {
-                        let _ = tx.send(Grant::Stop);
-                    }
-                }
-            }
-
-            let mut eligible = ProcessSet::new();
-            for i in 0..n_plus_1 {
-                if grant_txs[i].is_some() && !stopped[i] && !known_finished[i] {
-                    eligible.insert(ProcessId(i));
-                }
-            }
-            if eligible.is_empty() {
-                break StopReason::AllDone;
-            }
-            if total_steps >= self.max_steps {
-                break StopReason::BudgetExhausted;
-            }
-
-            let view = SchedView {
-                time: t,
-                eligible,
-                steps_by: &steps_by,
-                outputs: &outputs,
-                last_output: &last_output,
-            };
-            if let Some(pred) = self.stop_when.as_mut() {
-                if pred(&view) {
-                    break StopReason::Predicate;
-                }
-            }
-            let Some(p) = self.adversary.next_process(&view) else {
-                break StopReason::AdversaryStopped;
-            };
-            assert!(
-                eligible.contains(p),
-                "adversary scheduled ineligible process {p} at {t}"
-            );
-
-            let granted = grant_txs[p.index()]
-                .as_ref()
-                .expect("eligible process has a grant channel")
-                .send(Grant::Step(t));
-            if granted.is_err() {
-                // The thread died (it must have panicked); treat as finished
-                // and let shutdown surface the panic.
-                known_finished[p.index()] = true;
-                continue;
-            }
-
-            // Wait for p's reply, absorbing stray Finished notices from
-            // other (e.g. panicked) processes along the way so the lockstep
-            // invariant — at most one outstanding grant — is preserved.
-            loop {
-                match reply_rx.recv() {
-                    Ok((pid, Reply::Step(kind))) => {
-                        assert_eq!(pid, p, "reply from unexpected process");
-                        match &kind {
-                            StepKind::Query(v) => fd_samples.push((t, p, v.clone())),
-                            StepKind::Output(o) => {
-                                outputs.push((t, p, *o));
-                                last_output[p.index()] = Some(*o);
-                            }
-                            StepKind::Op { .. } | StepKind::NoOp => {}
-                        }
-                        events.push(Event {
-                            time: t,
-                            pid: p,
-                            kind,
-                        });
-                        steps_by[p.index()] += 1;
-                        total_steps += 1;
-                        t = t.next();
-                        break;
-                    }
-                    Ok((pid, Reply::Finished)) => {
-                        known_finished[pid.index()] = true;
-                        if pid == p {
-                            break;
-                        }
-                    }
-                    Err(_) => {
-                        // All process threads are gone; shut down.
-                        known_finished[p.index()] = true;
-                        break;
-                    }
-                }
-            }
         };
+        let algos = std::mem::take(&mut self.algos);
+        let has_algo: Vec<bool> = algos.iter().map(|a| a.is_some()).collect();
+        let engine: Box<dyn Engine<D>> = match self.engine {
+            EngineKind::Inline => Box::new(InlineEngine::launch(world, algos)),
+            EngineKind::Threads => Box::new(ThreadEngine::launch(world, algos)),
+        };
+        drive(
+            engine,
+            &has_algo,
+            self.pattern,
+            self.adversary,
+            self.stop_when,
+            self.max_steps,
+            self.propagate_panics,
+        )
+    }
+}
 
-        // Shutdown: wake every blocked process, then join.
-        for tx in grant_txs.iter().flatten() {
-            let _ = tx.send(Grant::Stop);
-        }
-        drop(grant_txs);
-        drop(reply_rx);
+/// The engine-agnostic scheduler loop. Every observable of a [`Run`] is
+/// produced here, so two engines driving the same deterministic algorithms
+/// cannot diverge.
+#[allow(clippy::type_complexity)]
+fn drive<D: FdValue>(
+    mut engine: Box<dyn Engine<D>>,
+    has_algo: &[bool],
+    pattern: FailurePattern,
+    mut adversary: Box<dyn Adversary>,
+    mut stop_when: Option<Box<dyn FnMut(&SchedView<'_>) -> bool>>,
+    max_steps: u64,
+    propagate_panics: bool,
+) -> SimOutcome<D> {
+    let n_plus_1 = pattern.n_plus_1();
+    let mut events: Vec<Event<D>> = Vec::new();
+    let mut outputs = Vec::new();
+    let mut fd_samples = Vec::new();
+    let mut steps_by = vec![0u64; n_plus_1];
+    let mut last_output: Vec<Option<crate::trace::Output>> = vec![None; n_plus_1];
+    let mut known_finished = vec![false; n_plus_1];
+    let mut stopped = vec![false; n_plus_1];
+    let mut crash_observed = vec![None; n_plus_1];
+    let mut total_steps = 0u64;
+    let mut t = Time::ZERO;
 
-        let mut finished = vec![false; n_plus_1];
-        let mut first_panic = None;
-        for (i, handle) in handles.into_iter().enumerate() {
-            let Some(handle) = handle else { continue };
-            match handle.join() {
-                Ok(ProcOutcome::FinishedOk) => finished[i] = true,
-                Ok(ProcOutcome::Crashed) => {}
-                Ok(ProcOutcome::Panicked(payload)) | Err(payload) => {
-                    if first_panic.is_none() {
-                        first_panic = Some(payload);
-                    }
+    let stop = loop {
+        // Deliver crashes due by the current time (run condition 1: a
+        // crashed process takes no step at or after its crash time).
+        for i in 0..n_plus_1 {
+            if !stopped[i] && pattern.is_crashed_at(ProcessId(i), t) {
+                stopped[i] = true;
+                crash_observed[i] = Some(t);
+                if has_algo[i] {
+                    engine.stop(ProcessId(i));
                 }
             }
         }
-        if self.propagate_panics {
-            if let Some(payload) = first_panic {
-                resume_unwind(payload);
+
+        let mut eligible = ProcessSet::new();
+        for i in 0..n_plus_1 {
+            if has_algo[i] && !stopped[i] && !known_finished[i] {
+                eligible.insert(ProcessId(i));
             }
         }
-
-        let world = Arc::try_unwrap(world)
-            .unwrap_or_else(|_| panic!("world still shared after all threads joined"))
-            .into_inner();
-
-        SimOutcome {
-            run: Run {
-                pattern: self.pattern,
-                events,
-                outputs,
-                fd_samples,
-                steps_by,
-                finished,
-                crash_observed,
-                total_steps,
-                stop,
-            },
-            memory: world.memory,
+        if eligible.is_empty() {
+            break StopReason::AllDone;
         }
+        if total_steps >= max_steps {
+            break StopReason::BudgetExhausted;
+        }
+
+        let view = SchedView {
+            time: t,
+            eligible,
+            steps_by: &steps_by,
+            outputs: &outputs,
+            last_output: &last_output,
+        };
+        if let Some(pred) = stop_when.as_mut() {
+            if pred(&view) {
+                break StopReason::Predicate;
+            }
+        }
+        let Some(p) = adversary.next_process(&view) else {
+            break StopReason::AdversaryStopped;
+        };
+        assert!(
+            eligible.contains(p),
+            "adversary scheduled ineligible process {p} at {t}"
+        );
+
+        let mut notice = |pid: ProcessId| known_finished[pid.index()] = true;
+        match engine.grant(p, t, &mut notice) {
+            Some(kind) => {
+                match &kind {
+                    StepKind::Query(v) => fd_samples.push((t, p, v.clone())),
+                    StepKind::Output(o) => {
+                        outputs.push((t, p, *o));
+                        last_output[p.index()] = Some(*o);
+                    }
+                    StepKind::Op { .. } | StepKind::NoOp => {}
+                }
+                events.push(Event {
+                    time: t,
+                    pid: p,
+                    kind,
+                });
+                steps_by[p.index()] += 1;
+                total_steps += 1;
+                t = t.next();
+            }
+            None => {
+                known_finished[p.index()] = true;
+            }
+        }
+    };
+
+    let shutdown = engine.shutdown();
+    if propagate_panics {
+        if let Some(payload) = shutdown.first_panic {
+            resume_unwind(payload);
+        }
+    }
+
+    SimOutcome {
+        run: Run {
+            pattern,
+            events,
+            outputs,
+            fd_samples,
+            steps_by,
+            finished: shutdown.finished,
+            crash_observed,
+            total_steps,
+            stop,
+        },
+        memory: shutdown.world.memory,
     }
 }

@@ -20,12 +20,19 @@
 //! * Completed executions are [`Run`]s: the `⟨F, H, S, T⟩` tuple of §3.3
 //!   together with the induced trace of §3.4.
 //!
-//! Algorithms are ordinary sequential Rust closures over a [`Ctx`]; each
-//! `Ctx` operation costs exactly one granted step, so step complexity in the
-//! traces equals step complexity in the paper's model.
+//! Algorithms are ordinary sequential Rust `async` closures over a [`Ctx`];
+//! each `Ctx` operation costs exactly one granted step, so step complexity
+//! in the traces equals step complexity in the paper's model. The compiler
+//! turns each algorithm into a resumable state machine, which an
+//! [`EngineKind`] drives either on dedicated OS threads
+//! ([`EngineKind::Threads`], the historical lockstep runtime) or entirely on
+//! one thread ([`EngineKind::Inline`], the default — no channels, locks or
+//! context switches on the hot path). Both engines produce bit-identical
+//! [`Run`]s; independent runs fan out across a worker pool with
+//! [`run_batch`].
 //!
 //! ```
-//! use upsilon_sim::{FailurePattern, SeededRandom, SimBuilder};
+//! use upsilon_sim::{algo, EngineKind, FailurePattern, SeededRandom, SimBuilder};
 //!
 //! // Two processes race to write a register; whoever reads the other's
 //! // value first decides it.
@@ -48,14 +55,17 @@
 //!
 //! let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
 //!     .adversary(SeededRandom::new(42))
-//!     .spawn_all(|pid| Box::new(move |ctx| {
+//!     .engine(EngineKind::Inline) // the default; Threads gives the same trace
+//!     .spawn_all(|pid| algo(move |ctx| async move {
 //!         let me = pid.index() as u64;
 //!         let other = 1 - pid.index();
-//!         ctx.invoke(&Key::new("c").at(pid.index() as u64), Cell::default, Op::Write(me))?;
+//!         ctx.invoke(&Key::new("c").at(pid.index() as u64), Cell::default, Op::Write(me)).await?;
 //!         loop {
-//!             let seen = ctx.invoke(&Key::new("c").at(other as u64), Cell::default, Op::Read)?;
+//!             let seen = ctx
+//!                 .invoke(&Key::new("c").at(other as u64), Cell::default, Op::Read)
+//!                 .await?;
 //!             if let Some(v) = seen {
-//!                 ctx.decide(v)?;
+//!                 ctx.decide(v).await?;
 //!                 return Ok(());
 //!             }
 //!         }
@@ -68,7 +78,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod builder;
+mod engine;
 mod error;
 mod failure;
 mod object;
@@ -80,7 +92,9 @@ mod sched;
 mod time;
 mod trace;
 
-pub use builder::{AlgoFn, SimBuilder, SimOutcome};
+pub use batch::{default_workers, run_batch};
+pub use builder::{algo, AlgoFn, AlgoFuture, SimBuilder, SimOutcome};
+pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};
 pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
 pub use object::{Key, Memory, ObjectId, ObjectType};

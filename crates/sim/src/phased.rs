@@ -128,8 +128,10 @@ mod tests {
 
     fn spin_all(n: usize) -> SimBuilder<()> {
         SimBuilder::<()>::new(FailurePattern::failure_free(n)).spawn_all(|pid| {
-            Box::new(move |ctx| loop {
-                ctx.output(Output::Value(pid.index() as u64))?;
+            crate::builder::algo(move |ctx| async move {
+                loop {
+                    ctx.output(Output::Value(pid.index() as u64)).await?;
+                }
             })
         })
     }
@@ -179,8 +181,10 @@ mod tests {
                 Phase::steps(ProcessSet::singleton(ProcessId(0)), 2),
             ]))
             .spawn_all(|_| {
-                Box::new(move |ctx| loop {
-                    ctx.yield_step()?;
+                crate::builder::algo(move |ctx| async move {
+                    loop {
+                        ctx.yield_step().await?;
+                    }
                 })
             })
             .run();

@@ -1,11 +1,21 @@
-//! The lockstep process runtime.
+//! The per-process execution context and its two execution modes.
 //!
-//! Every process runs its algorithm on a dedicated OS thread, but the
-//! simulator grants *atomic steps* one at a time: an algorithm blocks inside
-//! every [`Ctx`] operation until the scheduler grants it the next step, then
-//! performs exactly one shared-memory operation (or failure-detector query,
-//! or output) under the world lock, reports what it did, and resumes local
-//! computation. Since at most one grant is outstanding at any moment, shared
+//! Algorithms are written as ordinary sequential code over a [`Ctx`], made
+//! resumable by the compiler: every `Ctx` operation is an `async fn` whose
+//! future completes exactly when the scheduler grants the process its next
+//! atomic step. The same algorithm state machine can therefore be driven two
+//! ways (see [`EngineKind`](crate::EngineKind)):
+//!
+//! * **Thread lockstep** — the historical engine: each process polls its
+//!   future to completion on a dedicated OS thread, and every step future
+//!   blocks inside `poll` on a grant channel. Futures never observe
+//!   `Pending`; suspension is physical (a blocked thread).
+//! * **Inline** — the fast engine: the whole run executes on one thread.
+//!   A step future that finds no grant pending returns `Poll::Pending`,
+//!   suspending the algorithm *as data*; the scheduler resumes it with one
+//!   `poll` per granted step. No channels, locks or context switches.
+//!
+//! Either way, at most one grant is outstanding at any moment, so shared
 //! state is accessed by at most one process at a time — each step is atomic
 //! as §3.3 requires — and the whole run is deterministic given the
 //! adversary's choices.
@@ -16,13 +26,14 @@ use crate::oracle::{FdValue, Oracle};
 use crate::process::ProcessId;
 use crate::time::Time;
 use crate::trace::{Output, StepKind, TraceLevel};
-use crossbeam_channel::{Receiver, Sender};
-use parking_lot::Mutex;
-use std::cell::Cell;
-use std::sync::Arc;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::task::Poll;
 
 /// Message from the scheduler to a process: take a step, or stop forever.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum Grant {
     /// Permission to take exactly one step at the given time.
     Step(Time),
@@ -30,7 +41,8 @@ pub(crate) enum Grant {
     Stop,
 }
 
-/// Message from a process back to the scheduler.
+/// Message from a process back to the scheduler (thread engine only; the
+/// inline engine reads the step out of the process cell directly).
 #[derive(Debug)]
 pub(crate) enum Reply<D> {
     /// The granted step was taken; here is what it did.
@@ -46,29 +58,61 @@ pub(crate) struct World<D: FdValue> {
     pub(crate) trace_level: TraceLevel,
 }
 
+/// Per-process mailbox of the inline engine: the scheduler deposits a grant,
+/// the step future consumes it, performs its operation and deposits the
+/// step report back.
+pub(crate) struct ProcCell<D: FdValue> {
+    pub(crate) grant: Cell<Option<Grant>>,
+    pub(crate) reply: RefCell<Option<StepKind<D>>>,
+}
+
+impl<D: FdValue> ProcCell<D> {
+    pub(crate) fn new() -> Self {
+        ProcCell {
+            grant: Cell::new(None),
+            reply: RefCell::new(None),
+        }
+    }
+}
+
+/// How the context reaches the scheduler and the shared world.
+enum Mode<D: FdValue> {
+    /// Thread-lockstep engine: block on channels, lock the world.
+    Thread {
+        grant_rx: Rc<Receiver<Grant>>,
+        reply_tx: Sender<(ProcessId, Reply<D>)>,
+        world: Arc<Mutex<World<D>>>,
+    },
+    /// Inline engine: everything lives on the scheduler's own thread.
+    Inline {
+        cell: Rc<ProcCell<D>>,
+        world: Rc<RefCell<World<D>>>,
+    },
+}
+
 /// The per-process execution context handed to algorithm code.
 ///
-/// All methods that take a step return `Err(`[`Crashed`]`)` once the process
-/// has crashed according to the failure pattern (or the run is shutting
-/// down); algorithms propagate it with `?`, which models crash-stop cleanly.
+/// All methods that take a step are `async` and return `Err(`[`Crashed`]`)`
+/// once the process has crashed according to the failure pattern (or the run
+/// is shutting down); algorithms propagate it with `?`, which models
+/// crash-stop cleanly.
 ///
 /// # Deadlock hazard: external locks across steps
 ///
 /// Test harnesses often share an `Arc<Mutex<…>>` between process closures
-/// to collect results. Never hold such a lock across a `Ctx` call: every
-/// `Ctx` method blocks until the scheduler grants a step, and the scheduler
-/// in turn waits for whichever process it *last* granted — if that process
-/// is blocked on your mutex, the run deadlocks. In particular beware
-/// receiver-first evaluation order: `shared.lock().unwrap().push(ctx_op()?)`
-/// acquires the lock *before* running `ctx_op`. Bind the step result to a
-/// local first, then lock.
+/// to collect results. Never hold such a lock across an `.await`: under the
+/// thread engine every `Ctx` method blocks until the scheduler grants a
+/// step, and the scheduler in turn waits for whichever process it *last*
+/// granted — if that process is blocked on your mutex, the run deadlocks.
+/// In particular beware receiver-first evaluation order:
+/// `shared.lock().unwrap().push(ctx_op().await?)` acquires the lock
+/// *before* running `ctx_op`. Bind the step result to a local first, then
+/// lock.
 pub struct Ctx<D: FdValue> {
     pid: ProcessId,
     n_plus_1: usize,
-    grant_rx: Receiver<Grant>,
-    reply_tx: Sender<(ProcessId, Reply<D>)>,
-    world: Arc<Mutex<World<D>>>,
     now: Cell<Time>,
+    mode: Mode<D>,
 }
 
 impl<D: FdValue> std::fmt::Debug for Ctx<D> {
@@ -81,20 +125,36 @@ impl<D: FdValue> std::fmt::Debug for Ctx<D> {
 }
 
 impl<D: FdValue> Ctx<D> {
-    pub(crate) fn new(
+    pub(crate) fn thread(
         pid: ProcessId,
         n_plus_1: usize,
-        grant_rx: Receiver<Grant>,
+        grant_rx: Rc<Receiver<Grant>>,
         reply_tx: Sender<(ProcessId, Reply<D>)>,
         world: Arc<Mutex<World<D>>>,
     ) -> Self {
         Ctx {
             pid,
             n_plus_1,
-            grant_rx,
-            reply_tx,
-            world,
             now: Cell::new(Time::ZERO),
+            mode: Mode::Thread {
+                grant_rx,
+                reply_tx,
+                world,
+            },
+        }
+    }
+
+    pub(crate) fn inline(
+        pid: ProcessId,
+        n_plus_1: usize,
+        cell: Rc<ProcCell<D>>,
+        world: Rc<RefCell<World<D>>>,
+    ) -> Self {
+        Ctx {
+            pid,
+            n_plus_1,
+            now: Cell::new(Time::ZERO),
+            mode: Mode::Inline { cell, world },
         }
     }
 
@@ -120,27 +180,52 @@ impl<D: FdValue> Ctx<D> {
         self.now.get()
     }
 
-    /// Core step primitive: waits for a grant, runs `f` atomically under the
-    /// world lock, reports the step, returns `f`'s result.
-    fn step<R>(
+    /// Core step primitive: waits for a grant, runs `f` atomically against
+    /// the shared world, reports the step, returns `f`'s result.
+    ///
+    /// Under the thread engine the wait is a blocking channel receive inside
+    /// `poll` (the future never yields `Pending`); under the inline engine
+    /// the wait *is* `Pending`, and the scheduler's next `poll` of this
+    /// process delivers the grant through its [`ProcCell`].
+    async fn step<R>(
         &self,
         f: impl FnOnce(&mut World<D>, ProcessId, Time) -> (StepKind<D>, R),
     ) -> Result<R, Crashed> {
-        match self.grant_rx.recv() {
-            Ok(Grant::Step(t)) => {
-                self.now.set(t);
-                let (kind, out) = {
-                    let mut world = self.world.lock();
-                    f(&mut world, self.pid, t)
-                };
-                // The scheduler always outlives granted steps; if it dropped
-                // the channel the run is over and we unwind like a crash.
-                match self.reply_tx.send((self.pid, Reply::Step(kind))) {
-                    Ok(()) => Ok(out),
-                    Err(_) => Err(Crashed),
+        match &self.mode {
+            Mode::Thread {
+                grant_rx,
+                reply_tx,
+                world,
+            } => match grant_rx.recv() {
+                Ok(Grant::Step(t)) => {
+                    self.now.set(t);
+                    let (kind, out) = {
+                        let mut world = world.lock().unwrap_or_else(PoisonError::into_inner);
+                        f(&mut world, self.pid, t)
+                    };
+                    // The scheduler always outlives granted steps; if it
+                    // dropped the channel the run is over and we unwind like
+                    // a crash.
+                    match reply_tx.send((self.pid, Reply::Step(kind))) {
+                        Ok(()) => Ok(out),
+                        Err(_) => Err(Crashed),
+                    }
                 }
+                Ok(Grant::Stop) | Err(_) => Err(Crashed),
+            },
+            Mode::Inline { cell, world } => {
+                let granted = std::future::poll_fn(|_cx| match cell.grant.take() {
+                    Some(Grant::Step(t)) => Poll::Ready(Ok(t)),
+                    Some(Grant::Stop) => Poll::Ready(Err(Crashed)),
+                    None => Poll::Pending,
+                })
+                .await;
+                let t = granted?;
+                self.now.set(t);
+                let (kind, out) = f(&mut world.borrow_mut(), self.pid, t);
+                *cell.reply.borrow_mut() = Some(kind);
+                Ok(out)
             }
-            Ok(Grant::Stop) | Err(_) => Err(Crashed),
         }
     }
 
@@ -150,7 +235,7 @@ impl<D: FdValue> Ctx<D> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if this process crashed or the run ended.
-    pub fn invoke<O: ObjectType>(
+    pub async fn invoke<O: ObjectType>(
         &self,
         key: &Key,
         init: impl FnOnce() -> O,
@@ -166,6 +251,7 @@ impl<D: FdValue> Ctx<D> {
             let detail = detail_prefix.map(|p| format!("{p} -> {resp:?}").into_boxed_str());
             (StepKind::Op { object: id, detail }, resp)
         })
+        .await
     }
 
     /// Queries this process's failure-detector module: returns `H(p, t)` for
@@ -174,11 +260,12 @@ impl<D: FdValue> Ctx<D> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if this process crashed or the run ended.
-    pub fn query_fd(&self) -> Result<D, Crashed> {
+    pub async fn query_fd(&self) -> Result<D, Crashed> {
         self.step(|world, pid, t| {
             let v = world.oracle.output(pid, t);
             (StepKind::Query(v.clone()), v)
         })
+        .await
     }
 
     /// Produces an application output (§3.3 item iii). One atomic step.
@@ -190,8 +277,9 @@ impl<D: FdValue> Ctx<D> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if this process crashed or the run ended.
-    pub fn output(&self, out: Output) -> Result<(), Crashed> {
+    pub async fn output(&self, out: Output) -> Result<(), Crashed> {
         self.step(move |_world, _pid, _t| (StepKind::Output(out), ()))
+            .await
     }
 
     /// Decides `v` — sugar for `output(Output::Decide(v))`.
@@ -199,8 +287,8 @@ impl<D: FdValue> Ctx<D> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if this process crashed or the run ended.
-    pub fn decide(&self, v: u64) -> Result<(), Crashed> {
-        self.output(Output::Decide(v))
+    pub async fn decide(&self, v: u64) -> Result<(), Crashed> {
+        self.output(Output::Decide(v)).await
     }
 
     /// Takes a step that touches nothing shared. Used to model idle spinning
@@ -209,12 +297,12 @@ impl<D: FdValue> Ctx<D> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if this process crashed or the run ended.
-    pub fn yield_step(&self) -> Result<(), Crashed> {
-        self.step(|_world, _pid, _t| (StepKind::NoOp, ()))
+    pub async fn yield_step(&self) -> Result<(), Crashed> {
+        self.step(|_world, _pid, _t| (StepKind::NoOp, ())).await
     }
 }
 
-/// How a process thread ended.
+/// How a process's algorithm ended.
 pub(crate) enum ProcOutcome {
     /// The algorithm returned `Ok` — the process finished its protocol.
     FinishedOk,
@@ -222,36 +310,4 @@ pub(crate) enum ProcOutcome {
     Crashed,
     /// The algorithm panicked; the payload is re-raised by the runner.
     Panicked(Box<dyn std::any::Any + Send>),
-}
-
-/// Runs the algorithm body and then answers every further grant with
-/// `Finished` until told to stop.
-///
-/// Panics inside the algorithm are caught here (not at the thread boundary)
-/// so the scheduler can be unblocked if the panic happened mid-step: a
-/// `Finished` notice is sent, which the runner absorbs whether or not a
-/// grant was outstanding.
-pub(crate) fn process_main<D: FdValue>(
-    ctx: Ctx<D>,
-    algo: Box<dyn FnOnce(Ctx<D>) -> Result<(), Crashed> + Send>,
-) -> ProcOutcome {
-    let pid = ctx.pid;
-    let grant_rx = ctx.grant_rx.clone();
-    let reply_tx = ctx.reply_tx.clone();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || algo(ctx)));
-    let outcome = match result {
-        Ok(Ok(())) => ProcOutcome::FinishedOk,
-        Ok(Err(Crashed)) => ProcOutcome::Crashed,
-        Err(payload) => {
-            // A grant may be outstanding; unblock the scheduler.
-            let _ = reply_tx.send((pid, Reply::Finished));
-            ProcOutcome::Panicked(payload)
-        }
-    };
-    while let Ok(Grant::Step(_)) = grant_rx.recv() {
-        if reply_tx.send((pid, Reply::Finished)).is_err() {
-            break;
-        }
-    }
-    outcome
 }

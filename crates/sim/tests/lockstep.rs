@@ -2,7 +2,7 @@
 //! determinism, budgets and stop predicates.
 
 use upsilon_sim::{
-    DummyOracle, FailurePattern, FnAdversary, Key, ObjectType, Output, ProcessId, RoundRobin,
+    algo, DummyOracle, FailurePattern, FnAdversary, Key, ObjectType, Output, ProcessId, RoundRobin,
     Scripted, SeededRandom, SimBuilder, StepKind, StopReason, Time, TraceLevel, WeightedRandom,
 };
 
@@ -37,9 +37,10 @@ fn counter_key() -> Key {
 fn steps_are_counted_and_attributed() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
         .spawn_all(|_| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 for _ in 0..5 {
-                    ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)?;
+                    ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)
+                        .await?;
                 }
                 Ok(())
             })
@@ -65,10 +66,14 @@ fn crashed_process_takes_no_step_at_or_after_crash_time() {
     let outcome = SimBuilder::<()>::new(pattern)
         .adversary(RoundRobin::new())
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                let v = ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)?;
-                if v >= 50 {
-                    return Ok(());
+            algo(move |ctx| async move {
+                loop {
+                    let v = ctx
+                        .invoke(&counter_key(), Counter::default, CounterOp::Incr)
+                        .await?;
+                    if v >= 50 {
+                        return Ok(());
+                    }
                 }
             })
         })
@@ -93,11 +98,12 @@ fn identical_seeds_produce_identical_traces() {
             .adversary(SeededRandom::new(seed))
             .trace_level(TraceLevel::Full)
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     for _ in 0..20 {
-                        ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)?;
+                        ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)
+                            .await?;
                     }
-                    ctx.decide(pid.index() as u64)?;
+                    ctx.decide(pid.index() as u64).await?;
                     Ok(())
                 })
             })
@@ -117,8 +123,10 @@ fn budget_exhaustion_stops_non_terminating_algorithms() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
         .max_steps(100)
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.yield_step().await?;
+                }
             })
         })
         .run();
@@ -132,9 +140,11 @@ fn stop_predicate_ends_run_when_everyone_published() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
         .stop_when(|view| view.last_output.iter().all(|o| o.is_some()))
         .spawn_all(|pid| {
-            Box::new(move |ctx| loop {
-                ctx.output(Output::Value(pid.index() as u64))?;
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.output(Output::Value(pid.index() as u64)).await?;
+                    ctx.yield_step().await?;
+                }
             })
         })
         .run();
@@ -149,8 +159,11 @@ fn scripted_adversary_runs_exact_prefix() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
         .adversary(Scripted::new(script))
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)
+                        .await?;
+                }
             })
         })
         .run();
@@ -173,8 +186,10 @@ fn solo_runs_are_possible() {
             v.eligible.contains(solo).then_some(solo)
         }))
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.yield_step().await?;
+                }
             })
         })
         .run();
@@ -188,9 +203,9 @@ fn non_participating_processes_are_never_scheduled() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
         .spawn(
             ProcessId(0),
-            Box::new(|ctx| {
+            algo(|ctx| async move {
                 for _ in 0..7 {
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                 }
                 Ok(())
             }),
@@ -205,8 +220,8 @@ fn fd_query_steps_record_history_samples() {
     let outcome = SimBuilder::<u64>::new(FailurePattern::failure_free(2))
         .oracle(DummyOracle::new(99u64))
         .spawn_all(|_| {
-            Box::new(move |ctx| {
-                let v = ctx.query_fd()?;
+            algo(move |ctx| async move {
+                let v = ctx.query_fd().await?;
                 assert_eq!(v, 99);
                 Ok(())
             })
@@ -229,8 +244,9 @@ fn full_trace_level_records_op_details() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(1))
         .trace_level(TraceLevel::Full)
         .spawn_all(|_| {
-            Box::new(move |ctx| {
-                ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)?;
+            algo(move |ctx| async move {
+                ctx.invoke(&counter_key(), Counter::default, CounterOp::Incr)
+                    .await?;
                 Ok(())
             })
         })
@@ -251,12 +267,12 @@ fn panics_in_algorithms_propagate_by_default() {
     let result = std::panic::catch_unwind(|| {
         SimBuilder::<()>::new(FailurePattern::failure_free(2))
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
-                    ctx.yield_step()?;
+                algo(move |ctx| async move {
+                    ctx.yield_step().await?;
                     if pid == ProcessId(1) {
                         panic!("deliberate test panic");
                     }
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                     Ok(())
                 })
             })
@@ -270,12 +286,12 @@ fn panics_can_be_suppressed() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
         .propagate_panics(false)
         .spawn_all(|pid| {
-            Box::new(move |ctx| {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                ctx.yield_step().await?;
                 if pid == ProcessId(0) {
                     panic!("deliberate test panic");
                 }
-                ctx.yield_step()?;
+                ctx.yield_step().await?;
                 Ok(())
             })
         })
@@ -290,8 +306,10 @@ fn weighted_scheduler_biases_step_counts() {
         .adversary(WeightedRandom::new(5, vec![1, 20]))
         .max_steps(600)
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.yield_step().await?;
+                }
             })
         })
         .run();
@@ -306,9 +324,9 @@ fn crash_at_time_zero_means_no_steps_ever() {
         .build();
     let outcome = SimBuilder::<()>::new(pattern)
         .spawn_all(|_| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 for _ in 0..3 {
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                 }
                 Ok(())
             })
@@ -331,8 +349,10 @@ fn eligible_set_shrinks_after_crash() {
             v.eligible.min()
         }))
         .spawn_all(|_| {
-            Box::new(move |ctx| loop {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                loop {
+                    ctx.yield_step().await?;
+                }
             })
         })
         .run();
@@ -353,18 +373,19 @@ fn recorded_schedules_replay_to_identical_runs() {
             .adversary(adversary)
             .trace_level(TraceLevel::Full)
             .spawn_all(|pid| {
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     for i in 0..6u64 {
                         ctx.invoke(
                             &Key::new("c").at(pid.index() as u64),
                             Counter::default,
                             CounterOp::Incr,
-                        )?;
+                        )
+                        .await?;
                         if i % 2 == 0 {
-                            let _ = ctx.query_fd()?;
+                            let _ = ctx.query_fd().await?;
                         }
                     }
-                    ctx.decide(pid.index() as u64)?;
+                    ctx.decide(pid.index() as u64).await?;
                     Ok(())
                 })
             })
@@ -383,15 +404,15 @@ fn recorded_schedules_replay_to_identical_runs() {
 #[should_panic(expected = "spawned twice")]
 fn double_spawn_is_rejected() {
     let _ = SimBuilder::<()>::new(FailurePattern::failure_free(2))
-        .spawn(ProcessId(0), Box::new(|_| Ok(())))
-        .spawn(ProcessId(0), Box::new(|_| Ok(())));
+        .spawn(ProcessId(0), algo(|_| async { Ok(()) }))
+        .spawn(ProcessId(0), algo(|_| async { Ok(()) }));
 }
 
 #[test]
 #[should_panic(expected = "out of range")]
 fn spawn_out_of_range_is_rejected() {
     let _ = SimBuilder::<()>::new(FailurePattern::failure_free(2))
-        .spawn(ProcessId(2), Box::new(|_| Ok(())));
+        .spawn(ProcessId(2), algo(|_| async { Ok(()) }));
 }
 
 #[test]
@@ -405,13 +426,13 @@ fn adversary_scheduling_a_finished_process_is_rejected() {
             Some(ProcessId(0))
         }))
         .spawn_all(|pid| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 if pid.index() == 0 {
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                     return Ok(()); // p1 finishes after one step
                 }
                 loop {
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                 }
             })
         })
@@ -423,8 +444,8 @@ fn adversary_scheduling_a_finished_process_is_rejected() {
 fn querying_without_an_oracle_panics_clearly() {
     let _ = SimBuilder::<u64>::new(FailurePattern::failure_free(1))
         .spawn_all(|_| {
-            Box::new(move |ctx| {
-                let _ = ctx.query_fd()?;
+            algo(move |ctx| async move {
+                let _ = ctx.query_fd().await?;
                 Ok(())
             })
         })
@@ -436,11 +457,11 @@ fn now_tracks_the_granted_time() {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(2))
         .adversary(RoundRobin::new())
         .spawn_all(|pid| {
-            Box::new(move |ctx| {
-                ctx.yield_step()?;
+            algo(move |ctx| async move {
+                ctx.yield_step().await?;
                 // Round-robin: p1 moves at t=0, p2 at t=1.
                 assert_eq!(ctx.now(), Time(pid.index() as u64));
-                ctx.yield_step()?;
+                ctx.yield_step().await?;
                 assert_eq!(ctx.now(), Time(2 + pid.index() as u64));
                 Ok(())
             })

@@ -1,0 +1,114 @@
+//! Panic semantics under the inline step engine, and parity with the
+//! thread-lockstep engine.
+//!
+//! A panicking algorithm must stop taking steps at exactly the step where
+//! it panicked: the trace records every step up to (and excluding) the
+//! panicking poll, the process is not marked finished, and — with
+//! `propagate_panics` (the default) — the payload is re-raised to the
+//! caller after the run completes.
+//!
+//! These tests use the deterministic [`RoundRobin`] adversary, not the
+//! seeded-random corpus of `tests/engine_differential.rs`: the one
+//! engine-visible difference between the two engines is *when* the
+//! scheduler learns that a panicked process is gone (immediately inline;
+//! via an asynchronous notice under threads), so panic parity is asserted
+//! on the recorded per-process facts — step counts, event times, finished
+//! flags, survivor decisions — which both engines must agree on exactly.
+
+use weakest_failure_detector::sim::{
+    algo, EngineKind, FailurePattern, ProcessId, RoundRobin, Run, SimBuilder,
+};
+
+/// p1 panics after taking exactly `steps_before_panic` steps; p2 decides.
+fn panicky_run(engine: EngineKind, steps_before_panic: u64) -> Run<()> {
+    SimBuilder::<()>::new(FailurePattern::failure_free(2))
+        .engine(engine)
+        .adversary(RoundRobin::new())
+        .propagate_panics(false)
+        .spawn_all(move |pid| {
+            algo(move |ctx| async move {
+                if pid == ProcessId(0) {
+                    for _ in 0..steps_before_panic {
+                        ctx.yield_step().await?;
+                    }
+                    panic!("deliberate test panic");
+                }
+                ctx.yield_step().await?;
+                ctx.yield_step().await?;
+                ctx.decide(7).await?;
+                Ok(())
+            })
+        })
+        .run()
+        .run
+}
+
+#[test]
+fn inline_panic_is_a_crash_at_the_exact_step() {
+    let run = panicky_run(EngineKind::Inline, 3);
+    // The panicking poll consumed a grant but produced no step: exactly the
+    // three pre-panic steps are on record.
+    assert_eq!(run.steps_by()[0], 3, "steps recorded before the panic");
+    assert!(
+        !run.finished(ProcessId(0)),
+        "a panicked process is not finished"
+    );
+    assert!(
+        run.finished(ProcessId(1)),
+        "the survivor runs to completion"
+    );
+    assert_eq!(run.decisions()[1], Some(7), "the survivor's decision lands");
+}
+
+#[test]
+fn panic_step_time_matches_thread_engine() {
+    for steps_before_panic in [0u64, 1, 3, 5] {
+        let inline = panicky_run(EngineKind::Inline, steps_before_panic);
+        let threads = panicky_run(EngineKind::Threads, steps_before_panic);
+        for p in [ProcessId(0), ProcessId(1)] {
+            let times =
+                |run: &Run<()>| -> Vec<_> { run.events_of(p).map(|e| format!("{e:?}")).collect() };
+            assert_eq!(
+                times(&inline),
+                times(&threads),
+                "event history of {p} diverged at steps_before_panic={steps_before_panic}"
+            );
+            assert_eq!(inline.finished(p), threads.finished(p), "finished({p})");
+        }
+        assert_eq!(
+            inline.steps_by(),
+            threads.steps_by(),
+            "per-process step counts at steps_before_panic={steps_before_panic}"
+        );
+        assert_eq!(inline.decisions(), threads.decisions());
+    }
+}
+
+#[test]
+fn inline_panic_propagates_by_default() {
+    let result = std::panic::catch_unwind(|| {
+        SimBuilder::<()>::new(FailurePattern::failure_free(2))
+            .engine(EngineKind::Inline)
+            .adversary(RoundRobin::new())
+            .spawn_all(|pid| {
+                algo(move |ctx| async move {
+                    ctx.yield_step().await?;
+                    if pid == ProcessId(1) {
+                        panic!("deliberate inline panic");
+                    }
+                    ctx.yield_step().await?;
+                    Ok(())
+                })
+            })
+            .run()
+    });
+    let payload = result.expect_err("panic must propagate from the inline engine");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or_else(|| payload.downcast_ref::<String>().map_or("", |s| s));
+    assert!(
+        msg.contains("deliberate inline panic"),
+        "the original payload is re-raised, got: {msg:?}"
+    );
+}

@@ -1,13 +1,19 @@
 //! Bounded model checking: the k-converge properties and snapshot
 //! containment verified over **every** interleaving of small
 //! configurations — not a sample, the whole space.
+//!
+//! The large sweeps fan their (fully independent, each single-threaded)
+//! runs across the [`run_batch`] worker pool; results come back in
+//! schedule order, so the assertions and failure messages are identical
+//! to the sequential loops they replaced.
 
 use std::sync::{Arc, Mutex};
 use weakest_failure_detector::converge::ConvergeInstance;
 use weakest_failure_detector::exhaustive::{count_interleavings, interleavings};
 use weakest_failure_detector::mem::{scan_contained_in, NativeSnapshot, Snapshot, SnapshotFlavor};
+use weakest_failure_detector::sim::algo;
 use weakest_failure_detector::sim::{
-    FailurePattern, Key, ProcessId, RoundRobin, Scripted, SimBuilder,
+    default_workers, run_batch, FailurePattern, Key, ProcessId, RoundRobin, Scripted, SimBuilder,
 };
 
 /// Shared per-process (picked, committed) results of a converge run.
@@ -30,10 +36,10 @@ fn run_converge_scripted(
         .spawn_all(move |pid| {
             let results = Arc::clone(&results2);
             let v = inputs[pid.index()];
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let inst =
                     ConvergeInstance::new(Key::new("cv"), ctx.n_plus_1(), SnapshotFlavor::Native);
-                let out = inst.converge(&ctx, k, v)?;
+                let out = inst.converge(&ctx, k, v).await?;
                 let mut slot = results.lock().unwrap();
                 slot[pid.index()] = Some(out);
                 Ok(())
@@ -120,8 +126,13 @@ fn two_converge_three_processes_every_interleaving() {
     let inputs = [1u64, 2, 3];
     let schedules = interleavings(&[4, 4, 4]);
     assert_eq!(schedules.len() as u64, count_interleavings(&[4, 4, 4]));
-    for (i, schedule) in schedules.into_iter().enumerate().step_by(stride()) {
-        let outs = run_converge_scripted(&inputs, 2, schedule);
+    let jobs: Vec<_> = schedules
+        .into_iter()
+        .enumerate()
+        .step_by(stride())
+        .map(|(i, schedule)| move || (i, run_converge_scripted(&inputs, 2, schedule)))
+        .collect();
+    for (i, outs) in run_batch(jobs, default_workers()) {
         assert_converge_properties(&inputs, 2, &outs, i);
     }
 }
@@ -133,12 +144,13 @@ fn one_converge_three_processes_every_interleaving() {
     let inputs = [7u64, 7, 9];
     let mut commits_seen = false;
     let mut non_commits_seen = false;
-    for (i, schedule) in interleavings(&[4, 4, 4])
+    let jobs: Vec<_> = interleavings(&[4, 4, 4])
         .into_iter()
         .enumerate()
         .step_by(stride())
-    {
-        let outs = run_converge_scripted(&inputs, 1, schedule);
+        .map(|(i, schedule)| move || (i, run_converge_scripted(&inputs, 1, schedule)))
+        .collect();
+    for (i, outs) in run_batch(jobs, default_workers()) {
         assert_converge_properties(&inputs, 1, &outs, i);
         let any_commit = outs.iter().flatten().any(|(_, c)| *c);
         commits_seen |= any_commit;
@@ -162,10 +174,10 @@ fn snapshot_containment_every_interleaving() {
             .adversary(Scripted::then(schedule, RoundRobin::new()))
             .spawn_all(move |pid| {
                 let scans = Arc::clone(&scans2);
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = NativeSnapshot::<u64>::new(Key::new("S"), 3);
-                    snap.update(&ctx, pid.index() as u64 + 1)?;
-                    let s = snap.scan(&ctx)?;
+                    snap.update(&ctx, pid.index() as u64 + 1).await?;
+                    let s = snap.scan(&ctx).await?;
                     let mut shared = scans.lock().unwrap();
                     shared.push(s);
                     Ok(())
@@ -205,10 +217,10 @@ fn run_converge_script_only(
         .spawn_all(move |pid| {
             let results = Arc::clone(&results2);
             let v = inputs[pid.index()];
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let inst =
                     ConvergeInstance::new(Key::new("cv"), ctx.n_plus_1(), SnapshotFlavor::Native);
-                let out = inst.converge(&ctx, k, v)?;
+                let out = inst.converge(&ctx, k, v).await?;
                 let mut slot = results.lock().unwrap();
                 slot[pid.index()] = Some(out);
                 Ok(())
@@ -225,32 +237,43 @@ fn run_converge_script_only(
 #[test]
 fn commit_adopt_every_interleaving_every_crash_point() {
     let inputs = [4u64, 9];
-    for schedule in interleavings(&[4, 4]) {
-        for cut in 0..=schedule.len() {
-            // Drop p1's steps at positions ≥ cut: p1 stops there; p2 gets a
-            // tail so it always finishes (its own 5th step is the decide).
-            let mut truncated: Vec<ProcessId> = schedule
-                .iter()
-                .enumerate()
-                .filter(|(i, p)| p.index() != 0 || *i < cut)
-                .map(|(_, p)| *p)
-                .collect();
-            truncated.extend(std::iter::repeat_n(ProcessId(1), 4));
-            let outs = run_converge_script_only(&inputs, 1, truncated);
-            assert!(
-                outs[1].is_some(),
-                "wait-freedom: p2 must pick despite p1 stopping at {cut} in {schedule:?}"
-            );
-            // Safety among the outputs that exist: C-Validity and
-            // C-Agreement (commit ⇒ one value picked overall).
-            let picked: Vec<u64> = outs.iter().flatten().map(|(v, _)| *v).collect();
-            assert!(picked.iter().all(|v| inputs.contains(v)));
-            if outs.iter().flatten().any(|(_, c)| *c) {
-                let mut d = picked.clone();
-                d.sort_unstable();
-                d.dedup();
-                assert!(d.len() <= 1, "cut={cut}: {outs:?}");
+    let jobs: Vec<_> = interleavings(&[4, 4])
+        .into_iter()
+        .flat_map(|schedule| (0..=schedule.len()).map(move |cut| (schedule.clone(), cut)))
+        .map(|(schedule, cut)| {
+            move || {
+                // Drop p1's steps at positions ≥ cut: p1 stops there; p2 gets
+                // a tail so it always finishes (its own 5th step is the
+                // decide).
+                let truncated: Vec<ProcessId> = schedule
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, p)| p.index() != 0 || *i < cut)
+                    .map(|(_, p)| *p)
+                    .chain(std::iter::repeat_n(ProcessId(1), 4))
+                    .collect();
+                (
+                    schedule,
+                    cut,
+                    run_converge_script_only(&inputs, 1, truncated),
+                )
             }
+        })
+        .collect();
+    for (schedule, cut, outs) in run_batch(jobs, default_workers()) {
+        assert!(
+            outs[1].is_some(),
+            "wait-freedom: p2 must pick despite p1 stopping at {cut} in {schedule:?}"
+        );
+        // Safety among the outputs that exist: C-Validity and
+        // C-Agreement (commit ⇒ one value picked overall).
+        let picked: Vec<u64> = outs.iter().flatten().map(|(v, _)| *v).collect();
+        assert!(picked.iter().all(|v| inputs.contains(v)));
+        if outs.iter().flatten().any(|(_, c)| *c) {
+            let mut d = picked.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert!(d.len() <= 1, "cut={cut}: {outs:?}");
         }
     }
 }

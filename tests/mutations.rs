@@ -6,6 +6,7 @@
 use weakest_failure_detector::agreement::{check_k_set_agreement, TaskViolation};
 use weakest_failure_detector::converge::ConvergeInstance;
 use weakest_failure_detector::mem::{Register, SnapshotFlavor};
+use weakest_failure_detector::sim::algo;
 use weakest_failure_detector::sim::{
     AlgoFn, FailurePattern, Key, ProcessSet, RoundRobin, Run, SimBuilder,
 };
@@ -15,16 +16,16 @@ use weakest_failure_detector::sim::{
 /// under a lock-step schedule all n+1 distinct proposals survive and get
 /// decided.
 fn fig1_without_commit_gate(v: u64) -> AlgoFn<ProcessSet> {
-    Box::new(move |ctx| {
+    algo(move |ctx| async move {
         let n = ctx.n();
         let inst = ConvergeInstance::new(
             Key::new("n-conv").at(1),
             ctx.n_plus_1(),
             SnapshotFlavor::Native,
         );
-        let (picked, _committed_ignored) = inst.converge(&ctx, n, v)?;
+        let (picked, _committed_ignored) = inst.converge(&ctx, n, v).await?;
         // BUG: decide unconditionally.
-        ctx.decide(picked)?;
+        ctx.decide(picked).await?;
         Ok(())
     })
 }
@@ -33,25 +34,25 @@ fn fig1_without_commit_gate(v: u64) -> AlgoFn<ProcessSet> {
 /// skipping commit–adopt. Before Ω stabilizes, two processes can trust two
 /// different leaders and decide two values.
 fn consensus_without_commit_adopt(v: u64) -> AlgoFn<upsilon_sim_pid::Pid> {
-    Box::new(move |ctx| {
+    algo(move |ctx| async move {
         let me = ctx.pid();
         let prop = Register::<Option<u64>>::new(Key::new("prop"), None);
-        let leader = ctx.query_fd()?;
+        let leader = ctx.query_fd().await?;
         if leader == me {
-            prop.write(&ctx, Some(v))?;
+            prop.write(&ctx, Some(v)).await?;
             // BUG: decide own proposal without any agreement layer.
-            ctx.decide(v)?;
+            ctx.decide(v).await?;
             return Ok(());
         }
         loop {
-            if let Some(w) = prop.read(&ctx)? {
+            if let Some(w) = prop.read(&ctx).await? {
                 // BUG: decide whatever the first observed "leader" wrote.
-                ctx.decide(w)?;
+                ctx.decide(w).await?;
                 return Ok(());
             }
-            if ctx.query_fd()? != leader {
+            if ctx.query_fd().await? != leader {
                 // BUG: give up waiting and decide own value.
-                ctx.decide(v)?;
+                ctx.decide(v).await?;
                 return Ok(());
             }
         }
@@ -119,21 +120,22 @@ fn wrong_clean_threshold_breaks_c_agreement() {
     use upsilon_core::mem::{distinct_values, NativeSnapshot, Snapshot};
 
     fn broken_converge(v: u64) -> AlgoFn<()> {
-        Box::new(move |ctx| {
+        algo(move |ctx| async move {
             let n = ctx.n_plus_1();
             let s1 = NativeSnapshot::<u64>::new(Key::new("s1"), n);
             let s2 = NativeSnapshot::<(u64, bool)>::new(Key::new("s2"), n);
-            s1.update(&ctx, v)?;
-            let scan1 = s1.scan(&ctx)?;
+            s1.update(&ctx, v).await?;
+            let scan1 = s1.scan(&ctx).await?;
             // BUG: threshold is k + 1 = 2 instead of k = 1.
             let clean = distinct_values(&scan1).len() <= 2;
-            s2.update(&ctx, (v, clean))?;
-            let scan2 = s2.scan(&ctx)?;
+            s2.update(&ctx, (v, clean)).await?;
+            let scan2 = s2.scan(&ctx).await?;
             let all_clean = scan2.iter().flatten().all(|(_, c)| *c);
             let picked = if all_clean { (v, true) } else { (v, false) };
             ctx.output(weakest_failure_detector::sim::Output::Value(
                 picked.0 * 2 + u64::from(picked.1),
-            ))?;
+            ))
+            .await?;
             Ok(())
         })
     }
@@ -190,9 +192,9 @@ fn run_condition_validator_catches_fabricated_traces() {
     let run = SimBuilder::<()>::new(FailurePattern::failure_free(2))
         .adversary(RoundRobin::new())
         .spawn_all(|_| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 for _ in 0..5 {
-                    ctx.yield_step()?;
+                    ctx.yield_step().await?;
                 }
                 Ok(())
             })

@@ -8,6 +8,7 @@ use weakest_failure_detector::agreement::{
 use weakest_failure_detector::converge::ConvergeInstance;
 use weakest_failure_detector::fd::{UpsilonChoice, UpsilonOracle};
 use weakest_failure_detector::mem::{scan_contained_in, NativeSnapshot, Snapshot, SnapshotFlavor};
+use weakest_failure_detector::sim::algo;
 use weakest_failure_detector::sim::{
     FailurePattern, Key, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
 };
@@ -108,10 +109,10 @@ proptest! {
             .spawn_all(move |pid| {
                 let results = Arc::clone(&results2);
                 let v = inputs2[pid.index()];
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let inst = ConvergeInstance::new(
                         Key::new("cv"), ctx.n_plus_1(), SnapshotFlavor::Native);
-                    let out = inst.converge(&ctx, k, v)?;
+                    let out = inst.converge(&ctx, k, v).await?;
                     results.lock().unwrap()[pid.index()] = Some(out);
                     Ok(())
                 })
@@ -160,11 +161,11 @@ proptest! {
             .adversary(SeededRandom::new(seed))
             .spawn_all(move |pid| {
                 let scans = Arc::clone(&scans2);
-                Box::new(move |ctx| {
+                algo(move |ctx| async move {
                     let snap = FlavoredSnapshot::<u64>::new(flavor, Key::new("S"), 3);
                     for r in 0..rounds as u64 {
-                        snap.update(&ctx, pid.index() as u64 * 100 + r)?;
-                        let s = snap.scan(&ctx)?;
+                        snap.update(&ctx, pid.index() as u64 * 100 + r).await?;
+                        let s = snap.scan(&ctx).await?;
                         scans.lock().unwrap().push(s);
                     }
                     Ok(())

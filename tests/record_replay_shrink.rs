@@ -7,6 +7,7 @@
 use weakest_failure_detector::converge::ConvergeInstance;
 use weakest_failure_detector::mem::SnapshotFlavor;
 use weakest_failure_detector::shrink::ddmin;
+use weakest_failure_detector::sim::algo;
 use weakest_failure_detector::sim::{
     FailurePattern, Key, ProcessId, Scripted, SeededRandom, SimBuilder,
 };
@@ -19,10 +20,10 @@ fn distinct_decisions_under(schedule: &[ProcessId]) -> usize {
     let outcome = SimBuilder::<()>::new(FailurePattern::failure_free(3))
         .adversary(Scripted::new(schedule.to_vec()))
         .spawn_all(|pid| {
-            Box::new(move |ctx| {
+            algo(move |ctx| async move {
                 let inst = ConvergeInstance::new(Key::new("cv"), 3, SnapshotFlavor::Native);
-                let (picked, _ignored_commit) = inst.converge(&ctx, 2, pid.index() as u64)?;
-                ctx.decide(picked)?;
+                let (picked, _ignored_commit) = inst.converge(&ctx, 2, pid.index() as u64).await?;
+                ctx.decide(picked).await?;
                 Ok(())
             })
         })
@@ -40,10 +41,10 @@ fn record_replay_shrink_loop() {
             SimBuilder::<()>::new(FailurePattern::failure_free(3))
                 .adversary(SeededRandom::new(seed))
                 .spawn_all(|pid| {
-                    Box::new(move |ctx| {
+                    algo(move |ctx| async move {
                         let inst = ConvergeInstance::new(Key::new("cv"), 3, SnapshotFlavor::Native);
-                        let (picked, _c) = inst.converge(&ctx, 2, pid.index() as u64)?;
-                        ctx.decide(picked)?;
+                        let (picked, _c) = inst.converge(&ctx, 2, pid.index() as u64).await?;
+                        ctx.decide(picked).await?;
                         Ok(())
                     })
                 })
