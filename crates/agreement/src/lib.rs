@@ -28,4 +28,7 @@ pub use consensus::{LeaderSource, OmegaConsensusConfig, OmegaQuery};
 pub use fig1::Fig1Config;
 pub use fig2::Fig2Config;
 pub use proposals::{distinct_proposals, to_algorithms};
-pub use spec::{check_consensus, check_k_set_agreement, TaskViolation};
+pub use spec::{
+    check_consensus, check_k_set_agreement, check_k_set_agreement_safety, KSetAgreementSpec,
+    TaskViolation,
+};

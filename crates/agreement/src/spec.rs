@@ -7,7 +7,8 @@
 //! proposed). Consensus is the case `k = 1`.
 
 use std::fmt;
-use upsilon_sim::{FdValue, Output, ProcessId, Run};
+use upsilon_analysis::RunSpec;
+use upsilon_sim::{FdValue, Output, ProcessId, Run, StopReason};
 
 /// A violation of the k-set-agreement specification.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -108,6 +109,34 @@ pub fn check_k_set_agreement<D: FdValue>(
     k: usize,
     proposals: &[Option<u64>],
 ) -> Result<(), TaskViolation> {
+    check_k_set(run, k, proposals, true)
+}
+
+/// Checks only the *safety* clauses of k-set agreement — Irrevocability,
+/// Agreement and Validity — skipping Termination.
+///
+/// This is the right specification for runs truncated by a depth or step
+/// budget (systematic exploration, partial-run constructions): safety must
+/// hold of every prefix, while termination is only meaningful on runs that
+/// were allowed to finish.
+///
+/// # Errors
+///
+/// Returns the first [`TaskViolation`] found.
+pub fn check_k_set_agreement_safety<D: FdValue>(
+    run: &Run<D>,
+    k: usize,
+    proposals: &[Option<u64>],
+) -> Result<(), TaskViolation> {
+    check_k_set(run, k, proposals, false)
+}
+
+fn check_k_set<D: FdValue>(
+    run: &Run<D>,
+    k: usize,
+    proposals: &[Option<u64>],
+    require_termination: bool,
+) -> Result<(), TaskViolation> {
     assert_eq!(
         proposals.len(),
         run.n_plus_1(),
@@ -138,9 +167,11 @@ pub fn check_k_set_agreement<D: FdValue>(
     let decisions = run.decisions();
 
     // Termination.
-    for p in run.pattern().correct() {
-        if proposals[p.index()].is_some() && decisions[p.index()].is_none() {
-            return Err(TaskViolation::Termination(p));
+    if require_termination {
+        for p in run.pattern().correct() {
+            if proposals[p.index()].is_some() && decisions[p.index()].is_none() {
+                return Err(TaskViolation::Termination(p));
+            }
         }
     }
 
@@ -175,6 +206,31 @@ pub fn check_consensus<D: FdValue>(
     proposals: &[Option<u64>],
 ) -> Result<(), TaskViolation> {
     check_k_set_agreement(run, 1, proposals)
+}
+
+/// The k-set-agreement task as a [`RunSpec`], for systematic exploration.
+///
+/// On complete runs ([`StopReason::AllDone`]) the full specification is
+/// checked; on truncated runs only the safety clauses are. The spec is
+/// trace-closed: it depends only on each process's output sequence and the
+/// failure pattern, never on the relative order of independent steps.
+#[derive(Clone, Debug)]
+pub struct KSetAgreementSpec {
+    /// The agreement bound `k`.
+    pub k: usize,
+    /// `proposals[i]` is the value `p_{i+1}` proposes, `None` if absent.
+    pub proposals: Vec<Option<u64>>,
+}
+
+impl<D: FdValue> RunSpec<D> for KSetAgreementSpec {
+    fn name(&self) -> &str {
+        "k-set-agreement"
+    }
+
+    fn check(&self, run: &Run<D>) -> Result<(), String> {
+        let complete = matches!(run.stop_reason(), StopReason::AllDone);
+        check_k_set(run, self.k, &self.proposals, complete).map_err(|v| v.to_string())
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 pub mod linearizability;
 pub mod lint;
 pub mod run_conditions;
+pub mod spec;
 
 pub use linearizability::{
     check_linearizable, LinError, OpRecord, RegisterSpec, SeqSpec, SnapshotSpec,
@@ -40,3 +41,4 @@ pub use lint::{Allowlist, Finding, LintReport, Rule};
 pub use run_conditions::{
     check_fd_history, check_run, check_run_for, RunStats, RunView, RunViolation,
 };
+pub use spec::{RunConditionsSpec, RunSpec};

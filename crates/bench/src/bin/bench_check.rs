@@ -1,0 +1,109 @@
+//! Explorer throughput and partial-order-reduction ratio, emitting
+//! `BENCH_check.json`.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin bench_check [depth]
+//! ```
+//!
+//! Explores the Fig. 1 protocol (3 processes, distinct proposals, pinned
+//! faithful Υ) twice at the same depth — once with the sleep-set reduction,
+//! once naive — and reports the node counts, the reduction ratio, and the
+//! sustained states/second of the reduced search. Both searches must come
+//! back clean (Fig. 1's safety is Υ-independent), and the acceptance bar is
+//! a ≥ 10× reduction at depth 9: with three always-enabled processes the
+//! naive tree grows ~3^d while the reduced one only branches on genuine
+//! shared-object conflicts.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use upsilon_check::{check, samples, CheckReport};
+use upsilon_core::table::Table;
+
+/// The acceptance bar: reduced exploration at least this many times
+/// smaller than the naive one at the same depth.
+const MIN_REDUCTION_RATIO: f64 = 10.0;
+/// Throughput floor (nodes spec-checked per second, reduced search,
+/// release build). The dev-profile CI floor lives in ci.yml instead.
+const MIN_STATES_PER_SEC: f64 = 500.0;
+
+struct Sample {
+    mode: &'static str,
+    report: CheckReport,
+    secs: f64,
+}
+
+fn explore(depth: usize, reduction: bool) -> Sample {
+    let mut cfg = samples::fig1(3, depth, 0);
+    cfg.reduction = reduction;
+    let start = Instant::now();
+    let report = check(&cfg);
+    Sample {
+        mode: if reduction { "reduced" } else { "naive" },
+        report,
+        secs: start.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+fn main() -> ExitCode {
+    let depth: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("depth must be an integer"))
+        .unwrap_or(9);
+
+    let reduced = explore(depth, true);
+    let naive = explore(depth, false);
+    let ratio = naive.report.stats.nodes as f64 / reduced.report.stats.nodes as f64;
+    let states_per_sec = reduced.report.stats.nodes as f64 / reduced.secs;
+
+    let mut t = Table::new(
+        format!("Explorer — Fig. 1, n+1 = 3, depth {depth}"),
+        &["mode", "nodes", "sleep_pruned", "secs", "states/sec"],
+    );
+    for s in [&reduced, &naive] {
+        t.row([
+            s.mode.to_string(),
+            s.report.stats.nodes.to_string(),
+            s.report.stats.sleep_pruned.to_string(),
+            format!("{:.4}", s.secs),
+            format!("{:.0}", s.report.stats.nodes as f64 / s.secs),
+        ]);
+    }
+    println!("{t}");
+    println!("reduction ratio: {ratio:.1}x (floor {MIN_REDUCTION_RATIO:.0}x)");
+
+    let json = format!(
+        "{{\n  \"workload\": \"fig1 exploration, n_plus_1 = 3\",\n  \"depth\": {depth},\n  \
+         \"nodes_reduced\": {},\n  \"nodes_naive\": {},\n  \"sleep_pruned\": {},\n  \
+         \"reduction_ratio\": {ratio:.2},\n  \"states_per_sec\": {states_per_sec:.1},\n  \
+         \"clean\": {}\n}}\n",
+        reduced.report.stats.nodes,
+        naive.report.stats.nodes,
+        reduced.report.stats.sleep_pruned,
+        reduced.report.ok() && naive.report.ok(),
+    );
+    std::fs::write("BENCH_check.json", &json).expect("write BENCH_check.json");
+    println!("wrote BENCH_check.json");
+
+    let mut failed = false;
+    if !reduced.report.ok() || !naive.report.ok() {
+        eprintln!("FAIL: Fig. 1 exploration must be clean in both modes");
+        failed = true;
+    }
+    if reduced.report.violations != naive.report.violations {
+        eprintln!("FAIL: reduced and naive searches disagree on violations");
+        failed = true;
+    }
+    if ratio < MIN_REDUCTION_RATIO {
+        eprintln!("FAIL: reduction ratio {ratio:.1}x below the {MIN_REDUCTION_RATIO:.0}x floor");
+        failed = true;
+    }
+    if states_per_sec < MIN_STATES_PER_SEC {
+        eprintln!("FAIL: {states_per_sec:.0} states/sec below the {MIN_STATES_PER_SEC:.0} floor");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,675 @@
+//! The systematic explorer: sleep-set DPOR over schedules, layered with
+//! exhaustive crash injection and failure-detector output branching.
+//!
+//! # State space
+//!
+//! A node of the search tree is a *path*: a sequence of [`Choice`]s —
+//! `Step(p)` grants one step to `p`, `Crash(p)` crashes `p` at the current
+//! point of the schedule — together with a per-process script of
+//! failure-detector candidate picks. Every node is executed from scratch
+//! through [`SimBuilder`] with a [`Scripted`](upsilon_sim::Scripted)
+//! adversary (stateless model checking), checked against the §3.3
+//! run-condition validator and every configured [`RunSpec`], and then
+//! expanded.
+//!
+//! # Partial-order reduction
+//!
+//! Two steps are *dependent* iff they touch the same shared object (by
+//! [`Key`], not allocation order) with conflicting [`Access`]es — reads
+//! commute with reads, single-writer cell updates commute across distinct
+//! cells, everything else conflicts. Query/output/no-op steps are globally
+//! independent: detector values are scripted per `(p, k)` so they do not
+//! depend on placement. The explorer keeps a *sleep set* of process/footprint
+//! pairs whose subtrees were already explored at an ancestor; a sleeping
+//! process is skipped until a conflicting step wakes it. Runs pruned this
+//! way are Mazurkiewicz-equivalent to explored ones, so any spec that is
+//! *trace-closed* (invariant under commuting independent steps — see
+//! `DESIGN.md` §8) loses no violations.
+//!
+//! # Crash canonicalization
+//!
+//! Crash choices commute with every other process's steps, and shifting a
+//! crash across steps of *other* processes changes neither the event
+//! sequence nor `correct(F)`. Each equivalence class therefore has one
+//! canonical representative, the only one generated: processes that never
+//! step crash in one ascending initial block; a process that steps crashes
+//! immediately after its own last step ([`Choice::Crash`] allowed only when
+//! the path so far is all-crash-ascending or ends with `Step(p)`).
+//!
+//! # Counterexamples
+//!
+//! A violating node is packed into a replayable [`ReplayToken`] (`UCHK1:`),
+//! minimized with [`ddmin_counted`] over its choice sequence (re-executing
+//! each candidate), and reported with both raw and shrunk tokens.
+
+use crate::menu::{FdMenu, MenuOracle, QueryRecord};
+use std::sync::Arc;
+use upsilon_analysis::{RunConditionsSpec, RunSpec};
+use upsilon_core::shrink::ddmin_counted;
+use upsilon_sim::{
+    run_batch, Access, AlgoFn, EngineKind, FdValue, Key, Memory, ProcessId, ReplayToken, Run,
+    SimBuilder, StepKind, Time,
+};
+
+/// One scheduling decision of the explorer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Choice {
+    /// Grant one step to the process.
+    Step(ProcessId),
+    /// Crash the process at the current point of the schedule.
+    Crash(ProcessId),
+}
+
+/// What one executed step touched, for the conflict relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Footprint {
+    /// Query, output or no-op: independent of every other step.
+    Local,
+    /// A shared-object operation.
+    Obj {
+        /// The object's stable name.
+        key: Key,
+        /// How the operation touched it.
+        access: Access,
+    },
+}
+
+impl Footprint {
+    /// Whether two steps with these footprints are dependent (do not
+    /// commute).
+    pub fn conflicts_with(&self, other: &Footprint) -> bool {
+        match (self, other) {
+            (
+                Footprint::Obj {
+                    key: k1,
+                    access: a1,
+                },
+                Footprint::Obj {
+                    key: k2,
+                    access: a2,
+                },
+            ) => k1 == k2 && a1.conflicts_with(*a2),
+            _ => false,
+        }
+    }
+}
+
+/// Produces the per-process algorithms of one run; called once per explored
+/// node (stateless re-execution), so it must be deterministic. `None`
+/// entries do not participate.
+pub type AlgoFactory<D> = Arc<dyn Fn() -> Vec<Option<AlgoFn<D>>> + Send + Sync>;
+
+/// Configuration of one exploration.
+#[derive(Clone)]
+pub struct CheckConfig<D: FdValue> {
+    /// Number of processes.
+    pub n_plus_1: usize,
+    /// Maximum schedule length (number of `Step` choices per path).
+    pub depth: usize,
+    /// Maximum number of injected crashes per path (`< n_plus_1`).
+    pub max_faults: usize,
+    /// Failure-detector candidates per query.
+    pub menu: Arc<dyn FdMenu<D>>,
+    /// Specifications checked on every explored run, in order; the §3.3
+    /// run-condition validator is always checked first. Specs must be
+    /// trace-closed for the reduction to be sound.
+    pub specs: Vec<Arc<dyn RunSpec<D>>>,
+    /// The algorithms under test.
+    pub algos: AlgoFactory<D>,
+    /// Sleep-set partial-order reduction; `false` explores the full tree
+    /// (the naive baseline benchmarked against).
+    pub reduction: bool,
+    /// Engine each node runs under.
+    pub engine: EngineKind,
+    /// Worker threads for the frontier fan-out (`0` = default pool).
+    pub workers: usize,
+    /// Path length at which subtrees are fanned out over
+    /// [`run_batch`]; `0` explores serially.
+    pub split_depth: usize,
+    /// Node budget (per frontier job when fanned out).
+    pub max_nodes: u64,
+    /// Stop after this many counterexamples.
+    pub max_violations: usize,
+    /// Minimize counterexamples with delta debugging.
+    pub shrink: bool,
+}
+
+impl<D: FdValue> std::fmt::Debug for CheckConfig<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckConfig")
+            .field("n_plus_1", &self.n_plus_1)
+            .field("depth", &self.depth)
+            .field("max_faults", &self.max_faults)
+            .field("reduction", &self.reduction)
+            .field("split_depth", &self.split_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: FdValue> CheckConfig<D> {
+    /// A serial, reduction-enabled configuration with no crash injection and
+    /// a one-counterexample budget.
+    pub fn new(
+        n_plus_1: usize,
+        depth: usize,
+        algos: AlgoFactory<D>,
+        menu: Arc<dyn FdMenu<D>>,
+    ) -> Self {
+        CheckConfig {
+            n_plus_1,
+            depth,
+            max_faults: 0,
+            menu,
+            specs: Vec::new(),
+            algos,
+            reduction: true,
+            engine: EngineKind::Inline,
+            workers: 0,
+            split_depth: 0,
+            max_nodes: 1_000_000,
+            max_violations: 1,
+            shrink: true,
+        }
+    }
+
+    /// Adds a specification to check on every explored run.
+    pub fn spec(mut self, spec: impl RunSpec<D> + 'static) -> Self {
+        self.specs.push(Arc::new(spec));
+        self
+    }
+
+    /// Sets the crash-injection budget.
+    pub fn max_faults(mut self, f: usize) -> Self {
+        self.max_faults = f;
+        self
+    }
+
+    /// Enables or disables the sleep-set reduction.
+    pub fn reduction(mut self, on: bool) -> Self {
+        self.reduction = on;
+        self
+    }
+
+    /// Fans subtrees out over a worker pool once paths reach `split_depth`.
+    pub fn parallel(mut self, split_depth: usize, workers: usize) -> Self {
+        self.split_depth = split_depth;
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the counterexample budget.
+    pub fn max_violations(mut self, v: usize) -> Self {
+        self.max_violations = v;
+        self
+    }
+}
+
+/// Counters describing one exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CheckStats {
+    /// Executed (and spec-checked) nodes, including the root.
+    pub nodes: u64,
+    /// Step children skipped because the process was asleep.
+    pub sleep_pruned: u64,
+    /// Nodes whose last choice was a crash injection.
+    pub crash_nodes: u64,
+    /// Nodes spawned as failure-detector output variants.
+    pub fd_variant_nodes: u64,
+    /// Paths that reached the depth budget.
+    pub depth_leaves: u64,
+    /// Step children that produced no step (the process finished instantly).
+    pub no_step_children: u64,
+    /// Whether a node or violation budget cut the search short.
+    pub truncated: bool,
+}
+
+impl CheckStats {
+    fn absorb(&mut self, other: CheckStats) {
+        self.nodes += other.nodes;
+        self.sleep_pruned += other.sleep_pruned;
+        self.crash_nodes += other.crash_nodes;
+        self.fd_variant_nodes += other.fd_variant_nodes;
+        self.depth_leaves += other.depth_leaves;
+        self.no_step_children += other.no_step_children;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// A violation found by the explorer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CounterExample {
+    /// Name of the violated specification.
+    pub spec: String,
+    /// The violation message from the spec checker.
+    pub message: String,
+    /// Minimized replayable token (equals `raw_token` when shrinking is
+    /// off).
+    pub token: ReplayToken,
+    /// The token of the node where the violation was first found.
+    pub raw_token: ReplayToken,
+    /// Predicate evaluations the shrink spent.
+    pub shrink_evals: u64,
+    /// Choices removed by the shrink.
+    pub shrink_removed: usize,
+}
+
+/// The result of [`check`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckReport {
+    /// Search counters.
+    pub stats: CheckStats,
+    /// Counterexamples, in deterministic discovery order.
+    pub violations: Vec<CounterExample>,
+    /// Subtree jobs fanned out over the worker pool (0 when serial).
+    pub frontier_jobs: usize,
+}
+
+impl CheckReport {
+    /// Whether the exploration found no violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// One executed node: the run, final memory (for object names) and the
+/// failure-detector queries as served.
+#[derive(Debug)]
+pub struct Exec<D: FdValue> {
+    /// The recorded run.
+    pub run: Run<D>,
+    /// The shared memory at the end of the run.
+    pub memory: Memory,
+    /// The menu oracle's query log.
+    pub queries: Vec<QueryRecord>,
+}
+
+/// Packs a path and pick script into a replayable token. Crash times count
+/// the `Step` choices preceding the crash, matching the simulator's
+/// step-indexed clock.
+pub fn token_of(n_plus_1: usize, path: &[Choice], picks: &[Vec<u32>]) -> ReplayToken {
+    let mut crashes = vec![None; n_plus_1];
+    let mut schedule = Vec::new();
+    for ch in path {
+        match *ch {
+            Choice::Step(p) => schedule.push(p),
+            Choice::Crash(p) => crashes[p.index()] = Some(Time(schedule.len() as u64)),
+        }
+    }
+    let mut fd_choices = picks.to_vec();
+    fd_choices.resize(n_plus_1, Vec::new());
+    ReplayToken {
+        n_plus_1,
+        crashes,
+        fd_choices,
+        schedule,
+    }
+}
+
+/// Executes the run a token describes under `engine`, with the
+/// configuration's algorithms and menu.
+pub fn run_token<D: FdValue>(
+    cfg: &CheckConfig<D>,
+    token: &ReplayToken,
+    engine: EngineKind,
+) -> Exec<D> {
+    assert_eq!(token.n_plus_1, cfg.n_plus_1, "token/config process count");
+    let oracle = MenuOracle::new(
+        Arc::clone(&cfg.menu),
+        cfg.n_plus_1,
+        token.fd_choices.clone(),
+    );
+    let log = oracle.log();
+    let mut builder = SimBuilder::<D>::replay(token).oracle(oracle).engine(engine);
+    for (i, a) in (cfg.algos)().into_iter().enumerate() {
+        if let Some(a) = a {
+            builder = builder.spawn(ProcessId(i), a);
+        }
+    }
+    let outcome = builder.run();
+    let queries = log.lock().expect("query log lock").clone();
+    Exec {
+        run: outcome.run,
+        memory: outcome.memory,
+        queries,
+    }
+}
+
+/// A token replayed under one engine, with every spec's verdict.
+#[derive(Debug)]
+pub struct ReplayOutcome<D: FdValue> {
+    /// The re-executed run.
+    pub run: Run<D>,
+    /// `(spec name, verdict)` for the run-condition validator and every
+    /// configured spec, in checking order.
+    pub verdicts: Vec<(String, Result<(), String>)>,
+}
+
+/// Replays a counterexample token under `engine` and re-checks every spec —
+/// the round-trip used by regression tests and bug reports.
+pub fn replay_token<D: FdValue>(
+    cfg: &CheckConfig<D>,
+    token: &ReplayToken,
+    engine: EngineKind,
+) -> ReplayOutcome<D> {
+    let exec = run_token(cfg, token, engine);
+    let mut verdicts = vec![(
+        "run-conditions".to_string(),
+        RunConditionsSpec.check(&exec.run),
+    )];
+    for spec in &cfg.specs {
+        verdicts.push((spec.name().to_string(), spec.check(&exec.run)));
+    }
+    ReplayOutcome {
+        run: exec.run,
+        verdicts,
+    }
+}
+
+fn execute<D: FdValue>(cfg: &CheckConfig<D>, path: &[Choice], picks: &[Vec<u32>]) -> Exec<D> {
+    run_token(cfg, &token_of(cfg.n_plus_1, path, picks), cfg.engine)
+}
+
+/// First failing spec on a run: run-condition validator first, then the
+/// configured specs in order.
+fn first_violation<D: FdValue>(cfg: &CheckConfig<D>, run: &Run<D>) -> Option<(String, String)> {
+    if let Err(msg) = RunConditionsSpec.check(run) {
+        return Some(("run-conditions".to_string(), msg));
+    }
+    for spec in &cfg.specs {
+        if let Err(msg) = spec.check(run) {
+            return Some((spec.name().to_string(), msg));
+        }
+    }
+    None
+}
+
+fn crashed_in(path: &[Choice], p: ProcessId) -> bool {
+    path.iter()
+        .any(|c| matches!(c, Choice::Crash(q) if *q == p))
+}
+
+fn faults_in(path: &[Choice]) -> usize {
+    path.iter()
+        .filter(|c| matches!(c, Choice::Crash(_)))
+        .count()
+}
+
+/// The canonical-representative rule: `Crash(p)` may extend `path` only
+/// right after `Step(p)`, or inside the ascending all-crash initial block.
+fn crash_allowed(path: &[Choice], p: ProcessId) -> bool {
+    match path.last() {
+        Some(Choice::Step(q)) => *q == p,
+        Some(Choice::Crash(q)) => {
+            q.index() < p.index() && path.iter().all(|c| matches!(c, Choice::Crash(_)))
+        }
+        None => true,
+    }
+}
+
+fn footprint<D: FdValue>(exec: &Exec<D>) -> Footprint {
+    match &exec
+        .run
+        .events()
+        .last()
+        .expect("step child has an event")
+        .kind
+    {
+        StepKind::Op { object, access, .. } => Footprint::Obj {
+            key: exec
+                .memory
+                .name_of(*object)
+                .expect("every allocated object is named")
+                .clone(),
+            access: *access,
+        },
+        _ => Footprint::Local,
+    }
+}
+
+/// A deferred subtree, ready to run on a worker.
+struct FrontierJob {
+    path: Vec<Choice>,
+    picks: Vec<Vec<u32>>,
+    sleep: Vec<(ProcessId, Footprint)>,
+    steps_used: usize,
+}
+
+struct Explorer<'a, D: FdValue> {
+    cfg: &'a CheckConfig<D>,
+    participants: &'a [bool],
+    stats: CheckStats,
+    violations: Vec<CounterExample>,
+    frontier: Option<Vec<FrontierJob>>,
+}
+
+impl<D: FdValue> Explorer<'_, D> {
+    fn over_budget(&self) -> bool {
+        self.stats.nodes >= self.cfg.max_nodes || self.violations.len() >= self.cfg.max_violations
+    }
+
+    /// Executes specs on an already-run node; on violation, records a
+    /// (shrunk) counterexample and prunes the subtree.
+    fn visit(
+        &mut self,
+        path: &mut Vec<Choice>,
+        picks: &[Vec<u32>],
+        exec: &Exec<D>,
+        sleep: Vec<(ProcessId, Footprint)>,
+        steps_used: usize,
+    ) {
+        self.stats.nodes += 1;
+        if let Some((spec, message)) = first_violation(self.cfg, &exec.run) {
+            self.record(path, picks, spec, message);
+            return;
+        }
+        if self.over_budget() {
+            self.stats.truncated = true;
+            return;
+        }
+        if steps_used >= self.cfg.depth {
+            self.stats.depth_leaves += 1;
+            return;
+        }
+        if let Some(frontier) = &mut self.frontier {
+            if path.len() >= self.cfg.split_depth {
+                frontier.push(FrontierJob {
+                    path: path.clone(),
+                    picks: picks.to_vec(),
+                    sleep,
+                    steps_used,
+                });
+                return;
+            }
+        }
+        self.expand(path, picks, exec, sleep, steps_used);
+    }
+
+    /// Generates and explores the children of a node: canonical crash
+    /// injections first, then step extensions under the sleep set, with
+    /// failure-detector variants as siblings of query steps.
+    fn expand(
+        &mut self,
+        path: &mut Vec<Choice>,
+        picks: &[Vec<u32>],
+        exec: &Exec<D>,
+        mut sleep: Vec<(ProcessId, Footprint)>,
+        steps_used: usize,
+    ) {
+        if faults_in(path) < self.cfg.max_faults {
+            for i in 0..self.cfg.n_plus_1 {
+                let p = ProcessId(i);
+                if crashed_in(path, p) || !crash_allowed(path, p) {
+                    continue;
+                }
+                if self.over_budget() {
+                    self.stats.truncated = true;
+                    return;
+                }
+                path.push(Choice::Crash(p));
+                let child = execute(self.cfg, path, picks);
+                self.stats.crash_nodes += 1;
+                self.visit(path, picks, &child, sleep.clone(), steps_used);
+                path.pop();
+            }
+        }
+
+        for i in 0..self.cfg.n_plus_1 {
+            let p = ProcessId(i);
+            if !self.participants[i] || crashed_in(path, p) || exec.run.finished(p) {
+                continue;
+            }
+            if self.cfg.reduction && sleep.iter().any(|(q, _)| *q == p) {
+                self.stats.sleep_pruned += 1;
+                continue;
+            }
+            if self.over_budget() {
+                self.stats.truncated = true;
+                return;
+            }
+            path.push(Choice::Step(p));
+            let child = execute(self.cfg, path, picks);
+            if child.run.total_steps() as usize != steps_used + 1 {
+                // The process finished without taking a step: no new state.
+                self.stats.no_step_children += 1;
+                path.pop();
+                continue;
+            }
+            let fp = footprint(&child);
+            let child_sleep: Vec<_> = sleep
+                .iter()
+                .filter(|(_, f)| !f.conflicts_with(&fp))
+                .cloned()
+                .collect();
+            self.visit(path, picks, &child, child_sleep.clone(), steps_used + 1);
+
+            // Sibling branches for the unexplored detector candidates.
+            if matches!(
+                child.run.events().last().map(|e| &e.kind),
+                Some(StepKind::Query(_))
+            ) {
+                let rec = *child.queries.last().expect("query event logs a record");
+                debug_assert_eq!(rec.pid, p);
+                for j in 1..rec.candidates {
+                    let mut vpicks = picks.to_vec();
+                    vpicks[i].resize(rec.k as usize, 0);
+                    vpicks[i].push(j);
+                    if self.over_budget() {
+                        self.stats.truncated = true;
+                        return;
+                    }
+                    let variant = execute(self.cfg, path, &vpicks);
+                    self.stats.fd_variant_nodes += 1;
+                    self.visit(path, &vpicks, &variant, child_sleep.clone(), steps_used + 1);
+                }
+            }
+            path.pop();
+            if self.cfg.reduction {
+                sleep.push((p, fp));
+            }
+        }
+    }
+
+    fn record(&mut self, path: &[Choice], picks: &[Vec<u32>], spec: String, message: String) {
+        let raw_token = token_of(self.cfg.n_plus_1, path, picks);
+        let (token, shrink_evals, shrink_removed) = if self.cfg.shrink {
+            let cfg = self.cfg;
+            let out = ddmin_counted(path, |cand| {
+                // Crashing everyone is outside the model; such candidates
+                // cannot be the minimal counterexample.
+                if faults_in(cand) >= cfg.n_plus_1 {
+                    return false;
+                }
+                let exec = execute(cfg, cand, picks);
+                first_violation(cfg, &exec.run).is_some_and(|(name, _)| name == spec)
+            });
+            (
+                token_of(self.cfg.n_plus_1, &out.minimal, picks),
+                out.evals,
+                out.removed,
+            )
+        } else {
+            (raw_token.clone(), 0, 0)
+        };
+        self.violations.push(CounterExample {
+            spec,
+            message,
+            token,
+            raw_token,
+            shrink_evals,
+            shrink_removed,
+        });
+    }
+}
+
+/// Runs the exploration a [`CheckConfig`] describes and reports every
+/// counterexample found. Deterministic: the same configuration yields the
+/// same report, including under the parallel frontier (results are merged
+/// in job order).
+pub fn check<D: FdValue>(cfg: &CheckConfig<D>) -> CheckReport {
+    let participants: Vec<bool> = (cfg.algos)().iter().map(Option::is_some).collect();
+    assert_eq!(
+        participants.len(),
+        cfg.n_plus_1,
+        "algo factory must cover every process"
+    );
+    assert!(
+        cfg.max_faults < cfg.n_plus_1,
+        "at least one process must stay correct"
+    );
+
+    let parallel = cfg.split_depth > 0;
+    let mut explorer = Explorer {
+        cfg,
+        participants: &participants,
+        stats: CheckStats::default(),
+        violations: Vec::new(),
+        frontier: parallel.then(Vec::new),
+    };
+    let root_picks: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_plus_1];
+    let root = execute(cfg, &[], &root_picks);
+    let mut path = Vec::new();
+    explorer.visit(&mut path, &root_picks, &root, Vec::new(), 0);
+
+    let Explorer {
+        mut stats,
+        mut violations,
+        frontier,
+        ..
+    } = explorer;
+    let frontier = frontier.unwrap_or_default();
+    let frontier_jobs = frontier.len();
+    if !frontier.is_empty() {
+        let jobs: Vec<_> = frontier
+            .into_iter()
+            .map(|job| {
+                let participants = &participants;
+                move || {
+                    let mut sub = Explorer {
+                        cfg,
+                        participants,
+                        stats: CheckStats::default(),
+                        violations: Vec::new(),
+                        frontier: None,
+                    };
+                    let exec = execute(cfg, &job.path, &job.picks);
+                    let mut path = job.path.clone();
+                    sub.expand(&mut path, &job.picks, &exec, job.sleep, job.steps_used);
+                    (sub.stats, sub.violations)
+                }
+            })
+            .collect();
+        for (s, v) in run_batch(jobs, cfg.workers) {
+            stats.absorb(s);
+            violations.extend(v);
+        }
+        if violations.len() > cfg.max_violations {
+            violations.truncate(cfg.max_violations);
+            stats.truncated = true;
+        }
+    }
+    CheckReport {
+        stats,
+        violations,
+        frontier_jobs,
+    }
+}

@@ -1,0 +1,178 @@
+//! Ready-made exploration configurations over the paper's artifacts.
+//!
+//! Three families:
+//!
+//! * [`fig1`] / [`fig1_mutating`] — the paper's Fig. 1 protocol under a
+//!   faithful (respectively, temporarily lying) Υ. Fig. 1's safety does not
+//!   depend on Υ at all (§5.2), so *no* schedule, crash scenario or
+//!   detector mutation may violate `n`-set agreement — a strong soak test
+//!   for both the protocol and the explorer.
+//! * [`pinned_upsilon`] — the Theorem 1/5 adversary's pinned history
+//!   `U = {p_1, …, p_n}` checked for per-run faithfulness: crashing
+//!   `p_{n+1}` makes `correct(F) = U` and the pinned value stops being a
+//!   legal Υ output. The explorer's crash injection finds this with a
+//!   two-choice counterexample.
+//! * [`snapshot_commit`] — a hand-rolled snapshot commit protocol whose
+//!   `buggy` variant drops `p_1`'s announcement write, breaking the
+//!   counting argument behind C-Agreement; the explorer produces a shrunk
+//!   replayable token for the resulting k-set-agreement violation. The
+//!   sound variant is safe in every schedule (the last announcing decider
+//!   sees every decider's value).
+
+use crate::explore::{AlgoFactory, CheckConfig};
+use crate::menu::{ConstantMenu, MutatingMenu};
+use std::sync::Arc;
+use upsilon_agreement::fig1::{algorithms, Fig1Config};
+use upsilon_agreement::fig2::{algorithms as fig2_algorithms, Fig2Config};
+use upsilon_agreement::KSetAgreementSpec;
+use upsilon_extract::{pinned_history, UpsilonFaithfulSpec};
+use upsilon_mem::{distinct_values, NativeSnapshot, Snapshot};
+use upsilon_sim::{algo, AlgoFn, Key, ProcessId, ProcessSet};
+
+/// Distinct proposals `0, 1, …, n` — the hard case for set agreement.
+fn proposals(n_plus_1: usize) -> Vec<Option<u64>> {
+    (0..n_plus_1).map(|i| Some(i as u64)).collect()
+}
+
+fn fig1_factory(n_plus_1: usize) -> AlgoFactory<ProcessSet> {
+    let props = proposals(n_plus_1);
+    Arc::new(move || {
+        let mut algos: Vec<Option<AlgoFn<ProcessSet>>> = Vec::new();
+        algos.resize_with(n_plus_1, || None);
+        for (pid, a) in algorithms(Fig1Config::default(), &props) {
+            algos[pid.index()] = Some(a);
+        }
+        algos
+    })
+}
+
+/// Fig. 1 under a faithful pinned Υ history (`U = Π − {p_{n+1}}`), checked
+/// for `n`-set agreement with up to `max_faults` injected crashes.
+pub fn fig1(n_plus_1: usize, depth: usize, max_faults: usize) -> CheckConfig<ProcessSet> {
+    let menu = Arc::new(ConstantMenu(pinned_history(n_plus_1)));
+    CheckConfig::new(n_plus_1, depth, fig1_factory(n_plus_1), menu)
+        .max_faults(max_faults)
+        .spec(KSetAgreementSpec {
+            k: n_plus_1 - 1,
+            proposals: proposals(n_plus_1),
+        })
+}
+
+/// Fig. 1 under a Υ that may additionally answer `Π` for each process's
+/// first `budget` queries — exercises the explorer's detector-output
+/// branching. Safety must still hold: Fig. 1 never trusts Υ for safety.
+pub fn fig1_mutating(
+    n_plus_1: usize,
+    depth: usize,
+    max_faults: usize,
+    budget: usize,
+) -> CheckConfig<ProcessSet> {
+    let menu = Arc::new(MutatingMenu {
+        base: pinned_history(n_plus_1),
+        mutants: vec![ProcessSet::all(n_plus_1)],
+        budget,
+    });
+    CheckConfig::new(n_plus_1, depth, fig1_factory(n_plus_1), menu)
+        .max_faults(max_faults)
+        .spec(KSetAgreementSpec {
+            k: n_plus_1 - 1,
+            proposals: proposals(n_plus_1),
+        })
+}
+
+/// Fig. 2 (`f`-resilient `f`-set agreement from Υ^f, §6) under a faithful
+/// pinned history, checked for `f`-set agreement. Like Fig. 1, safety never
+/// trusts the detector, so exploration must come back clean.
+pub fn fig2(n_plus_1: usize, f: usize, depth: usize, max_faults: usize) -> CheckConfig<ProcessSet> {
+    assert!(f >= 1 && f < n_plus_1);
+    let menu = Arc::new(ConstantMenu(pinned_history(n_plus_1)));
+    let props = proposals(n_plus_1);
+    let factory: AlgoFactory<ProcessSet> = Arc::new(move || {
+        let mut algos: Vec<Option<AlgoFn<ProcessSet>>> = Vec::new();
+        algos.resize_with(n_plus_1, || None);
+        for (pid, a) in fig2_algorithms(Fig2Config::new(f), &props) {
+            algos[pid.index()] = Some(a);
+        }
+        algos
+    });
+    CheckConfig::new(n_plus_1, depth, factory, menu)
+        .max_faults(max_faults)
+        .spec(KSetAgreementSpec {
+            k: f,
+            proposals: proposals(n_plus_1),
+        })
+}
+
+/// The adversary game's pinned constant history, checked for Υ^f
+/// faithfulness under crash injection. With `max_faults ≥ 1` the explorer
+/// finds the paper's pivot: crash `p_{n+1}` and the pinned `U` equals
+/// `correct(F)`, which Υ forbids.
+pub fn pinned_upsilon(n_plus_1: usize, f: usize, depth: usize) -> CheckConfig<ProcessSet> {
+    let menu = Arc::new(ConstantMenu(pinned_history(n_plus_1)));
+    let factory: AlgoFactory<ProcessSet> = Arc::new(move || {
+        (0..n_plus_1)
+            .map(|_| {
+                Some(algo(move |ctx| async move {
+                    loop {
+                        ctx.query_fd().await?;
+                    }
+                }))
+            })
+            .collect()
+    });
+    CheckConfig::new(n_plus_1, depth, factory, menu)
+        .max_faults(f)
+        .spec(UpsilonFaithfulSpec::constant(f))
+}
+
+/// A one-shot snapshot commit protocol (the seeded-bug target):
+///
+/// 1. announce the proposal in snapshot `S1` — **dropped by `p_1` in the
+///    buggy variant**;
+/// 2. scan `S1`; the process is *clean* iff it saw at most `k` distinct
+///    values;
+/// 3. publish `(v, clean)` in snapshot `S2`;
+/// 4. scan `S2`; decide the own value iff every published entry is clean,
+///    otherwise spin forever (safety-only harness: non-deciders never
+///    finish, so termination is vacuous on every explored prefix).
+///
+/// Soundness of the unbugged variant: among the deciders, the one whose
+/// `S1` announcement is latest scans `S1` after every decider announced, so
+/// it sees all their values; more than `k` distinct values would have made
+/// it dirty and its own `S2` entry would block every decision, its own
+/// included. Dropping `p_1`'s announcement removes its value from that
+/// count, and `k + 1` distinct decisions become reachable.
+pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> CheckConfig<()> {
+    assert!(k >= 1 && k < n_plus_1);
+    let factory: AlgoFactory<()> = Arc::new(move || {
+        (0..n_plus_1)
+            .map(|i| {
+                let me = ProcessId(i);
+                Some(algo(move |ctx| async move {
+                    let v = me.index() as u64;
+                    let s1 = NativeSnapshot::<u64>::new(Key::new("S1"), n_plus_1);
+                    let s2 = NativeSnapshot::<(u64, bool)>::new(Key::new("S2"), n_plus_1);
+                    if !(buggy && me.index() == 0) {
+                        s1.update(&ctx, v).await?;
+                    }
+                    let seen = s1.scan(&ctx).await?;
+                    let clean = distinct_values(&seen).len() <= k;
+                    s2.update(&ctx, (v, clean)).await?;
+                    let published = s2.scan(&ctx).await?;
+                    if published.iter().flatten().all(|(_, c)| *c) {
+                        ctx.decide(v).await?;
+                        return Ok(());
+                    }
+                    loop {
+                        ctx.yield_step().await?;
+                    }
+                }))
+            })
+            .collect()
+    });
+    let menu = Arc::new(ConstantMenu(()));
+    CheckConfig::new(n_plus_1, depth, factory, menu).spec(KSetAgreementSpec {
+        k,
+        proposals: proposals(n_plus_1),
+    })
+}

@@ -36,32 +36,69 @@ pub fn interleavings(counts: &[usize]) -> Vec<Vec<ProcessId>> {
         counts
     );
     let mut out = Vec::new();
+    for_each_interleaving(counts, |s| out.push(s.to_vec()));
+    out
+}
+
+/// Visits every interleaving of `counts[i]` steps per process in
+/// lexicographic order without materializing the space — the streaming
+/// backbone of [`interleavings`], and the fallback enumerator for callers
+/// (like `upsilon-check`'s naive mode) that walk spaces too large to
+/// collect.
+///
+/// ```
+/// use upsilon_core::exhaustive::for_each_interleaving;
+/// let mut n = 0u64;
+/// for_each_interleaving(&[4, 4], |_| n += 1);
+/// assert_eq!(n, 70);
+/// ```
+pub fn for_each_interleaving(counts: &[usize], mut visit: impl FnMut(&[ProcessId])) {
     let mut remaining: Vec<usize> = counts.to_vec();
     let total: usize = counts.iter().sum();
     let mut current = Vec::with_capacity(total);
-    recurse(&mut remaining, &mut current, total, &mut out);
-    out
+    recurse(&mut remaining, &mut current, total, &mut visit);
 }
 
 fn recurse(
     remaining: &mut Vec<usize>,
     current: &mut Vec<ProcessId>,
     total: usize,
-    out: &mut Vec<Vec<ProcessId>>,
+    visit: &mut impl FnMut(&[ProcessId]),
 ) {
     if current.len() == total {
-        out.push(current.clone());
+        visit(current);
         return;
     }
     for i in 0..remaining.len() {
         if remaining[i] > 0 {
             remaining[i] -= 1;
             current.push(ProcessId(i));
-            recurse(remaining, current, total, out);
+            recurse(remaining, current, total, visit);
             current.pop();
             remaining[i] += 1;
         }
     }
+}
+
+/// The number of nodes in the full scheduling tree of depth `depth` over
+/// `width` always-eligible processes — `Σ_{d=1..depth} width^d`, saturating
+/// at `u64::MAX`. This is what an explorer without partial-order reduction
+/// visits in the worst case; comparing against its actual node count gives
+/// the reduction ratio.
+pub fn count_schedule_tree(width: usize, depth: usize) -> u64 {
+    let mut total: u64 = 0;
+    let mut level: u64 = 1;
+    for _ in 0..depth {
+        level = match level.checked_mul(width as u64) {
+            Some(l) => l,
+            None => return u64::MAX,
+        };
+        total = match total.checked_add(level) {
+            Some(t) => t,
+            None => return u64::MAX,
+        };
+    }
+    total
 }
 
 /// The number of interleavings of `counts[i]` steps per process
@@ -129,5 +166,22 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn explosion_guard() {
         let _ = interleavings(&[20, 20, 20]);
+    }
+
+    #[test]
+    fn streaming_matches_collected() {
+        let counts = [2usize, 2, 1];
+        let mut streamed = Vec::new();
+        for_each_interleaving(&counts, |s| streamed.push(s.to_vec()));
+        assert_eq!(streamed, interleavings(&counts));
+    }
+
+    #[test]
+    fn schedule_tree_counts() {
+        // 3 + 9 + 27 = 39.
+        assert_eq!(count_schedule_tree(3, 3), 39);
+        assert_eq!(count_schedule_tree(1, 5), 5);
+        assert_eq!(count_schedule_tree(2, 0), 0);
+        assert_eq!(count_schedule_tree(1000, 1000), u64::MAX);
     }
 }

@@ -61,7 +61,9 @@ pub mod prelude {
         TaskViolation,
     };
     pub use crate::converge::ConvergeInstance;
-    pub use crate::exhaustive::{count_interleavings, interleavings};
+    pub use crate::exhaustive::{
+        count_interleavings, count_schedule_tree, for_each_interleaving, interleavings,
+    };
     pub use crate::experiment::{
         run_baseline_omega_k, run_boost, run_fig1, run_fig2, run_fig2_custom, run_fig3,
         run_omega_consensus, run_upsilon1_consensus, run_upsilon1_to_omega, sweep_seeds,
@@ -75,7 +77,7 @@ pub mod prelude {
     pub use crate::matrix::{hierarchy_table, validated_edges};
     pub use crate::mem::{NativeSnapshot, Register, RegisterArray, Snapshot, SnapshotFlavor};
     pub use crate::render::{render_summary, render_timeline};
-    pub use crate::shrink::ddmin;
+    pub use crate::shrink::{ddmin, ddmin_counted, ShrinkOutcome};
     pub use crate::sim::{
         Environment, FailurePattern, Output, ProcessId, ProcessSet, RoundRobin, Run, SeededRandom,
         SimBuilder, Time,

@@ -48,7 +48,7 @@ pub fn render_timeline<D: FdValue>(run: &Run<D>, memory: Option<&Memory>, window
     ) {
         for ev in range {
             let what = match &ev.kind {
-                StepKind::Op { object, detail } => {
+                StepKind::Op { object, detail, .. } => {
                     let name = memory
                         .and_then(|m| m.name_of(*object))
                         .map(|k| k.to_string())

@@ -20,40 +20,70 @@
 /// let minimal = ddmin(&noisy, |s| s.contains(&13) && s.contains(&77));
 /// assert_eq!(minimal, vec![13, 77]);
 /// ```
-pub fn ddmin<T: Clone>(input: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+pub fn ddmin<T: Clone>(input: &[T], fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    ddmin_counted(input, fails).minimal
+}
+
+/// The result of a counted [`ddmin_counted`] shrink: the minimal failing
+/// subsequence plus how much work finding it took — reported by systematic
+/// explorers so counterexample minimization cost is visible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShrinkOutcome<T> {
+    /// The locally-minimal failing subsequence.
+    pub minimal: Vec<T>,
+    /// Number of times the predicate was evaluated.
+    pub evals: u64,
+    /// Elements removed from the original input.
+    pub removed: usize,
+}
+
+/// [`ddmin`] with instrumentation: identical reduction, plus a count of
+/// predicate evaluations and of elements shed.
+pub fn ddmin_counted<T: Clone>(
+    input: &[T],
+    mut fails: impl FnMut(&[T]) -> bool,
+) -> ShrinkOutcome<T> {
+    let mut evals = 0u64;
+    let mut fails = |s: &[T]| {
+        evals += 1;
+        fails(s)
+    };
     let mut current: Vec<T> = input.to_vec();
-    if !fails(&current) {
-        return current;
-    }
-    let mut granularity = 2usize;
-    while current.len() >= 2 {
-        let chunk = current.len().div_ceil(granularity);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < current.len() {
-            let end = (start + chunk).min(current.len());
-            // Complement: everything except current[start..end].
-            let complement: Vec<T> = current[..start]
-                .iter()
-                .chain(current[end..].iter())
-                .cloned()
-                .collect();
-            if fails(&complement) {
-                current = complement;
-                granularity = granularity.saturating_sub(1).max(2);
-                reduced = true;
-                break;
+    if fails(&current) {
+        let mut granularity = 2usize;
+        while current.len() >= 2 {
+            let chunk = current.len().div_ceil(granularity);
+            let mut reduced = false;
+            let mut start = 0;
+            while start < current.len() {
+                let end = (start + chunk).min(current.len());
+                // Complement: everything except current[start..end].
+                let complement: Vec<T> = current[..start]
+                    .iter()
+                    .chain(current[end..].iter())
+                    .cloned()
+                    .collect();
+                if fails(&complement) {
+                    current = complement;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                start = end;
             }
-            start = end;
-        }
-        if !reduced {
-            if granularity >= current.len() {
-                break;
+            if !reduced {
+                if granularity >= current.len() {
+                    break;
+                }
+                granularity = (granularity * 2).min(current.len());
             }
-            granularity = (granularity * 2).min(current.len());
         }
     }
-    current
+    ShrinkOutcome {
+        removed: input.len() - current.len(),
+        minimal: current,
+        evals,
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +122,20 @@ mod tests {
         let input = vec![4, 4, 4];
         let min = ddmin(&input, |s| !s.is_empty());
         assert_eq!(min.len(), 1);
+    }
+
+    #[test]
+    fn counted_variant_reports_work() {
+        let input: Vec<u32> = (0..20).collect();
+        let out = ddmin_counted(&input, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(out.minimal, vec![3, 7]);
+        assert_eq!(out.removed, 18);
+        assert!(out.evals > 2, "shrinking evaluates many candidates");
+
+        let passing = ddmin_counted(&input, |_| false);
+        assert_eq!(passing.minimal, input);
+        assert_eq!(passing.evals, 1);
+        assert_eq!(passing.removed, 0);
     }
 
     #[test]

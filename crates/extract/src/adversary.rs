@@ -258,6 +258,20 @@ impl Adversary for GameAdversary {
     }
 }
 
+/// The game's pinned Υ history value: `U = {p_1, …, p_n}`, output
+/// constantly at every process.
+///
+/// This is the pivot of the Theorem 1/5 proofs — legal both when `p_{n+1}`
+/// is correct and when the processes of a candidate set `L` are faulty —
+/// but it is *not* legal in every failure pattern: crash `p_{n+1}` and
+/// `U = correct(F)`, which Υ's specification forbids. The systematic
+/// explorer exploits exactly this (see `upsilon-check`'s use of
+/// [`crate::spec::UpsilonFaithfulSpec`]) to produce a counterexample token
+/// against the pinned history.
+pub fn pinned_history(n_plus_1: usize) -> ProcessSet {
+    ProcessSet::singleton(ProcessId(n_plus_1 - 1)).complement(n_plus_1)
+}
+
 fn pick_round_robin(cursor: &mut usize, set: ProcessSet) -> Option<ProcessId> {
     if set.is_empty() {
         return None;
@@ -297,7 +311,7 @@ pub fn play(cfg: GameConfig, candidate: &dyn Candidate) -> GameVerdict {
     );
 
     // The pinned history: U = {p1..pn} forever, at everyone.
-    let u = ProcessSet::singleton(ProcessId(n)).complement(cfg.n_plus_1);
+    let u = pinned_history(cfg.n_plus_1);
     let state = Arc::new(Mutex::new(GameState {
         mode: Mode::WarmUp,
         current: None,

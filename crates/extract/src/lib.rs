@@ -33,13 +33,15 @@ pub mod faithful;
 pub mod fig3;
 pub mod phi;
 pub mod samples;
+pub mod spec;
 pub mod upsilon1_omega;
 
-pub use adversary::{play, Candidate, GameConfig, GameVerdict};
+pub use adversary::{pinned_history, play, Candidate, GameConfig, GameVerdict};
 pub use anti_omega_from_upsilon::upsilon_to_anti_omega_algorithm;
 pub use candidates::{all_candidates, ActivityCandidate, MirrorCandidate, StubbornCandidate};
 pub use faithful::{FaithfulOracle, FaithfulSpec};
 pub use fig3::extraction_algorithm;
 pub use phi::{max_f_supported, phi_omega, phi_omega_k, phi_perfect, PhiMap, Witness};
 pub use samples::PeriodicSeq;
+pub use spec::UpsilonFaithfulSpec;
 pub use upsilon1_omega::{upsilon1_to_omega_algorithm, Upsilon1Elector};

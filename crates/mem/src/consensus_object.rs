@@ -8,7 +8,7 @@
 //! violation (modelled as a panic, i.e. undefined behaviour surfaced
 //! loudly).
 
-use upsilon_sim::{Crashed, Ctx, FdValue, Key, ObjectType, ProcessId, ProcessSet};
+use upsilon_sim::{Access, Crashed, Ctx, FdValue, Key, ObjectType, ProcessId, ProcessSet};
 
 /// State of an `m`-process consensus object.
 #[derive(Clone, Debug)]
@@ -56,6 +56,12 @@ impl ObjectType for ConsensusObject {
             self.allowed
         );
         *self.decided.get_or_insert(v)
+    }
+
+    fn access(_op: &Propose) -> Access {
+        // A proposal reads the decided slot and may write it: no two
+        // proposals commute (the first to arrive wins).
+        Access::Update
     }
 }
 

@@ -3,7 +3,7 @@
 //! i.e., objects that export only base read-write operations", §3.1).
 
 use std::fmt;
-use upsilon_sim::{Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
+use upsilon_sim::{Access, Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
 
 /// Bound alias for values storable in shared memory.
 pub trait Value: Clone + Send + PartialEq + fmt::Debug + 'static {}
@@ -57,6 +57,13 @@ impl<T: Value> ObjectType for RegisterObject<T> {
                 self.value = v;
                 RegResp::Ack
             }
+        }
+    }
+
+    fn access(op: &RegOp<T>) -> Access {
+        match op {
+            RegOp::Read => Access::Read,
+            RegOp::Write(_) => Access::Write(0),
         }
     }
 }

@@ -20,7 +20,7 @@
 //! generic over it (selected with [`SnapshotFlavor`]).
 
 use crate::register::Value;
-use upsilon_sim::{Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
+use upsilon_sim::{Access, Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
 
 /// Common interface of atomic snapshot implementations.
 ///
@@ -117,6 +117,13 @@ impl<T: Value> ObjectType for SnapshotObject<T> {
                 SnapResp::Ack
             }
             SnapOp::Scan => SnapResp::Snap(self.cells.clone()),
+        }
+    }
+
+    fn access(op: &SnapOp<T>) -> Access {
+        match op {
+            SnapOp::Update(i, _) => Access::Write(*i as u32),
+            SnapOp::Scan => Access::Read,
         }
     }
 }

@@ -87,6 +87,7 @@ mod object;
 mod oracle;
 mod phased;
 mod process;
+mod replay;
 mod runtime;
 mod sched;
 mod time;
@@ -97,10 +98,11 @@ pub use builder::{algo, AlgoFn, AlgoFuture, SimBuilder, SimOutcome};
 pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};
 pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
-pub use object::{Key, Memory, ObjectId, ObjectType};
+pub use object::{Access, Key, Memory, ObjectId, ObjectType};
 pub use oracle::{DummyOracle, FdValue, MappedOracle, NullOracle, Oracle};
 pub use phased::{Phase, PhasedAdversary};
 pub use process::{Iter, ProcessId, ProcessSet};
+pub use replay::{ReplayToken, TokenError};
 pub use runtime::Ctx;
 pub use sched::{
     Adversary, FnAdversary, RoundRobin, SchedView, Scripted, SeededRandom, WeightedRandom,

@@ -19,6 +19,51 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// How an operation touches its object, for independence analysis.
+///
+/// Two steps on the *same* object commute — executing them in either order
+/// reaches the same state and responses — when both only read, or when they
+/// write disjoint cells. Partial-order reduction (the `upsilon-check`
+/// explorer) prunes one of the two orders in exactly those cases, so a
+/// too-coarse classification is safe (fewer prunes) while a too-fine one is
+/// not; implementations default to [`Access::Update`], the conservative
+/// "conflicts with everything on this object".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Access {
+    /// The operation reads object state and writes nothing (a register
+    /// read, a snapshot scan). Reads never conflict with each other.
+    Read,
+    /// The operation writes only the identified cell and reads nothing
+    /// (a register write is `Write(0)`, a snapshot `update(i)` is
+    /// `Write(i)`). Writes to distinct cells commute; writes to the same
+    /// cell, or a write and any read, conflict.
+    Write(u32),
+    /// The operation may read and write arbitrary state (a consensus
+    /// proposal, a fetch-and-add): conflicts with every access.
+    Update,
+}
+
+impl Access {
+    /// Whether two accesses *to the same object* fail to commute.
+    pub fn conflicts_with(self, other: Access) -> bool {
+        match (self, other) {
+            (Access::Read, Access::Read) => false,
+            (Access::Write(a), Access::Write(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "r"),
+            Access::Write(c) => write!(f, "w{c}"),
+            Access::Update => write!(f, "u"),
+        }
+    }
+}
+
 /// A linearizable shared-object type.
 ///
 /// An implementation defines the sequential behaviour of the object; the
@@ -33,6 +78,15 @@ pub trait ObjectType: Send + 'static {
     /// Applies `op` on behalf of `caller`, mutating the object and returning
     /// the response, atomically.
     fn invoke(&mut self, caller: ProcessId, op: Self::Op) -> Self::Resp;
+
+    /// Classifies `op` for conflict analysis; recorded on the trace event of
+    /// the step that performs it. The default is the always-sound
+    /// [`Access::Update`]; objects with genuinely commuting operations
+    /// (registers, snapshots) override this to enable partial-order
+    /// reduction across their steps.
+    fn access(_op: &Self::Op) -> Access {
+        Access::Update
+    }
 }
 
 /// A structured shared-object name: a static label plus numeric indices.

@@ -243,13 +243,21 @@ impl<D: FdValue> Ctx<D> {
     ) -> Result<O::Resp, Crashed> {
         self.step(move |world, pid, _t| {
             let id = world.memory.resolve::<O>(key, init);
+            let access = O::access(&op);
             let detail_prefix = match world.trace_level {
                 TraceLevel::Full => Some(format!("{op:?}")),
                 TraceLevel::Steps => None,
             };
             let resp = world.memory.invoke::<O>(id, pid, op);
             let detail = detail_prefix.map(|p| format!("{p} -> {resp:?}").into_boxed_str());
-            (StepKind::Op { object: id, detail }, resp)
+            (
+                StepKind::Op {
+                    object: id,
+                    access,
+                    detail,
+                },
+                resp,
+            )
         })
         .await
     }

@@ -7,7 +7,7 @@
 //! conditions of §3.3 and to check problem specifications on traces.
 
 use crate::failure::FailurePattern;
-use crate::object::ObjectId;
+use crate::object::{Access, ObjectId};
 use crate::oracle::FdValue;
 use crate::process::{ProcessId, ProcessSet};
 use crate::time::Time;
@@ -49,6 +49,8 @@ pub enum StepKind<D> {
     Op {
         /// The object operated on.
         object: ObjectId,
+        /// How the operation touched the object (for conflict analysis).
+        access: Access,
         /// `Debug`-rendered operation and response, when full tracing is on.
         detail: Option<Box<str>>,
     },
