@@ -72,6 +72,7 @@ pub async fn propose_with<D: FdValue>(
     let decision = Register::<Option<u64>>::new(Key::new("D"), None);
     let mut v = v;
     let mut r: u64 = 1;
+    // #[conform(bound = "R")]
     loop {
         if let Some(d) = decision.read(ctx).await? {
             return Ok(d);
@@ -84,6 +85,7 @@ pub async fn propose_with<D: FdValue>(
         // Wait for the leader's proposal; escape on leader change or
         // decision. A stable correct leader passes through every round (or
         // decides), so this wait is non-blocking after stabilization.
+        // #[conform(bound = "W")]
         loop {
             if let Some(w) = prop.read(ctx).await? {
                 v = w;

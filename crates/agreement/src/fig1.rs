@@ -45,6 +45,11 @@ pub struct Fig1Config {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashes mid-protocol.
+// Wait-free per Theorem 2: every step completes, and once Υ stabilizes the
+// round/sub-round counters stop advancing. R and K are per-run quantities
+// (rounds and sub-rounds actually taken); the dynamic cross-check binds
+// them from recorded runs.
+// #[conform(wait_free)]
 pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u64, Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let n = ctx.n();
@@ -52,6 +57,7 @@ pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u
     let decision = Register::<Option<u64>>::new(Key::new("D"), None);
     let mut v = v;
     let mut r: u64 = 1;
+    // #[conform(bound = "R")]
     loop {
         // Line 4: try to commit one of at most n surviving values.
         let main = ConvergeInstance::new(Key::new("n-conv").at(r), n_plus_1, cfg.flavor);
@@ -71,6 +77,7 @@ pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig1Config, v: u64) -> Result<u
         let mut k: u64 = 0;
 
         // Lines 12–17: gladiators vs citizens, until the round resolves.
+        // #[conform(bound = "K")]
         let adopted = loop {
             k += 1;
             let u_now = ctx.query_fd().await?;

@@ -91,6 +91,9 @@ enum SubRound {
 /// # Panics
 ///
 /// Panics if `cfg.f` is out of range for the system size.
+// Wait-free per Theorem 6; R and K are per-run round/sub-round counts,
+// bound from recorded runs by the dynamic cross-check.
+// #[conform(wait_free)]
 pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u64, Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let f = cfg.f;
@@ -100,6 +103,7 @@ pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u
     let mut v = v;
     let mut r: u64 = 1;
 
+    // #[conform(bound = "R")]
     loop {
         // Round opener: f-converge over the surviving values.
         let main = ConvergeInstance::new(Key::new("f-conv").at(r), n_plus_1, cfg.flavor);
@@ -118,6 +122,7 @@ pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u
         let mut u = ctx.query_fd().await?;
         let mut k: u64 = 0;
 
+        // #[conform(bound = "K")]
         let adopted = loop {
             k += 1;
             let u_now = ctx.query_fd().await?;
@@ -175,7 +180,9 @@ async fn gladiator_sub_round(
     a.update(ctx, *v).await?;
 
     // Lines 17–19: wait for at least n+1−f non-⊥ entries, escaping on
-    // D / D[r] / observed instability.
+    // D / D[r] / observed instability. W bounds the wait iterations
+    // actually taken in a recorded run.
+    // #[conform(bound = "W")]
     let snap = loop {
         let s = a.scan(ctx).await?;
         if non_bot_count(&s) >= quorum {

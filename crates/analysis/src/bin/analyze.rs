@@ -1,0 +1,306 @@
+//! Unified analysis driver: one entry point for every static and dynamic
+//! pass the repository ships.
+//!
+//! ```text
+//! cargo run -p upsilon-analysis --bin analyze -- lint [--json]
+//! cargo run -p upsilon-analysis --bin analyze -- conform [--json]
+//! cargo run -p upsilon-analysis --bin analyze -- run-conditions [--json] \
+//!     [--seeds <count>] [--procs <n+1>]
+//! ```
+//!
+//! `lint` and `conform` are the static passes (determinism lint over the
+//! simulator crates, §3.1 conformance over the algorithm crates); both
+//! also exist as standalone bins. `run-conditions` is the dynamic pass: it
+//! drives a built-in leader workload over a seed sweep and validates every
+//! recorded run against the §3.3 run conditions with
+//! [`upsilon_analysis::check_run_for`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use upsilon_analysis::{check_run_for, RunStats};
+use upsilon_mem::{RegOp, RegResp, RegisterObject};
+use upsilon_sim::{
+    algo, run_batch, DummyOracle, FailurePattern, Key, ProcessId, SeededRandom, SimBuilder, Time,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: analyze <lint|conform|run-conditions> [options]\n\
+         \n\
+         common options:\n\
+         \x20 --root <dir>        workspace root (default .)\n\
+         \x20 --json              machine-readable output\n\
+         \n\
+         lint / conform options:\n\
+         \x20 --allowlist <file>  audited-exception file (default under crates/analysis/)\n\
+         \n\
+         run-conditions options:\n\
+         \x20 --seeds <count>     schedules per pattern (default 16)\n\
+         \x20 --procs <n+1>       processes, half of them also run a crashy pattern (default 3)"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Default)]
+struct Opts {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    seeds: u64,
+    procs: usize,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_else(|| usage());
+
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        seeds: 16,
+        procs: 3,
+        ..Opts::default()
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--allowlist" => {
+                opts.allowlist = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--json" => opts.json = true,
+            "--seeds" => {
+                opts.seeds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--procs" => {
+                opts.procs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    match mode.as_str() {
+        "lint" => lint(&opts),
+        "conform" => conform(&opts),
+        "run-conditions" => run_conditions(&opts),
+        "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown mode: {other}");
+            usage();
+        }
+    }
+}
+
+fn lint(opts: &Opts) -> ExitCode {
+    use upsilon_analysis::lint;
+    let path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/analysis/lint-allowlist.txt"));
+    let allow = match load_or_empty(&path, lint::Allowlist::load) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match lint::scan_workspace(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.violations {
+            println!("{finding}");
+        }
+        println!(
+            "lint: {} files scanned, {} violations, {} allowlisted",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed.len()
+        );
+    }
+    pass_fail(report.is_clean())
+}
+
+fn conform(opts: &Opts) -> ExitCode {
+    let path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/analysis/conform-allowlist.txt"));
+    let allow = match load_or_empty(&path, upsilon_conform::load_allowlist) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match upsilon_conform::scan_workspace(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "conform: {} files scanned, {} findings, {} allowlisted, {} routines bounded",
+            report.files.len(),
+            report.findings.len(),
+            report.suppressed.len(),
+            report.bounds.iter().filter(|b| b.bound.is_some()).count()
+        );
+    }
+    pass_fail(report.findings.is_empty())
+}
+
+/// Loads an allowlist file, treating a missing file as empty and a
+/// malformed one as a usage error.
+fn load_or_empty<A: Default>(
+    path: &std::path::Path,
+    load: impl Fn(&std::path::Path) -> std::io::Result<A>,
+) -> Result<A, ExitCode> {
+    if !path.exists() {
+        return Ok(A::default());
+    }
+    load(path).map_err(|e| {
+        eprintln!("analyze: bad allowlist {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+/// One seeded workload execution, producing (seed, crashy?, validated stats).
+type RunJob = Box<dyn FnOnce() -> (u64, bool, Result<RunStats, String>) + Send>;
+
+/// The dynamic pass: drive the built-in leader workload over failure-free
+/// and crashy patterns for a seed sweep and validate every run against the
+/// §3.3 run conditions.
+fn run_conditions(opts: &Opts) -> ExitCode {
+    let n_plus_1 = opts.procs.max(2);
+    let mut jobs: Vec<RunJob> = Vec::new();
+    for seed in 0..opts.seeds {
+        jobs.push(Box::new(move || {
+            let pattern = FailurePattern::failure_free(n_plus_1);
+            let outcome = leader_workload(pattern, seed);
+            (
+                seed,
+                false,
+                check_run_for(&outcome.run).map_err(|v| v.to_string()),
+            )
+        }));
+        jobs.push(Box::new(move || {
+            // Crash the highest-numbered process partway through.
+            let pattern = FailurePattern::builder(n_plus_1)
+                .crash(ProcessId(n_plus_1 - 1), Time(4))
+                .build();
+            let outcome = leader_workload(pattern, seed);
+            (
+                seed,
+                true,
+                check_run_for(&outcome.run).map_err(|v| v.to_string()),
+            )
+        }));
+    }
+    let results = run_batch(jobs, 4);
+
+    let mut failures: Vec<(u64, bool, String)> = Vec::new();
+    let mut decisions = 0u64;
+    for (seed, crashy, res) in results {
+        match res {
+            Ok(stats) => decisions += stats.decisions as u64,
+            Err(v) => failures.push((seed, crashy, v)),
+        }
+    }
+    failures.sort();
+
+    if opts.json {
+        use upsilon_conform::diag::json_string;
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, (seed, crashy, v)) in failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"seed\": {seed}, \"crashy\": {crashy}, \"violation\": {}}}",
+                json_string(v)
+            ));
+        }
+        if !failures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"runs_checked\": {},\n  \"decisions\": {decisions}\n}}\n",
+            opts.seeds * 2
+        ));
+        print!("{out}");
+    } else {
+        for (seed, crashy, v) in &failures {
+            println!(
+                "run-conditions: seed {seed} ({}): {v}",
+                if *crashy { "crashy" } else { "failure-free" }
+            );
+        }
+        println!(
+            "run-conditions: {} runs checked ({} seeds x 2 patterns, n+1={n_plus_1}), \
+             {} violations, {decisions} decisions observed",
+            opts.seeds * 2,
+            opts.seeds,
+            failures.len()
+        );
+    }
+    pass_fail(failures.is_empty())
+}
+
+/// The same consensus-like workload the validator's mutation tests drive:
+/// every process writes its proposal, queries the detector, then spins
+/// reading the designated leader's register until it can decide.
+fn leader_workload(pattern: FailurePattern, seed: u64) -> upsilon_sim::SimOutcome<u64> {
+    SimBuilder::<u64>::new(pattern)
+        .oracle(DummyOracle::new(0u64))
+        .adversary(SeededRandom::new(seed))
+        .spawn_all(move |pid| {
+            algo(move |ctx| async move {
+                let me = pid.index() as u64;
+                let mine = Key::new("reg").at(me);
+                ctx.invoke(&mine, || RegisterObject::new(u64::MAX), RegOp::Write(me))
+                    .await?;
+                let leader = ctx.query_fd().await?;
+                loop {
+                    let resp = ctx
+                        .invoke(
+                            &Key::new("reg").at(leader),
+                            || RegisterObject::new(u64::MAX),
+                            RegOp::Read,
+                        )
+                        .await?;
+                    if let RegResp::Value(v) = resp {
+                        if v != u64::MAX {
+                            ctx.decide(v).await?;
+                            return Ok(());
+                        }
+                    }
+                    ctx.yield_step().await?;
+                }
+            })
+        })
+        .run()
+}
+
+fn pass_fail(clean: bool) -> ExitCode {
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,104 @@
+//! §3.1 conformance checker driver.
+//!
+//! Scans every algorithm body in the protocol crates for step-atomicity
+//! (C1), banned host APIs (C2), escaping handles (C3) and unbounded
+//! wait-free claims (C4), and exits nonzero if any unallowlisted finding
+//! remains:
+//!
+//! ```text
+//! cargo run -p upsilon-analysis --bin conform
+//! cargo run -p upsilon-analysis --bin conform -- --root . --json \
+//!     --allowlist crates/analysis/conform-allowlist.txt
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use upsilon_conform::{load_allowlist, scan_workspace, Allowlist};
+
+fn usage() -> ! {
+    eprintln!("usage: conform [--root <workspace-root>] [--allowlist <file>] [--json]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--allowlist" => {
+                allowlist_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let allowlist_path =
+        allowlist_path.unwrap_or_else(|| root.join("crates/analysis/conform-allowlist.txt"));
+    let allow = if allowlist_path.exists() {
+        match load_allowlist(&allowlist_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("conform: bad allowlist {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::empty()
+    };
+
+    let report = match scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        for row in &report.bounds {
+            match (&row.bound, &row.unbounded) {
+                (Some(b), _) => println!(
+                    "bound: {}:{} {} ≤ {}{}",
+                    row.file,
+                    row.line,
+                    row.name,
+                    b,
+                    if row.wait_free { "  [wait_free]" } else { "" }
+                ),
+                (None, Some(why)) => {
+                    println!(
+                        "bound: {}:{} {} unbounded ({why})",
+                        row.file, row.line, row.name
+                    );
+                }
+                (None, None) => {}
+            }
+        }
+        println!(
+            "conform: {} files scanned, {} findings, {} allowlisted, {} routines bounded",
+            report.files.len(),
+            report.findings.len(),
+            report.suppressed.len(),
+            report.bounds.iter().filter(|b| b.bound.is_some()).count()
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

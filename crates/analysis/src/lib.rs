@@ -1,6 +1,6 @@
 //! # upsilon-analysis
 //!
-//! Three cooperating analysis passes that keep the reproduction honest:
+//! Four cooperating analysis passes that keep the reproduction honest:
 //!
 //! 1. **Determinism lint** ([`lint`]) — a source-level scan of the
 //!    simulator crates banning constructs that silently break replayability
@@ -8,13 +8,20 @@
 //!    spawns, bare `unwrap()` in simulator hot paths), with an allowlist
 //!    file for audited exceptions. Run as a binary:
 //!    `cargo run -p upsilon-analysis --bin lint`.
-//! 2. **Run-condition validator** ([`run_conditions`]) — an independent
+//! 2. **§3.1 conformance checker** ([`upsilon_conform`], re-hosted here as
+//!    a binary: `cargo run -p upsilon-analysis --bin conform`) — a
+//!    purpose-built lexer/parser that walks every algorithm body in the
+//!    protocol crates and enforces the step-atomicity contract: one
+//!    `ctx`-mediated shared operation per await point (C1), no host APIs
+//!    (C2), no escaping handles (C3), and a static per-invocation step
+//!    bound for every `wait_free`-claimed routine (C4).
+//! 3. **Run-condition validator** ([`run_conditions`]) — an independent
 //!    checker of the §3.3 well-formedness conditions on recorded
 //!    [`upsilon_sim::Run`]s: strictly increasing step times, no steps by a
 //!    process after its crash time in `F(t)`, query steps consistent with
 //!    the failure-detector history `H(p, t)`, irrevocable decisions, and
 //!    σ/times alignment in the induced trace of §3.4.
-//! 3. **Linearizability checker** ([`linearizability`]) — a Wing–Gong
+//! 4. **Linearizability checker** ([`linearizability`]) — a Wing–Gong
 //!    style checker with partial-order pruning for register and snapshot
 //!    histories, used to show that the native snapshot and the Afek et al.
 //!    register-only construction implement the *same* sequential object
@@ -24,6 +31,10 @@
 //! bookkeeping: it re-derives every property from the public `Run`
 //! accessors, so a bug in the recorder and a bug in the checker would have
 //! to coincide to slip through.
+//!
+//! All passes are also reachable through one driver,
+//! `cargo run -p upsilon-analysis --bin analyze -- <lint|conform|run-conditions>`,
+//! which adds a shared `--json` flag for machine-readable reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -28,7 +28,11 @@ use std::path::Path;
 ///
 /// `bench` is deliberately absent: benches measure wall time, so
 /// `Instant`-based code is legitimate there and nothing in `bench` feeds
-/// back into simulated behaviour.
+/// back into simulated behaviour. `conform` is absent for the same reason
+/// `analysis` exempts its own pattern tables (`PATTERN_EXEMPT`): its rule
+/// tables name the banned constructs as
+/// string patterns (and it is itself a source analyzer with its own test
+/// gauntlet).
 pub const SCANNED_CRATES: &[&str] = &[
     "sim",
     "mem",
@@ -37,6 +41,16 @@ pub const SCANNED_CRATES: &[&str] = &[
     "converge",
     "extract",
     "core",
+    "check",
+    "analysis",
+];
+
+/// Files exempt from the whole scan because they *name* the banned
+/// constructs as string patterns: the lint's own pattern table and its
+/// regression tests. Scanning them would flag the scanner.
+const PATTERN_EXEMPT: &[&str] = &[
+    "crates/analysis/src/lint.rs",
+    "crates/analysis/tests/lint_regression.rs",
 ];
 
 /// Files exempt from [`Rule::ThreadSpawn`]: the thread-lockstep engine
@@ -229,6 +243,40 @@ impl LintReport {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Renders the report as deterministic JSON (findings are already
+    /// sorted by the scan), mirroring the conformance checker's format.
+    pub fn to_json(&self) -> String {
+        use upsilon_conform::diag::json_string;
+        let push_findings = |out: &mut String, findings: &[Finding]| {
+            for (i, f) in findings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    {");
+                out.push_str(&format!(
+                    "\"rule\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}, \"why\": {}",
+                    json_string(f.rule.id()),
+                    json_string(&f.file),
+                    f.line,
+                    json_string(&f.excerpt),
+                    json_string(f.rule.why())
+                ));
+                out.push('}');
+            }
+            if !findings.is_empty() {
+                out.push_str("\n  ");
+            }
+        };
+        let mut out = String::from("{\n  \"violations\": [");
+        push_findings(&mut out, &self.violations);
+        out.push_str("],\n  \"suppressed\": [");
+        push_findings(&mut out, &self.suppressed);
+        out.push_str("],\n  \"files_scanned\": ");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str("\n}\n");
+        out
+    }
 }
 
 /// Scans every `.rs` file of the [`SCANNED_CRATES`] under `root/crates`.
@@ -307,6 +355,9 @@ enum TestRegion {
 /// selects per-file rule applicability (sim-only rules, spawn exemptions,
 /// `tests/`/`benches/` relaxations).
 pub fn scan_source(rel_file: &str, source: &str) -> Vec<Finding> {
+    if PATTERN_EXEMPT.contains(&rel_file) {
+        return Vec::new();
+    }
     let is_test_file = rel_file.contains("/tests/") || rel_file.contains("/benches/");
     let in_sim = rel_file.starts_with("crates/sim/src/");
     let spawn_exempt = SPAWN_EXEMPT.contains(&rel_file);

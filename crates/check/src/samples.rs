@@ -113,6 +113,7 @@ pub fn pinned_upsilon(n_plus_1: usize, f: usize, depth: usize) -> CheckConfig<Pr
         (0..n_plus_1)
             .map(|_| {
                 Some(algo(move |ctx| async move {
+                    // #[conform(bound = "B")]
                     loop {
                         ctx.query_fd().await?;
                     }
@@ -163,6 +164,7 @@ pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> 
                         ctx.decide(v).await?;
                         return Ok(());
                     }
+                    // #[conform(bound = "B")]
                     loop {
                         ctx.yield_step().await?;
                     }

@@ -1,0 +1,20 @@
+//! Deliberately **nonconforming** algorithm code.
+//!
+//! Each module here violates exactly one `upsilon-conform` rule, on
+//! purpose: the conformance checker's negative golden tests
+//! (`crates/conform/tests/fixtures.rs`) scan these sources and assert
+//! that every file trips its intended rule — and *only* that rule. The
+//! code compiles (the violations are semantic, against the §3.1 model
+//! contract, not against Rust) but none of it is ever executed.
+//!
+//! This crate is intentionally **not** in the checker's
+//! [`SCANNED_CRATES`](../upsilon_conform/constant.SCANNED_CRATES.html)
+//! set, so the workspace-wide "zero findings" gate stays meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c1_double_op;
+pub mod c2_banned_api;
+pub mod c3_leaked_handle;
+pub mod c4_unbounded_helping;

@@ -1,0 +1,570 @@
+//! Rule C4: the await graph and static per-invocation step bounds.
+//!
+//! Every `.await` in algorithm code costs the bound of the operation it
+//! mediates: `Ctx` step methods cost one step, calls to indexed async
+//! routines cost that routine's own bound (computed recursively, maximum
+//! over same-name definitions), synchronous helpers cost nothing. Loops
+//! multiply their body cost by an iteration bound taken from a
+//! `#[conform(bound = "...")]` annotation; a loop whose body takes steps
+//! but has no annotation is unbounded, as is any await cycle (recursion).
+//!
+//! Branches are *summed*, not maxed, so the result is a sound (if
+//! sometimes loose) upper bound. A `#[conform(bound = "...")]` annotation
+//! directly on a `fn` overrides the computed bound for that definition —
+//! the escape hatch for dispatch patterns the name-based resolution would
+//! misread as recursion.
+
+use std::collections::BTreeMap;
+
+use crate::bound::{parse_expr, Expr};
+use crate::diag::{BoundRow, Finding, RuleId};
+use crate::model::{parse_annotation, AlgoBody, FileModel, FnDef};
+use crate::rules::{chain_calls, chain_start, FnIndex, NameClass};
+use crate::tree::{Delim, Spanned, Tok};
+
+/// A step bound, or the reason there is none.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Cost {
+    Bounded(Expr),
+    Unbounded { line: u32, why: String },
+}
+
+impl Cost {
+    fn zero() -> Cost {
+        Cost::Bounded(Expr::zero())
+    }
+
+    fn mul_by(self, factor: Expr) -> Cost {
+        match self {
+            Cost::Bounded(e) => Cost::Bounded(factor * e),
+            u @ Cost::Unbounded { .. } => u,
+        }
+    }
+
+    fn max(self, rhs: Cost) -> Cost {
+        match (self, rhs) {
+            (Cost::Bounded(a), Cost::Bounded(b)) => Cost::Bounded(a.max(b)),
+            (u @ Cost::Unbounded { .. }, _) | (_, u @ Cost::Unbounded { .. }) => u,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        matches!(self, Cost::Bounded(e) if e.is_zero())
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    /// Sequential composition: unboundedness is absorbing.
+    fn add(self, rhs: Cost) -> Cost {
+        match (self, rhs) {
+            (Cost::Bounded(a), Cost::Bounded(b)) => Cost::Bounded(a + b),
+            (u @ Cost::Unbounded { .. }, _) | (_, u @ Cost::Unbounded { .. }) => u,
+        }
+    }
+}
+
+struct Graph<'a> {
+    index: &'a FnIndex,
+    /// name -> indices into `defs`.
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    defs: Vec<&'a FnDef>,
+    memo: BTreeMap<String, Cost>,
+    findings: Vec<Finding>,
+}
+
+/// Computes bounds for every algorithm routine and the C4 findings for
+/// violated `wait_free` claims.
+pub fn compute(files: &[FileModel], index: &FnIndex) -> (Vec<BoundRow>, Vec<Finding>) {
+    let mut defs: Vec<&FnDef> = Vec::new();
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for file in files {
+        for f in &file.fns {
+            if f.is_async && f.takes_ctx && !f.body.is_empty() {
+                by_name.entry(&f.name).or_default().push(defs.len());
+                defs.push(f);
+            }
+        }
+    }
+    let mut graph = Graph {
+        index,
+        by_name,
+        defs: defs.clone(),
+        memo: BTreeMap::new(),
+        findings: Vec::new(),
+    };
+    let mut rows = Vec::new();
+    for def in &defs {
+        let mut visiting = vec![def.name.clone()];
+        let cost = graph.def_cost(def, &mut visiting);
+        let wait_free = def.ann.as_ref().is_some_and(|a| a.wait_free);
+        if wait_free {
+            if let Cost::Unbounded { line, why } = &cost {
+                graph.findings.push(Finding {
+                    rule: RuleId::C4,
+                    file: def.file.clone(),
+                    line: def.line,
+                    message: format!(
+                        "`{}` claims wait_free but has no static step bound: {why} (line {line})",
+                        def.name
+                    ),
+                    suggestion: "annotate the offending loop with \
+                                 #[conform(bound = \"...\")] or drop the wait_free claim"
+                        .to_string(),
+                });
+            }
+        }
+        rows.push(row(&def.name, &def.file, def.line, wait_free, cost));
+    }
+    for file in files {
+        for a in &file.algos {
+            let cost = graph.algo_cost(a);
+            rows.push(row("<algo>", &a.file, a.line, false, cost));
+        }
+    }
+    (rows, graph.findings)
+}
+
+fn row(name: &str, file: &str, line: u32, wait_free: bool, cost: Cost) -> BoundRow {
+    match cost {
+        Cost::Bounded(e) => BoundRow {
+            name: name.to_string(),
+            file: file.to_string(),
+            line,
+            wait_free,
+            params: e.params().into_iter().collect(),
+            bound: Some(e.to_string()),
+            unbounded: None,
+        },
+        Cost::Unbounded { line: at, why } => BoundRow {
+            name: name.to_string(),
+            file: file.to_string(),
+            line,
+            wait_free,
+            params: Vec::new(),
+            bound: None,
+            unbounded: Some(format!("{why} (line {at})")),
+        },
+    }
+}
+
+impl<'a> Graph<'a> {
+    fn algo_cost(&mut self, a: &AlgoBody) -> Cost {
+        let mut visiting = Vec::new();
+        self.body_cost(&a.body, &a.file, &mut visiting)
+    }
+
+    /// The bound of one definition: annotation override, else body walk.
+    fn def_cost(&mut self, def: &FnDef, visiting: &mut Vec<String>) -> Cost {
+        if let Some(bound) = def.ann.as_ref().and_then(|a| a.bound.as_ref()) {
+            let ann_line = def.ann.as_ref().map_or(def.line, |a| a.line);
+            return match parse_expr(bound) {
+                Ok(e) => Cost::Bounded(e),
+                Err(e) => {
+                    self.findings.push(Finding {
+                        rule: RuleId::C4,
+                        file: def.file.clone(),
+                        line: ann_line,
+                        message: format!("invalid bound expression `{bound}`: {e}"),
+                        suggestion: "bounds are integer arithmetic over parameters: \
+                                     INT, IDENT, +, -, *, parentheses, max(a, b)"
+                            .to_string(),
+                    });
+                    Cost::Unbounded {
+                        line: ann_line,
+                        why: "invalid bound annotation".to_string(),
+                    }
+                }
+            };
+        }
+        let body = def.body.clone();
+        let file = def.file.clone();
+        self.body_cost(&body, &file, visiting)
+    }
+
+    /// Bound of a callee name: maximum over all same-name definitions.
+    fn bound_of_name(&mut self, name: &str, line: u32, visiting: &mut Vec<String>) -> Cost {
+        if let Some(hit) = self.memo.get(name) {
+            return hit.clone();
+        }
+        if visiting.iter().any(|v| v == name) {
+            return Cost::Unbounded {
+                line,
+                why: format!("recursive await cycle through `{name}`"),
+            };
+        }
+        let Some(indices) = self.by_name.get(name).cloned() else {
+            return Cost::Unbounded {
+                line,
+                why: format!("awaited routine `{name}` is not indexed"),
+            };
+        };
+        visiting.push(name.to_string());
+        let mut acc = Cost::zero();
+        for i in indices {
+            let def = self.defs[i];
+            let c = self.def_cost(def, visiting);
+            acc = acc.max(c);
+        }
+        visiting.pop();
+        // Only cache cycle-free results: a cost computed inside a cycle is
+        // relative to the current resolution stack.
+        if !visiting
+            .iter()
+            .any(|v| self.by_name.contains_key(v.as_str()))
+            || visiting.is_empty()
+        {
+            self.memo.insert(name.to_string(), acc.clone());
+        }
+        acc
+    }
+
+    /// Sum of step costs over a token list, with loop multiplication.
+    fn body_cost(&mut self, toks: &[Spanned], file: &str, visiting: &mut Vec<String>) -> Cost {
+        let mut total = Cost::zero();
+        let mut pending: Option<Expr> = None;
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i].tok {
+                Tok::Conform(text) => {
+                    if let Ok(ann) = parse_annotation(text, toks[i].line) {
+                        if let Some(b) = ann.bound {
+                            match parse_expr(&b) {
+                                Ok(e) => pending = Some(e),
+                                Err(e) => {
+                                    self.findings.push(Finding {
+                                        rule: RuleId::C4,
+                                        file: file.to_string(),
+                                        line: toks[i].line,
+                                        message: format!("invalid bound expression `{b}`: {e}"),
+                                        suggestion: "bounds are integer arithmetic over \
+                                                     parameters: INT, IDENT, +, -, *, \
+                                                     parentheses, max(a, b)"
+                                            .to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                Tok::Ident(kw) if kw == "loop" => {
+                    let Some(Spanned {
+                        tok: Tok::Group(Delim::Brace, children, _),
+                        ..
+                    }) = toks.get(i + 1)
+                    else {
+                        i += 1;
+                        continue;
+                    };
+                    let inner = self.body_cost(children, file, visiting);
+                    total = total + self.looped(inner, pending.take(), toks[i].line, "loop");
+                    i += 2;
+                }
+                Tok::Ident(kw) if kw == "while" => {
+                    let mut j = i + 1;
+                    while j < toks.len() && !matches!(&toks[j].tok, Tok::Group(Delim::Brace, ..)) {
+                        j += 1;
+                    }
+                    let cond = self.body_cost(&toks[i + 1..j.min(toks.len())], file, visiting);
+                    let inner = match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Group(Delim::Brace, children, _)) => {
+                            self.body_cost(children, file, visiting)
+                        }
+                        _ => Cost::zero(),
+                    };
+                    let per_iter = inner + cond.clone();
+                    let repeated = self.looped(per_iter, pending.take(), toks[i].line, "while");
+                    // The condition runs once more than the body.
+                    total = total + repeated + cond;
+                    i = j + 1;
+                }
+                Tok::Ident(kw) if kw == "for" => {
+                    let mut j = i + 1;
+                    while j < toks.len() && toks[j].ident() != Some("in") {
+                        j += 1;
+                    }
+                    let mut k = j + 1;
+                    while k < toks.len() && !matches!(&toks[k].tok, Tok::Group(Delim::Brace, ..)) {
+                        k += 1;
+                    }
+                    // The iterator expression is evaluated once.
+                    let iter_cost = self.body_cost(&toks[j + 1..k.min(toks.len())], file, visiting);
+                    let inner = match toks.get(k).map(|t| &t.tok) {
+                        Some(Tok::Group(Delim::Brace, children, _)) => {
+                            self.body_cost(children, file, visiting)
+                        }
+                        _ => Cost::zero(),
+                    };
+                    let repeated = self.looped(inner, pending.take(), toks[i].line, "for");
+                    total = total + iter_cost + repeated;
+                    i = k + 1;
+                }
+                Tok::Punct('.') if toks.get(i + 1).and_then(|t| t.ident()) == Some("await") => {
+                    let start = chain_start(toks, i);
+                    let line = toks[i].line;
+                    for (name, group_idx) in chain_calls(toks, start, i) {
+                        let call_cost = match self.index.classify(&name) {
+                            NameClass::StepMethod => Cost::Bounded(Expr::one()),
+                            NameClass::AsyncCtx => self.bound_of_name(&name, line, visiting),
+                            NameClass::LocalMethod | NameClass::Sync | NameClass::AsyncOther => {
+                                Cost::zero()
+                            }
+                            NameClass::Unknown => {
+                                if matches!(&toks[group_idx].tok,
+                                    Tok::Group(_, children, _) if flat_has_ctx(children))
+                                {
+                                    Cost::Unbounded {
+                                        line,
+                                        why: format!("awaited call to unindexed routine `{name}`"),
+                                    }
+                                } else {
+                                    Cost::zero()
+                                }
+                            }
+                        };
+                        total = total + call_cost;
+                    }
+                    i += 2;
+                }
+                Tok::Punct(';') => {
+                    pending = None;
+                    i += 1;
+                }
+                Tok::Group(_, children, _) => {
+                    let inner = self.body_cost(children, file, visiting);
+                    total = total + inner;
+                    i += 1;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Applies an iteration bound to a loop-body cost.
+    fn looped(&mut self, inner: Cost, bound: Option<Expr>, line: u32, kw: &str) -> Cost {
+        match bound {
+            Some(e) => inner.mul_by(e),
+            None if inner.is_zero() => Cost::zero(),
+            None => match inner {
+                u @ Cost::Unbounded { .. } => u,
+                Cost::Bounded(_) => Cost::Unbounded {
+                    line,
+                    why: format!("`{kw}` loop takes steps but has no #[conform(bound)]"),
+                },
+            },
+        }
+    }
+}
+
+fn flat_has_ctx(toks: &[Spanned]) -> bool {
+    toks.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => s == "ctx",
+        Tok::Group(_, children, _) => flat_has_ctx(children),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::model_file;
+
+    fn bounds(src: &str) -> (Vec<BoundRow>, Vec<Finding>) {
+        let model = model_file("crates/mem/src/t.rs", src);
+        assert!(model.errors.is_empty(), "{:?}", model.errors);
+        let files = vec![model];
+        let index = FnIndex::build(&files);
+        compute(&files, &index)
+    }
+
+    fn bound_of<'a>(rows: &'a [BoundRow], name: &str) -> &'a BoundRow {
+        rows.iter().find(|r| r.name == name).expect("row exists")
+    }
+
+    #[test]
+    fn straight_line_steps_sum() {
+        let (rows, findings) = bounds(
+            "
+async fn two(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    ctx.invoke(1).await?;
+    ctx.query_fd().await?;
+    Ok(())
+}
+",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(bound_of(&rows, "two").bound.as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn callee_bounds_compose() {
+        let (rows, _) = bounds(
+            "
+async fn read(ctx: &Ctx<()>) -> Result<u64, Crashed> { ctx.invoke(0).await }
+async fn twice(ctx: &Ctx<()>) -> Result<u64, Crashed> {
+    let a = read(ctx).await?;
+    let b = read(ctx).await?;
+    Ok(a + b)
+}
+",
+        );
+        assert_eq!(bound_of(&rows, "twice").bound.as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn annotated_loops_multiply() {
+        let (rows, findings) = bounds(
+            "
+// #[conform(wait_free)]
+async fn collect(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    // #[conform(bound = \"n_plus_1\")]
+    for i in 0..9 {
+        ctx.invoke(i).await?;
+    }
+    Ok(())
+}
+",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        let row = bound_of(&rows, "collect");
+        assert_eq!(row.bound.as_deref(), Some("n_plus_1"));
+        assert_eq!(row.params, vec!["n_plus_1".to_string()]);
+        assert!(row.wait_free);
+    }
+
+    #[test]
+    fn unannotated_step_loop_is_unbounded_and_claim_trips_c4() {
+        let (rows, findings) = bounds(
+            "
+// #[conform(wait_free)]
+async fn spin(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    loop {
+        ctx.query_fd().await?;
+    }
+}
+",
+        );
+        assert!(bound_of(&rows, "spin").bound.is_none());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, RuleId::C4);
+        assert!(findings[0].message.contains("spin"), "{findings:?}");
+    }
+
+    #[test]
+    fn unclaimed_unbounded_loop_is_reported_but_not_a_finding() {
+        let (rows, findings) = bounds(
+            "
+async fn spin(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    loop {
+        ctx.query_fd().await?;
+    }
+}
+",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(bound_of(&rows, "spin").unbounded.is_some());
+    }
+
+    #[test]
+    fn recursion_is_unbounded() {
+        let (rows, _) = bounds(
+            "
+async fn ping(ctx: &Ctx<()>) -> Result<(), Crashed> { pong(ctx).await }
+async fn pong(ctx: &Ctx<()>) -> Result<(), Crashed> { ping(ctx).await }
+",
+        );
+        assert!(bound_of(&rows, "ping").unbounded.is_some());
+        assert!(bound_of(&rows, "pong").unbounded.is_some());
+    }
+
+    #[test]
+    fn fn_level_annotation_overrides_the_walk() {
+        let (rows, findings) = bounds(
+            "
+// #[conform(wait_free, bound = \"n_plus_1 + 2\")]
+async fn dispatch(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    loop {
+        ctx.invoke(0).await?;
+    }
+}
+",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(
+            bound_of(&rows, "dispatch").bound.as_deref(),
+            Some("n_plus_1 + 2")
+        );
+    }
+
+    #[test]
+    fn loops_with_no_steps_cost_nothing() {
+        let (rows, findings) = bounds(
+            "
+async fn tally(ctx: &Ctx<()>) -> Result<u64, Crashed> {
+    let mut acc = 0;
+    for i in 0..10 {
+        acc += i;
+    }
+    ctx.decide(acc).await?;
+    Ok(acc)
+}
+",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(bound_of(&rows, "tally").bound.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn while_condition_counts_one_extra_evaluation() {
+        let (rows, _) = bounds(
+            "
+async fn read(ctx: &Ctx<()>) -> Result<u64, Crashed> { ctx.invoke(0).await }
+async fn poll(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    // #[conform(bound = \"W\")]
+    while read(ctx).await? == 0 {
+        ctx.yield_step().await?;
+    }
+    Ok(())
+}
+",
+        );
+        // W * (1 + 1) + 1 trailing condition evaluation.
+        assert_eq!(bound_of(&rows, "poll").bound.as_deref(), Some("W * 2 + 1"));
+    }
+
+    #[test]
+    fn algo_bodies_get_rows() {
+        let (rows, _) = bounds(
+            "
+fn factory(v: u64) -> AlgoFn<()> {
+    algo(move |ctx| async move {
+        ctx.decide(v).await?;
+        Ok(())
+    })
+}
+",
+        );
+        assert_eq!(bound_of(&rows, "<algo>").bound.as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn bad_bound_expression_is_a_c4_finding() {
+        let (_, findings) = bounds(
+            "
+// #[conform(wait_free, bound = \"2 ^ n\")]
+async fn oops(ctx: &Ctx<()>) -> Result<(), Crashed> { ctx.yield_step().await }
+",
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == RuleId::C4 && f.message.contains("invalid bound expression")),
+            "{findings:?}"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! The step-bound expression algebra of rule C4.
+//!
+//! Bounds are symbolic arithmetic over non-negative integers and named
+//! parameters (`n`, `n_plus_1`, `f`, `k`, plus environment-dependent loop
+//! parameters like `R`/`K`/`W` declared in `#[conform(bound = "...")]`
+//! annotations). The await-graph pass adds and multiplies these; the
+//! dynamic cross-check evaluates them against measured run parameters.
+//!
+//! Grammar (for the annotation string):
+//!
+//! ```text
+//! expr   := term (('+' | '-') term)*
+//! term   := factor ('*' factor)*
+//! factor := INTEGER | IDENT | '(' expr ')' | 'max' '(' expr (',' expr)+ ')'
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A symbolic step-count expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A non-negative integer constant.
+    Int(i64),
+    /// A named parameter.
+    Var(String),
+    /// Sum of the operands.
+    Add(Vec<Expr>),
+    /// `a - b` (used only in annotations; evaluation saturates at 0).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of the operands.
+    Mul(Vec<Expr>),
+    /// Maximum of the operands.
+    Max(Vec<Expr>),
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Expr {
+        Expr::Int(0)
+    }
+
+    /// The one expression.
+    pub fn one() -> Expr {
+        Expr::Int(1)
+    }
+
+    /// Whether this expression is literally zero (after simplification).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Expr::Int(0))
+    }
+
+    /// `max(self, rhs)`, constant-folding where possible.
+    pub fn max(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a.max(b)),
+            (Expr::Int(0), e) | (e, Expr::Int(0)) => e,
+            (a, b) if a == b => a,
+            (Expr::Max(mut xs), e) => {
+                if !xs.contains(&e) {
+                    xs.push(e);
+                }
+                Expr::Max(xs)
+            }
+            (a, b) => Expr::Max(vec![a, b]),
+        }
+    }
+
+    fn fold_ints(self) -> Expr {
+        if let Expr::Add(xs) = self {
+            let (ints, mut rest): (Vec<Expr>, Vec<Expr>) =
+                xs.into_iter().partition(|e| matches!(e, Expr::Int(_)));
+            let sum: i64 = ints
+                .iter()
+                .map(|e| match e {
+                    Expr::Int(v) => *v,
+                    _ => 0,
+                })
+                .sum();
+            if sum != 0 {
+                rest.push(Expr::Int(sum));
+            }
+            match rest.len() {
+                0 => Expr::Int(0),
+                1 => rest.pop().expect("len checked"),
+                _ => Expr::Add(rest),
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Every parameter name appearing in the expression.
+    pub fn params(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_params(&mut out);
+        out
+    }
+
+    fn collect_params(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Int(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Add(xs) | Expr::Mul(xs) | Expr::Max(xs) => {
+                for x in xs {
+                    x.collect_params(out);
+                }
+            }
+            Expr::Sub(a, b) => {
+                a.collect_params(out);
+                b.collect_params(out);
+            }
+        }
+    }
+
+    /// Evaluates against concrete parameter values. Subtraction saturates
+    /// at zero (step counts are never negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first unbound parameter.
+    pub fn eval(&self, params: &BTreeMap<String, i64>) -> Result<i64, String> {
+        match self {
+            Expr::Int(v) => Ok(*v),
+            Expr::Var(name) => params
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("unbound parameter `{name}`")),
+            Expr::Add(xs) => xs.iter().try_fold(0i64, |acc, x| Ok(acc + x.eval(params)?)),
+            Expr::Sub(a, b) => Ok((a.eval(params)? - b.eval(params)?).max(0)),
+            Expr::Mul(xs) => xs.iter().try_fold(1i64, |acc, x| Ok(acc * x.eval(params)?)),
+            Expr::Max(xs) => {
+                let mut best = i64::MIN;
+                for x in xs {
+                    best = best.max(x.eval(params)?);
+                }
+                Ok(best)
+            }
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+
+    /// `self + rhs`, constant-folding where possible.
+    fn add(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(0), e) | (e, Expr::Int(0)) => e,
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a + b),
+            (Expr::Add(mut xs), Expr::Add(ys)) => {
+                xs.extend(ys);
+                Expr::Add(xs).fold_ints()
+            }
+            (Expr::Add(mut xs), e) => {
+                xs.push(e);
+                Expr::Add(xs).fold_ints()
+            }
+            (e, Expr::Add(mut ys)) => {
+                ys.insert(0, e);
+                Expr::Add(ys).fold_ints()
+            }
+            (a, b) => Expr::Add(vec![a, b]),
+        }
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+
+    /// `self * rhs`, constant-folding where possible.
+    fn mul(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Int(0), _) | (_, Expr::Int(0)) => Expr::Int(0),
+            (Expr::Int(1), e) | (e, Expr::Int(1)) => e,
+            (Expr::Int(a), Expr::Int(b)) => Expr::Int(a * b),
+            (Expr::Mul(mut xs), e) => {
+                xs.push(e);
+                Expr::Mul(xs)
+            }
+            (a, b) => Expr::Mul(vec![a, b]),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(e: &Expr) -> u8 {
+            match e {
+                Expr::Int(_) | Expr::Var(_) | Expr::Max(_) => 2,
+                Expr::Mul(_) => 1,
+                Expr::Add(_) | Expr::Sub(..) => 0,
+            }
+        }
+        fn write_child(f: &mut fmt::Formatter<'_>, e: &Expr, min: u8) -> fmt::Result {
+            if prec(e) < min {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write_child(f, x, 1)?;
+                }
+                Ok(())
+            }
+            Expr::Sub(a, b) => {
+                write_child(f, a, 1)?;
+                write!(f, " - ")?;
+                write_child(f, b, 2)
+            }
+            Expr::Mul(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write_child(f, x, 2)?;
+                }
+                Ok(())
+            }
+            Expr::Max(xs) => {
+                write!(f, "max(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parses a bound expression from annotation text.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn parse_expr(text: &str) -> Result<Expr, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!(
+            "trailing input at column {} of bound expression `{text}`",
+            p.pos + 1
+        ));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some('+') => {
+                    self.pos += 1;
+                    acc = acc + self.term()?;
+                }
+                Some('-') => {
+                    self.pos += 1;
+                    acc = Expr::Sub(Box::new(acc), Box::new(self.term()?));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut acc = self.factor()?;
+        while self.peek() == Some('*') {
+            self.pos += 1;
+            acc = acc * self.factor()?;
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err("expected `)`".to_string());
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                text.parse::<i64>()
+                    .map(Expr::Int)
+                    .map_err(|e| format!("bad integer `{text}`: {e}"))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().collect();
+                if name == "max" && self.peek() == Some('(') {
+                    // n-ary max: the awaitgraph renders folded maxima as
+                    // max(a, b, c, …), so the parser must round-trip them.
+                    self.pos += 1;
+                    let mut acc = self.expr()?;
+                    if self.peek() != Some(',') {
+                        return Err("expected `,` in max(..)".to_string());
+                    }
+                    while self.peek() == Some(',') {
+                        self.pos += 1;
+                        acc = acc.max(self.expr()?);
+                    }
+                    if self.peek() != Some(')') {
+                        return Err("expected `)` closing max(..)".to_string());
+                    }
+                    self.pos += 1;
+                    Ok(acc)
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(c) => Err(format!("unexpected character `{c}` in bound expression")),
+            None => Err("empty bound expression".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(text: &str, params: &[(&str, i64)]) -> i64 {
+        let map: BTreeMap<String, i64> = params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        parse_expr(text)
+            .expect("parses")
+            .eval(&map)
+            .expect("evaluates")
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("2 + 3 * 4", &[]), 14);
+        assert_eq!(eval("(2 + 3) * 4", &[]), 20);
+        assert_eq!(
+            eval("n_plus_1 * n_plus_1 + 2 * n_plus_1", &[("n_plus_1", 4)]),
+            24
+        );
+        assert_eq!(eval("max(3, n)", &[("n", 7)]), 7);
+        assert_eq!(eval("max(3, n, 12, f)", &[("n", 7), ("f", 2)]), 12);
+        assert_eq!(eval("5 - 9", &[]), 0, "saturating subtraction");
+    }
+
+    #[test]
+    fn unbound_parameters_are_reported() {
+        let e = parse_expr("R * 3").expect("parses");
+        assert_eq!(e.params().into_iter().collect::<Vec<_>>(), vec!["R"]);
+        let err = e.eval(&BTreeMap::new()).unwrap_err();
+        assert!(err.contains('R'), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("2 +").is_err());
+        assert!(parse_expr("(2").is_err());
+        assert!(parse_expr("2 ^ 3").is_err());
+        assert!(parse_expr("max(1)").is_err());
+    }
+
+    #[test]
+    fn algebra_folds_constants() {
+        assert_eq!((Expr::Int(2) + Expr::Int(3)), Expr::Int(5));
+        assert_eq!((Expr::Int(0) * Expr::Var("n".into())), Expr::Int(0));
+        assert_eq!(
+            (Expr::Int(1) * Expr::Var("n".into())),
+            Expr::Var("n".into())
+        );
+        assert_eq!(
+            Expr::Var("n".into()).max(Expr::Var("n".into())),
+            Expr::Var("n".into())
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for text in [
+            "n_plus_1 + 1",
+            "(n_plus_1 + 2) * n_plus_1 + 2",
+            "R * (K * 12 + 9)",
+            "max(n, f + 1)",
+        ] {
+            let e = parse_expr(text).expect("parses");
+            let rendered = e.to_string();
+            let again = parse_expr(&rendered).expect("re-parses");
+            assert_eq!(e, again, "{text} -> {rendered}");
+        }
+    }
+}

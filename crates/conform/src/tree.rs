@@ -1,0 +1,208 @@
+//! Bracket-tree parser: groups the flat token stream by matched
+//! `()`/`[]`/`{}` delimiters.
+//!
+//! The rule passes walk this tree instead of raw text: a call's argument
+//! list is one node, a loop body is one node, and sibling order at each
+//! level is source order — enough structure to reason about postfix chains,
+//! await points and loop nesting without a full Rust grammar.
+
+use crate::lexer::{RawSpanned, RawTok};
+
+/// A delimiter kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+impl Delim {
+    fn open(c: char) -> Option<Delim> {
+        match c {
+            '(' => Some(Delim::Paren),
+            '[' => Some(Delim::Bracket),
+            '{' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn close(self) -> char {
+        match self {
+            Delim::Paren => ')',
+            Delim::Bracket => ']',
+            Delim::Brace => '}',
+        }
+    }
+}
+
+/// A tree token: like [`RawTok`] but with delimited groups folded into
+/// single nodes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A lifetime or loop label.
+    Lifetime(String),
+    /// One punctuation character (delimiters excluded).
+    Punct(char),
+    /// An opaque literal.
+    Literal,
+    /// The inner text of a `#[conform(...)]` annotation comment.
+    Conform(String),
+    /// A delimited group; carries the line of the closing delimiter so
+    /// spans can be computed.
+    Group(Delim, Vec<Spanned>, u32),
+}
+
+/// A tree token with the 1-based line it starts on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line of the token (for groups: the opening delimiter).
+    pub line: u32,
+}
+
+impl Spanned {
+    /// The last source line this token covers.
+    pub fn end_line(&self) -> u32 {
+        match &self.tok {
+            Tok::Group(_, _, close) => *close,
+            _ => self.line,
+        }
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// Parses a flat token stream into a bracket tree.
+///
+/// # Errors
+///
+/// Returns `(line, message)` for unbalanced delimiters.
+pub fn parse(raw: Vec<RawSpanned>) -> Result<Vec<Spanned>, (u32, String)> {
+    // Each stack frame: (delimiter, opening line, children so far).
+    let mut stack: Vec<(Delim, u32, Vec<Spanned>)> = Vec::new();
+    let mut top: Vec<Spanned> = Vec::new();
+    let mut last_line = 1u32;
+    for RawSpanned { tok, line } in raw {
+        last_line = line;
+        let spanned = match tok {
+            RawTok::Punct(c) => {
+                if let Some(d) = Delim::open(c) {
+                    stack.push((d, line, Vec::new()));
+                    continue;
+                }
+                if let Some(expect) = stack.last().map(|(d, _, _)| d.close()) {
+                    if c == expect {
+                        let (d, open_line, children) = stack.pop().expect("stack is non-empty");
+                        let group = Spanned {
+                            tok: Tok::Group(d, children, line),
+                            line: open_line,
+                        };
+                        match stack.last_mut() {
+                            Some((_, _, parent)) => parent.push(group),
+                            None => top.push(group),
+                        }
+                        continue;
+                    }
+                }
+                if matches!(c, ')' | ']' | '}') {
+                    return Err((line, format!("unmatched closing delimiter `{c}`")));
+                }
+                Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                }
+            }
+            RawTok::Ident(s) => Spanned {
+                tok: Tok::Ident(s),
+                line,
+            },
+            RawTok::Lifetime(s) => Spanned {
+                tok: Tok::Lifetime(s),
+                line,
+            },
+            RawTok::Literal => Spanned {
+                tok: Tok::Literal,
+                line,
+            },
+            RawTok::Conform(s) => Spanned {
+                tok: Tok::Conform(s),
+                line,
+            },
+        };
+        match stack.last_mut() {
+            Some((_, _, parent)) => parent.push(spanned),
+            None => top.push(spanned),
+        }
+    }
+    if let Some((d, open_line, _)) = stack.first() {
+        return Err((
+            *open_line,
+            format!(
+                "unclosed `{}` opened here (file ends at line {last_line})",
+                match d {
+                    Delim::Paren => '(',
+                    Delim::Bracket => '[',
+                    Delim::Brace => '{',
+                }
+            ),
+        ));
+    }
+    Ok(top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> Vec<Spanned> {
+        parse(lex(src)).expect("balanced")
+    }
+
+    #[test]
+    fn groups_nest() {
+        let t = tree("f(a, g[0], { x })");
+        assert_eq!(t.len(), 2);
+        let Tok::Group(Delim::Paren, children, _) = &t[1].tok else {
+            panic!("expected paren group, got {:?}", t[1].tok);
+        };
+        let kinds: Vec<bool> = children
+            .iter()
+            .map(|s| matches!(s.tok, Tok::Group(..)))
+            .collect();
+        assert_eq!(kinds, vec![false, false, false, true, false, true]);
+    }
+
+    #[test]
+    fn close_lines_give_spans() {
+        let t = tree("fn f()\n{\n  body();\n}");
+        let body = t.last().expect("body group");
+        assert_eq!(body.line, 2);
+        assert_eq!(body.end_line(), 4);
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!(parse(lex("fn f() {")).is_err());
+        assert!(parse(lex("}")).is_err());
+        // Mismatched nesting: `(` closed by `}`.
+        assert!(parse(lex("( }")).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Negative golden tests: every fixture in `crates/conform/fixtures` must
+//! trip its intended rule — and *only* that rule. A checker that stays
+//! silent on these files proves nothing about the clean workspace scan.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+use upsilon_conform::{check_sources, Allowlist, ConformReport, RuleId};
+
+/// Loads one fixture file under the repo-relative path the scanner would
+/// report for it, and checks it in isolation.
+fn check_fixture(file: &str) -> ConformReport {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/src")
+        .join(file);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    let rel = format!("crates/conform/fixtures/src/{file}");
+    check_sources(&[(rel, src)], &Allowlist::empty())
+}
+
+/// Asserts the report contains at least `min` findings, all of rule
+/// `expected` and none of any other rule.
+fn assert_trips_only(report: &ConformReport, expected: RuleId, min: usize) {
+    assert!(
+        report.findings.len() >= min,
+        "expected at least {min} {expected} findings, got {:?}",
+        report.findings
+    );
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.id()).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from([expected.id()]),
+        "fixture must trip only {expected}: {:?}",
+        report.findings
+    );
+    assert!(report.suppressed.is_empty(), "nothing may be allowlisted");
+}
+
+#[test]
+fn c1_fixture_trips_only_c1() {
+    let report = check_fixture("c1_double_op.rs");
+    // stashed_step: one un-awaited issue site + one op-free await point;
+    // double_op: two reads funnelled through one await.
+    assert_trips_only(&report, RuleId::C1, 3);
+}
+
+#[test]
+fn c2_fixture_trips_only_c2() {
+    let report = check_fixture("c2_banned_api.rs");
+    // Instant::now, std::thread and sleep in one algorithm body.
+    assert_trips_only(&report, RuleId::C2, 3);
+    let excerpts: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        excerpts.iter().any(|m| m.contains("Instant")),
+        "wall clock must be named: {excerpts:?}"
+    );
+}
+
+#[test]
+fn c3_fixture_trips_only_c3() {
+    let report = check_fixture("c3_leaked_handle.rs");
+    // Boxed register escape, closure capture, ctx alias.
+    assert_trips_only(&report, RuleId::C3, 3);
+}
+
+#[test]
+fn c4_fixture_trips_only_c4() {
+    let report = check_fixture("c4_unbounded_helping.rs");
+    assert_trips_only(&report, RuleId::C4, 1);
+    // The unbounded routine must still get a (boundless) report row.
+    let row = report
+        .bound_for("c4_unbounded_helping.rs", "helping_wait")
+        .expect("bound row for the claimed routine");
+    assert!(row.wait_free, "the fixture claims wait-freedom");
+    assert!(row.bound.is_none(), "no bound may be derived: {row:?}");
+}
+
+#[test]
+fn fixtures_are_disjoint_per_rule() {
+    // The whole fixture set, checked together, yields exactly the union of
+    // the per-file rule sets — no cross-file interference.
+    let files = [
+        "c1_double_op.rs",
+        "c2_banned_api.rs",
+        "c3_leaked_handle.rs",
+        "c4_unbounded_helping.rs",
+    ];
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|f| {
+            let src = fs::read_to_string(manifest.join("fixtures/src").join(f)).expect("fixture");
+            (format!("crates/conform/fixtures/src/{f}"), src)
+        })
+        .collect();
+    let report = check_sources(&sources, &Allowlist::empty());
+    for (file, rule) in files
+        .iter()
+        .zip([RuleId::C1, RuleId::C2, RuleId::C3, RuleId::C4])
+    {
+        let per_file: BTreeSet<&str> = report
+            .findings
+            .iter()
+            .filter(|f| f.file.ends_with(file))
+            .map(|f| f.rule.id())
+            .collect();
+        assert_eq!(
+            per_file,
+            BTreeSet::from([rule.id()]),
+            "{file} must trip only {rule}"
+        );
+    }
+}
+
+#[test]
+fn stepkind_rule_ids_round_trip() {
+    // The simulator's dynamic StepKind→rule-id mapping and the checker's
+    // rule vocabulary must stay in sync: every id the mapping can emit
+    // parses back to a RuleId.
+    use upsilon_sim::{Output, StepKind};
+    let kinds: Vec<StepKind<()>> = vec![
+        StepKind::Query(()),
+        StepKind::Output(Output::Decide(0)),
+        StepKind::NoOp,
+    ];
+    for k in &kinds {
+        let id = k.conform_rule();
+        let rule = RuleId::from_id(id)
+            .unwrap_or_else(|| panic!("StepKind {k:?} maps to unknown rule id {id:?}"));
+        assert_eq!(rule.id(), id);
+    }
+}

@@ -94,6 +94,8 @@ impl ConvergeInstance {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed mid-routine.
+    // C-Termination: two updates and two scans of wait-free snapshots.
+    // #[conform(wait_free)]
     pub async fn converge<D, T>(&self, ctx: &Ctx<D>, k: usize, v: T) -> Result<(T, bool), Crashed>
     where
         D: FdValue,
@@ -141,6 +143,7 @@ impl ConvergeInstance {
 /// # Errors
 ///
 /// Returns [`Crashed`] if the calling process crashed mid-routine.
+// #[conform(wait_free)]
 pub async fn commit_adopt<D, T>(
     instance: &ConvergeInstance,
     ctx: &Ctx<D>,

@@ -55,6 +55,7 @@ async fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
     let n_plus_1 = ctx.n_plus_1();
     let board = RegisterArray::<u64>::new(Key::new("hb"), n_plus_1, 0);
     let mut ts: u64 = 0;
+    // #[conform(bound = "B")]
     loop {
         ts += 1;
         board.write_mine(ctx, ts).await?;

@@ -42,6 +42,7 @@ impl Candidate for ActivityCandidate {
                     let board = RegisterArray::<u64>::new(Key::new("hb"), n_plus_1, 0);
                     let mut ts = 0u64;
                     let mut published = None;
+                    // #[conform(bound = "B")]
                     loop {
                         ts += 1;
                         board.write_mine(&ctx, ts).await?;
@@ -77,6 +78,7 @@ impl Candidate for MirrorCandidate {
             .map(|_| -> AlgoFn<ProcessSet> {
                 algo(move |ctx| async move {
                     let mut published = None;
+                    // #[conform(bound = "B")]
                     loop {
                         let u: ProcessSet = ctx.query_fd().await?;
                         // Deterministic trim/pad to the required size.
@@ -115,6 +117,7 @@ impl Candidate for StubbornCandidate {
                 algo(move |ctx| async move {
                     let l: ProcessSet = (0..set_size).map(ProcessId).collect();
                     ctx.output(Output::LeaderSet(l)).await?;
+                    // #[conform(bound = "B")]
                     loop {
                         ctx.yield_step().await?;
                     }

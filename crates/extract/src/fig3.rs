@@ -58,6 +58,12 @@ async fn publish<D: FdValue>(
     Ok(())
 }
 
+// Each task of the Fig. 3 client is wait-free: every iteration of both
+// loops completes in a bounded number of steps (Theorem 10's waits are
+// step-taking loops, not blocking). R is the number of rounds a recorded
+// run restarts through, B the heartbeat iterations of its longest round;
+// the dynamic cross-check binds both from run data.
+// #[conform(wait_free)]
 async fn extraction_loop<D>(ctx: &Ctx<D>, phi: &PhiMap<D>) -> Result<(), Crashed>
 where
     D: FdValue + Eq,
@@ -69,6 +75,7 @@ where
     let mut round: u64 = 0;
     let mut last_published: Option<ProcessSet> = None;
 
+    // #[conform(bound = "R")]
     loop {
         round += 1;
         let unstable = Register::<bool>::new(Key::new("Unstable").at(round), false);
@@ -108,6 +115,7 @@ where
             announced = true;
         }
 
+        // #[conform(bound = "B")]
         'round: loop {
             // Task 1 heartbeat: keep reporting the current value.
             let d_now = ctx.query_fd().await?;

@@ -92,6 +92,7 @@ impl Upsilon1Elector {
 async fn extraction_loop(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
     let mut elector = Upsilon1Elector::new(ctx.n_plus_1());
     let mut published: Option<ProcessId> = None;
+    // #[conform(bound = "B")]
     loop {
         let leader = elector.step(ctx).await?;
         if published != Some(leader) {

@@ -84,6 +84,7 @@ impl<T: Value> AfekSnapshot<T> {
     /// Reads all `size` registers, one step each.
     async fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<AfekCell<T>>, Crashed> {
         let mut out = Vec::with_capacity(self.size);
+        // #[conform(bound = "n_plus_1")]
         for i in 0..self.size {
             out.push(self.slot(i).read(ctx).await?);
         }
@@ -92,6 +93,7 @@ impl<T: Value> AfekSnapshot<T> {
 }
 
 impl<T: Value> crate::snapshot::Snapshot<T> for AfekSnapshot<T> {
+    // #[conform(wait_free)]
     async fn update<D: FdValue>(&self, ctx: &Ctx<D>, v: T) -> Result<(), Crashed> {
         let embedded = self.scan(ctx).await?;
         let me = ctx.pid().index();
@@ -108,9 +110,14 @@ impl<T: Value> crate::snapshot::Snapshot<T> for AfekSnapshot<T> {
             .await
     }
 
+    // Pigeonhole (module docs): after n + 2 collects either some double
+    // collect is clean or some process moved twice, so the retry loop runs
+    // at most n_plus_1 + 1 times.
+    // #[conform(wait_free)]
     async fn scan<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<Option<T>>, Crashed> {
         let mut first = self.collect(ctx).await?;
         let mut moved = vec![false; self.size];
+        // #[conform(bound = "n_plus_1 + 1")]
         loop {
             let second = self.collect(ctx).await?;
             let mut changed = false;

@@ -195,6 +195,9 @@ impl<T: Value> RegisterArray<T> {
     /// # Errors
     ///
     /// Returns [`Crashed`] if the calling process crashed.
+    // The bound override breaks the name-based await graph's apparent
+    // `read -> read` cycle: this delegates to `Register::read` (one step).
+    // #[conform(bound = "1")]
     pub async fn read<D: FdValue>(&self, ctx: &Ctx<D>, i: usize) -> Result<T, Crashed> {
         self.slot(i).read(ctx).await
     }
@@ -208,6 +211,7 @@ impl<T: Value> RegisterArray<T> {
     /// Returns [`Crashed`] if the calling process crashed.
     pub async fn collect<D: FdValue>(&self, ctx: &Ctx<D>) -> Result<Vec<T>, Crashed> {
         let mut out = Vec::with_capacity(self.size);
+        // #[conform(bound = "n_plus_1")]
         for i in 0..self.size {
             out.push(self.read(ctx, i).await?);
         }
