@@ -28,7 +28,7 @@
 //! consistency the integration tests exploit.
 
 use crate::proposals;
-use upsilon_converge::ConvergeInstance;
+use upsilon_converge::{ConvergeFaults, ConvergeInstance};
 use upsilon_mem::{min_value, non_bot_count, FlavoredSnapshot, Register, Snapshot, SnapshotFlavor};
 use upsilon_sim::{algo, AlgoFn, Crashed, Ctx, Key, ProcessSet};
 
@@ -49,6 +49,13 @@ pub struct Fig2Config {
     /// `|U| + f − n − 1` values via the containment of their snapshots.
     /// Exercised by experiment E14.
     pub ablate_min_adoption: bool,
+    /// **Seeded-mutant switch** (default [`ConvergeFaults::NONE`] =
+    /// faithful protocol): faults injected into the *round-opening*
+    /// `f`-converge only. Unlike `ablate_min_adoption` this breaks
+    /// *safety*: dropping a phase-1 announcement lets more than `f`
+    /// values commit out of the opener (the "dropped write in Fig. 2"
+    /// mutant the fuzzer must find).
+    pub opener_faults: ConvergeFaults,
 }
 
 impl Fig2Config {
@@ -58,6 +65,7 @@ impl Fig2Config {
             f,
             flavor: SnapshotFlavor::Native,
             ablate_min_adoption: false,
+            opener_faults: ConvergeFaults::NONE,
         }
     }
 
@@ -67,7 +75,15 @@ impl Fig2Config {
             f,
             flavor: SnapshotFlavor::Native,
             ablate_min_adoption: true,
+            opener_faults: ConvergeFaults::NONE,
         }
+    }
+
+    /// The seeded-mutant variant: inject `faults` into the round-opening
+    /// `f`-converge (mutation-detection tests and fuzz campaigns only).
+    pub fn with_opener_faults(mut self, faults: ConvergeFaults) -> Self {
+        self.opener_faults = faults;
+        self
     }
 }
 
@@ -106,7 +122,8 @@ pub async fn propose(ctx: &Ctx<ProcessSet>, cfg: Fig2Config, v: u64) -> Result<u
     // #[conform(bound = "R")]
     loop {
         // Round opener: f-converge over the surviving values.
-        let main = ConvergeInstance::new(Key::new("f-conv").at(r), n_plus_1, cfg.flavor);
+        let main = ConvergeInstance::new(Key::new("f-conv").at(r), n_plus_1, cfg.flavor)
+            .with_faults(cfg.opener_faults);
         let (picked, committed) = main.converge(ctx, f, v).await?;
         v = picked;
         if committed {

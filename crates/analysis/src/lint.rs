@@ -42,6 +42,7 @@ pub const SCANNED_CRATES: &[&str] = &[
     "extract",
     "core",
     "check",
+    "fuzz",
     "analysis",
 ];
 

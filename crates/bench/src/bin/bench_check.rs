@@ -3,21 +3,23 @@
 //!
 //! ```text
 //! cargo run --release -p upsilon-bench --bin bench_check [depth]
+//! cargo run --release -p upsilon-bench --bin bench_check -- \
+//!     --workload fig1 --n 3 --depth 9 [--faults N] [--out PATH]
 //! ```
 //!
-//! Explores the Fig. 1 protocol (3 processes, distinct proposals, pinned
-//! faithful Υ) twice at the same depth — once with the sleep-set reduction,
-//! once naive — and reports the node counts, the reduction ratio, and the
-//! sustained states/second of the reduced search. Both searches must come
-//! back clean (Fig. 1's safety is Υ-independent), and the acceptance bar is
-//! a ≥ 10× reduction at depth 9: with three always-enabled processes the
-//! naive tree grows ~3^d while the reduced one only branches on genuine
-//! shared-object conflicts.
+//! Explores the selected workload twice at the same depth — once with the
+//! sleep-set reduction, once naive — and reports the node counts, the
+//! reduction ratio, and the sustained states/second of the reduced search.
+//! Both searches must come back clean (the bundled workloads are all
+//! Υ-independent for safety), and the acceptance bar is a ≥ 10× reduction
+//! at depth 9. The JSON artifact is only written when every acceptance
+//! check passes, so a failing run can never overwrite a good baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
-use upsilon_check::{check, samples, CheckReport};
+use upsilon_check::{check, samples, CheckConfig, CheckReport};
 use upsilon_core::table::Table;
+use upsilon_sim::ProcessSet;
 
 /// The acceptance bar: reduced exploration at least this many times
 /// smaller than the naive one at the same depth.
@@ -26,14 +28,85 @@ const MIN_REDUCTION_RATIO: f64 = 10.0;
 /// release build). The dev-profile CI floor lives in ci.yml instead.
 const MIN_STATES_PER_SEC: f64 = 500.0;
 
+const USAGE: &str = "usage: bench_check [depth] | bench_check [options]
+  --workload NAME  fig1 | fig1-mutating | fig2 (default fig1)
+  --n N            number of processes (default 3)
+  --depth N        schedule-length bound (default 9)
+  --faults N       crash-injection budget (default 0)
+  --out PATH       JSON artifact path (default BENCH_check.json)
+  --help           this text";
+
+#[derive(Clone, Debug)]
+struct Args {
+    workload: String,
+    n: usize,
+    depth: usize,
+    faults: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "fig1".to_string(),
+        n: 3,
+        depth: 9,
+        faults: 0,
+        out: "BENCH_check.json".to_string(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Positional compatibility: `bench_check 9` still sets the depth.
+    if raw.len() == 1 && !raw[0].starts_with("--") {
+        args.depth = raw[0]
+            .parse()
+            .map_err(|e| format!("depth must be an integer: {e}"))?;
+        return Ok(args);
+    }
+    let mut it = raw.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--workload" => args.workload = value("--workload")?,
+            "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--depth" => {
+                args.depth = value("--depth")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?
+            }
+            "--faults" => {
+                args.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn workload(args: &Args) -> Result<CheckConfig<ProcessSet>, String> {
+    match args.workload.as_str() {
+        "fig1" => Ok(samples::fig1(args.n, args.depth, args.faults)),
+        "fig1-mutating" => Ok(samples::fig1_mutating(args.n, args.depth, args.faults, 1)),
+        "fig2" => Ok(samples::fig2(
+            args.n,
+            args.faults.max(1),
+            args.depth,
+            args.faults,
+        )),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
 struct Sample {
     mode: &'static str,
     report: CheckReport,
     secs: f64,
 }
 
-fn explore(depth: usize, reduction: bool) -> Sample {
-    let mut cfg = samples::fig1(3, depth, 0);
+fn explore(base: &CheckConfig<ProcessSet>, reduction: bool) -> Sample {
+    let mut cfg = base.clone();
     cfg.reduction = reduction;
     let start = Instant::now();
     let report = check(&cfg);
@@ -45,18 +118,35 @@ fn explore(depth: usize, reduction: bool) -> Sample {
 }
 
 fn main() -> ExitCode {
-    let depth: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("depth must be an integer"))
-        .unwrap_or(9);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match workload(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let reduced = explore(depth, true);
-    let naive = explore(depth, false);
+    let reduced = explore(&base, true);
+    let naive = explore(&base, false);
     let ratio = naive.report.stats.nodes as f64 / reduced.report.stats.nodes as f64;
     let states_per_sec = reduced.report.stats.nodes as f64 / reduced.secs;
 
     let mut t = Table::new(
-        format!("Explorer — Fig. 1, n+1 = 3, depth {depth}"),
+        format!(
+            "Explorer — {}, n+1 = {}, depth {}",
+            args.workload, args.n, args.depth
+        ),
         &["mode", "nodes", "sleep_pruned", "secs", "states/sec"],
     );
     for s in [&reduced, &naive] {
@@ -71,22 +161,12 @@ fn main() -> ExitCode {
     println!("{t}");
     println!("reduction ratio: {ratio:.1}x (floor {MIN_REDUCTION_RATIO:.0}x)");
 
-    let json = format!(
-        "{{\n  \"workload\": \"fig1 exploration, n_plus_1 = 3\",\n  \"depth\": {depth},\n  \
-         \"nodes_reduced\": {},\n  \"nodes_naive\": {},\n  \"sleep_pruned\": {},\n  \
-         \"reduction_ratio\": {ratio:.2},\n  \"states_per_sec\": {states_per_sec:.1},\n  \
-         \"clean\": {}\n}}\n",
-        reduced.report.stats.nodes,
-        naive.report.stats.nodes,
-        reduced.report.stats.sleep_pruned,
-        reduced.report.ok() && naive.report.ok(),
-    );
-    std::fs::write("BENCH_check.json", &json).expect("write BENCH_check.json");
-    println!("wrote BENCH_check.json");
-
     let mut failed = false;
     if !reduced.report.ok() || !naive.report.ok() {
-        eprintln!("FAIL: Fig. 1 exploration must be clean in both modes");
+        eprintln!(
+            "FAIL: {} exploration must be clean in both modes",
+            args.workload
+        );
         failed = true;
     }
     if reduced.report.violations != naive.report.violations {
@@ -102,8 +182,23 @@ fn main() -> ExitCode {
         failed = true;
     }
     if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+        eprintln!("not writing {}: acceptance checks failed", args.out);
+        return ExitCode::FAILURE;
     }
+
+    let json = format!(
+        "{{\n  \"workload\": \"{} exploration, n_plus_1 = {}\",\n  \"depth\": {},\n  \
+         \"nodes_reduced\": {},\n  \"nodes_naive\": {},\n  \"sleep_pruned\": {},\n  \
+         \"reduction_ratio\": {ratio:.2},\n  \"states_per_sec\": {states_per_sec:.1},\n  \
+         \"clean\": true\n}}\n",
+        args.workload,
+        args.n,
+        args.depth,
+        reduced.report.stats.nodes,
+        naive.report.stats.nodes,
+        reduced.report.stats.sleep_pruned,
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark artifact");
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
 }

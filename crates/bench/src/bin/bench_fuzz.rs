@@ -1,0 +1,202 @@
+//! Fuzzer throughput, coverage growth, and seeded-bug time-to-find,
+//! emitting `BENCH_fuzz.json`.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin bench_fuzz [--execs N] [--out PATH]
+//! ```
+//!
+//! Three measurements:
+//!
+//! 1. **Throughput** — a clean campaign over Fig. 1 (n + 1 = 3, the
+//!    ISSUE's reference workload) fanned out over `run_batch`, reported as
+//!    executions/second with a 50k floor (release build).
+//! 2. **Coverage growth** — the campaign's per-round coverage curve, so
+//!    plateaus (a saturated corpus) are visible in the artifact.
+//! 3. **Time-to-find** — for each seeded mutant, the index of the
+//!    execution that produced the first counterexample under the fixed
+//!    benchmark seed; a budget regression shows up as a growing index.
+//!
+//! Like `bench_check`, the JSON artifact is only written when every
+//! acceptance check passes — a failing run never overwrites a good
+//! baseline.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use upsilon_check::samples;
+use upsilon_core::table::Table;
+use upsilon_fuzz::{fuzz, FuzzConfig};
+use upsilon_sim::ProcessId;
+
+/// Throughput floor for the clean reference campaign (release build; the
+/// ISSUE's acceptance bar).
+const MIN_EXECS_PER_SEC: f64 = 50_000.0;
+
+const USAGE: &str = "usage: bench_fuzz [options]
+  --execs N   executions per round for the throughput campaign (default 4096)
+  --out PATH  JSON artifact path (default BENCH_fuzz.json)
+  --help      this text";
+
+fn parse_args() -> Result<(u64, String), String> {
+    let mut execs = 4096u64;
+    let mut out = "BENCH_fuzz.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--execs" => {
+                execs = value("--execs")?
+                    .parse()
+                    .map_err(|e| format!("--execs: {e}"))?
+            }
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((execs, out))
+}
+
+/// One seeded-mutant measurement: `(execs spent, exec index of the first
+/// counterexample)`, or why the mutant was not found.
+type TimeToFind = Result<(u64, u64), String>;
+
+/// Runs a fixed-seed campaign against one seeded mutant and returns
+/// `(execs spent, exec index of the first counterexample)`.
+fn time_to_find<D: upsilon_sim::FdValue>(
+    target: upsilon_check::CheckConfig<D>,
+    seed: u64,
+    rounds: usize,
+    execs: u64,
+) -> TimeToFind {
+    let cfg = FuzzConfig::new(target).seed(seed).budget(rounds, execs);
+    let report = fuzz(&cfg, &[]);
+    let first = report
+        .violations
+        .iter()
+        .map(|v| v.exec)
+        .min()
+        .ok_or("mutant not found within the benchmark budget")?;
+    Ok((report.execs, first))
+}
+
+fn main() -> ExitCode {
+    let (execs, out) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // 1 + 2: throughput and coverage growth on the clean reference
+    // workload (Fig. 1, n + 1 = 3, one crash allowed).
+    let cfg = FuzzConfig::new(samples::fig1(3, 24, 1))
+        .seed(42)
+        .budget(4, execs);
+    let start = Instant::now();
+    let report = fuzz(&cfg, &[]);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let execs_per_sec = report.execs as f64 / secs;
+
+    let mut t = Table::new(
+        format!("Fuzzer — Fig. 1, n+1 = 3, depth 24, {} execs", report.execs),
+        &["metric", "value"],
+    );
+    t.row(["execs/sec".to_string(), format!("{execs_per_sec:.0}")]);
+    t.row([
+        "coverage".to_string(),
+        report.coverage_hashes.len().to_string(),
+    ]);
+    t.row(["corpus".to_string(), report.corpus.len().to_string()]);
+    println!("{t}");
+    for g in &report.growth {
+        println!("  growth: execs={} coverage={}", g.execs, g.coverage);
+    }
+
+    // 3: time-to-find for the three seeded mutants (same seeds and budgets
+    // as the fuzz crate's mutation-detection suite).
+    let mutants: Vec<(&str, TimeToFind)> = vec![
+        (
+            "commit-buggy",
+            time_to_find(samples::snapshot_commit(2, 1, 12, true), 1, 1, 256),
+        ),
+        (
+            "converge-offby1",
+            time_to_find(samples::converge_offby1(3, 1, 12, 1), 2, 2, 512),
+        ),
+        (
+            "fig2-dropped",
+            time_to_find(
+                samples::fig2_dropped_write(2, 1, 16, 0, Some(ProcessId(1))),
+                3,
+                2,
+                512,
+            ),
+        ),
+    ];
+    let mut mt = Table::new(
+        "Seeded-mutant time-to-find (fixed seeds)".to_string(),
+        &["mutant", "budget", "found at exec"],
+    );
+    for (name, r) in &mutants {
+        match r {
+            Ok((budget, at)) => mt.row([name.to_string(), budget.to_string(), at.to_string()]),
+            Err(e) => mt.row([name.to_string(), "-".to_string(), e.clone()]),
+        };
+    }
+    println!("{mt}");
+
+    let mut failed = false;
+    if !report.ok() {
+        eprintln!(
+            "FAIL: the reference campaign must be clean, found {:?}",
+            report.violations[0].spec
+        );
+        failed = true;
+    }
+    if execs_per_sec < MIN_EXECS_PER_SEC {
+        eprintln!("FAIL: {execs_per_sec:.0} execs/sec below the {MIN_EXECS_PER_SEC:.0} floor");
+        failed = true;
+    }
+    for (name, r) in &mutants {
+        if let Err(e) = r {
+            eprintln!("FAIL: {name}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("not writing {out}: acceptance checks failed");
+        return ExitCode::FAILURE;
+    }
+
+    let growth: Vec<String> = report
+        .growth
+        .iter()
+        .map(|g| format!("{{\"execs\":{},\"coverage\":{}}}", g.execs, g.coverage))
+        .collect();
+    let ttf: Vec<String> = mutants
+        .iter()
+        .map(|(name, r)| {
+            let (budget, at) = r.as_ref().expect("checked above");
+            format!("{{\"mutant\":{name:?},\"budget\":{budget},\"found_at_exec\":{at}}}")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"fig1 fuzzing, n_plus_1 = 3, depth 24\",\n  \
+         \"execs\": {},\n  \"execs_per_sec\": {execs_per_sec:.1},\n  \
+         \"coverage\": {},\n  \"corpus\": {},\n  \"growth\": [{}],\n  \
+         \"time_to_find\": [{}],\n  \"clean\": true\n}}\n",
+        report.execs,
+        report.coverage_hashes.len(),
+        report.corpus.len(),
+        growth.join(","),
+        ttf.join(","),
+    );
+    std::fs::write(&out, &json).expect("write benchmark artifact");
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -221,17 +221,15 @@ fn e14_ablation() {
         (
             "faithful (min adoption)",
             Fig2Config {
-                f: 2,
                 flavor: SnapshotFlavor::Native,
-                ablate_min_adoption: false,
+                ..Fig2Config::new(2)
             },
         ),
         (
             "ablated (keep own value)",
             Fig2Config {
-                f: 2,
                 flavor: SnapshotFlavor::Native,
-                ablate_min_adoption: true,
+                ..Fig2Config::ablated(2)
             },
         ),
     ] {

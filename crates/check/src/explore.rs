@@ -369,9 +369,11 @@ fn execute<D: FdValue>(cfg: &CheckConfig<D>, path: &[Choice], picks: &[Vec<u32>]
     run_token(cfg, &token_of(cfg.n_plus_1, path, picks), cfg.engine)
 }
 
-/// First failing spec on a run: run-condition validator first, then the
-/// configured specs in order.
-fn first_violation<D: FdValue>(cfg: &CheckConfig<D>, run: &Run<D>) -> Option<(String, String)> {
+/// First failing spec on a run: the §3.3 run-condition validator first,
+/// then the configured specs in order. Returns `(spec name, message)`.
+/// Shared by the explorer and by randomized campaign runners
+/// (`upsilon-fuzz`) so both report violations identically.
+pub fn violation_of<D: FdValue>(cfg: &CheckConfig<D>, run: &Run<D>) -> Option<(String, String)> {
     if let Err(msg) = RunConditionsSpec.check(run) {
         return Some(("run-conditions".to_string(), msg));
     }
@@ -381,6 +383,87 @@ fn first_violation<D: FdValue>(cfg: &CheckConfig<D>, run: &Run<D>) -> Option<(St
         }
     }
     None
+}
+
+/// Reconstructs a choice path from a token — the inverse of [`token_of`]:
+/// `Step` choices in schedule order with each crash inserted after the
+/// number of steps its time records (simultaneous crashes in ascending
+/// process order, matching the canonical-representative rule). Round-trips:
+/// `token_of(n, &path_of_token(t), &t.fd_choices) == t` whenever every
+/// crash time is at most the schedule length.
+pub fn path_of_token(token: &ReplayToken) -> Vec<Choice> {
+    let mut crashes: Vec<(u64, ProcessId)> = token
+        .crashes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (t.0, ProcessId(i))))
+        .collect();
+    crashes.sort_unstable();
+    let mut crashes = crashes.into_iter().peekable();
+    let mut path = Vec::with_capacity(token.schedule.len() + token.crashes.len());
+    for (steps, &p) in token.schedule.iter().enumerate() {
+        while let Some((_, q)) = crashes.next_if(|&(t, _)| t as usize <= steps) {
+            path.push(Choice::Crash(q));
+        }
+        path.push(Choice::Step(p));
+    }
+    for (_, q) in crashes {
+        path.push(Choice::Crash(q));
+    }
+    path
+}
+
+/// Outcome of shrinking one violating token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShrinkResult {
+    /// The minimized token (still violating `spec`).
+    pub token: ReplayToken,
+    /// Predicate evaluations the shrink spent.
+    pub evals: u64,
+    /// Choices removed from the original path.
+    pub removed: usize,
+}
+
+/// Minimizes a violating token with [`ddmin_counted`] over its choice
+/// sequence, preserving failure of the named spec — the same shrink the
+/// explorer applies to its counterexamples, exposed for campaign runners
+/// that find violations by random search rather than enumeration.
+pub fn shrink_violation<D: FdValue>(
+    cfg: &CheckConfig<D>,
+    token: &ReplayToken,
+    spec: &str,
+) -> ShrinkResult {
+    let path = path_of_token(token);
+    let (token, evals, removed) = shrink_path(cfg, &path, &token.fd_choices, spec);
+    ShrinkResult {
+        token,
+        evals,
+        removed,
+    }
+}
+
+/// The shared ddmin driver behind [`shrink_violation`] and the explorer's
+/// counterexample minimization.
+fn shrink_path<D: FdValue>(
+    cfg: &CheckConfig<D>,
+    path: &[Choice],
+    picks: &[Vec<u32>],
+    spec: &str,
+) -> (ReplayToken, u64, usize) {
+    let out = ddmin_counted(path, |cand| {
+        // Crashing everyone is outside the model; such candidates cannot
+        // be the minimal counterexample.
+        if faults_in(cand) >= cfg.n_plus_1 {
+            return false;
+        }
+        let exec = execute(cfg, cand, picks);
+        violation_of(cfg, &exec.run).is_some_and(|(name, _)| name == spec)
+    });
+    (
+        token_of(cfg.n_plus_1, &out.minimal, picks),
+        out.evals,
+        out.removed,
+    )
 }
 
 fn crashed_in(path: &[Choice], p: ProcessId) -> bool {
@@ -458,7 +541,7 @@ impl<D: FdValue> Explorer<'_, D> {
         steps_used: usize,
     ) {
         self.stats.nodes += 1;
-        if let Some((spec, message)) = first_violation(self.cfg, &exec.run) {
+        if let Some((spec, message)) = violation_of(self.cfg, &exec.run) {
             self.record(path, picks, spec, message);
             return;
         }
@@ -572,21 +655,7 @@ impl<D: FdValue> Explorer<'_, D> {
     fn record(&mut self, path: &[Choice], picks: &[Vec<u32>], spec: String, message: String) {
         let raw_token = token_of(self.cfg.n_plus_1, path, picks);
         let (token, shrink_evals, shrink_removed) = if self.cfg.shrink {
-            let cfg = self.cfg;
-            let out = ddmin_counted(path, |cand| {
-                // Crashing everyone is outside the model; such candidates
-                // cannot be the minimal counterexample.
-                if faults_in(cand) >= cfg.n_plus_1 {
-                    return false;
-                }
-                let exec = execute(cfg, cand, picks);
-                first_violation(cfg, &exec.run).is_some_and(|(name, _)| name == spec)
-            });
-            (
-                token_of(self.cfg.n_plus_1, &out.minimal, picks),
-                out.evals,
-                out.removed,
-            )
+            shrink_path(self.cfg, path, picks, &spec)
         } else {
             (raw_token.clone(), 0, 0)
         };

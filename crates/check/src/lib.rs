@@ -35,8 +35,9 @@ pub mod menu;
 pub mod samples;
 
 pub use explore::{
-    check, replay_token, run_token, token_of, AlgoFactory, CheckConfig, CheckReport, CheckStats,
-    Choice, CounterExample, Exec, Footprint, ReplayOutcome,
+    check, path_of_token, replay_token, run_token, shrink_violation, token_of, violation_of,
+    AlgoFactory, CheckConfig, CheckReport, CheckStats, Choice, CounterExample, Exec, Footprint,
+    ReplayOutcome, ShrinkResult,
 };
 pub use menu::{ConstantMenu, FdMenu, FnMenu, MenuOracle, MutatingMenu, QueryRecord};
 

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use upsilon_agreement::fig1::{algorithms, Fig1Config};
 use upsilon_agreement::fig2::{algorithms as fig2_algorithms, Fig2Config};
 use upsilon_agreement::KSetAgreementSpec;
+use upsilon_converge::{ConvergeFaults, ConvergeInstance};
 use upsilon_extract::{pinned_history, UpsilonFaithfulSpec};
 use upsilon_mem::{distinct_values, NativeSnapshot, Snapshot};
 use upsilon_sim::{algo, AlgoFn, Key, ProcessId, ProcessSet};
@@ -177,4 +178,91 @@ pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> 
         k,
         proposals: proposals(n_plus_1),
     })
+}
+
+/// The **off-by-one mutant** of the k-converge commit check: each process
+/// runs one `k`-converge over distinct proposals with
+/// [`ConvergeFaults::clean_slack`]` = slack`, decides the picked value iff
+/// it committed, and spins otherwise (safety-only harness, like
+/// [`snapshot_commit`]).
+///
+/// With `slack = 0` this is the faithful routine, whose Convergence
+/// argument makes committed values number at most `k` — every exploration
+/// comes back clean. With `slack = 1` the cleanliness test accepts `k + 1`
+/// distinct values, so schedules where `k + 1` processes each scan before
+/// the `(k+2)`-th announces let `k + 1` distinct values commit — but fully
+/// interleaved schedules still come back dirty, which makes the violation
+/// genuinely schedule-dependent (a search target, not a constant failure).
+pub fn converge_offby1(n_plus_1: usize, k: usize, depth: usize, slack: usize) -> CheckConfig<()> {
+    assert!(k >= 1 && k < n_plus_1);
+    let faults = ConvergeFaults {
+        drop_announce: None,
+        clean_slack: slack,
+    };
+    let factory: AlgoFactory<()> = Arc::new(move || {
+        (0..n_plus_1)
+            .map(|i| {
+                let me = ProcessId(i);
+                Some(algo(move |ctx| async move {
+                    let inst =
+                        ConvergeInstance::new(Key::new("conv"), n_plus_1, Default::default())
+                            .with_faults(faults);
+                    let (picked, committed) = inst.converge(&ctx, k, me.index() as u64).await?;
+                    if committed {
+                        ctx.decide(picked).await?;
+                        return Ok(());
+                    }
+                    // #[conform(bound = "B")]
+                    loop {
+                        ctx.yield_step().await?;
+                    }
+                }))
+            })
+            .collect()
+    });
+    let menu = Arc::new(ConstantMenu(()));
+    CheckConfig::new(n_plus_1, depth, factory, menu).spec(KSetAgreementSpec {
+        k,
+        proposals: proposals(n_plus_1),
+    })
+}
+
+/// The **dropped-write mutant of Fig. 2**: the full Fig. 2 protocol under a
+/// faithful pinned Υ^f, except that process `dropper` skips its phase-1
+/// announcement inside the *round-opening* `f`-converge
+/// ([`ConvergeFaults::drop_announce`]). Its proposal becomes invisible to
+/// the opener's cleanliness count, so schedules exist where `f + 1`
+/// distinct values commit out of the opener and `f`-set agreement breaks —
+/// the only safety-relevant write in Fig. 2's round structure (the `D`,
+/// `D[r]` and `Stable[r]` writes affect only termination). `dropper: None`
+/// is the faithful protocol and must explore clean.
+pub fn fig2_dropped_write(
+    n_plus_1: usize,
+    f: usize,
+    depth: usize,
+    max_faults: usize,
+    dropper: Option<ProcessId>,
+) -> CheckConfig<ProcessSet> {
+    assert!(f >= 1 && f < n_plus_1);
+    let menu = Arc::new(ConstantMenu(pinned_history(n_plus_1)));
+    let props = proposals(n_plus_1);
+    let faults = ConvergeFaults {
+        drop_announce: dropper,
+        clean_slack: 0,
+    };
+    let factory: AlgoFactory<ProcessSet> = Arc::new(move || {
+        let mut algos: Vec<Option<AlgoFn<ProcessSet>>> = Vec::new();
+        algos.resize_with(n_plus_1, || None);
+        let cfg = Fig2Config::new(f).with_opener_faults(faults);
+        for (pid, a) in fig2_algorithms(cfg, &props) {
+            algos[pid.index()] = Some(a);
+        }
+        algos
+    });
+    CheckConfig::new(n_plus_1, depth, factory, menu)
+        .max_faults(max_faults)
+        .spec(KSetAgreementSpec {
+            k: f,
+            proposals: proposals(n_plus_1),
+        })
 }

@@ -49,7 +49,37 @@
 #![warn(missing_debug_implementations)]
 
 use upsilon_mem::{distinct_values, FlavoredSnapshot, Snapshot, SnapshotFlavor, Value};
-use upsilon_sim::{Crashed, Ctx, FdValue, Key};
+use upsilon_sim::{Crashed, Ctx, FdValue, Key, ProcessId};
+
+/// Deliberate correctness faults injectable into a [`ConvergeInstance`] —
+/// the seeded mutants the `upsilon-fuzz` mutation-detection suite (and any
+/// future mutation-testing sweep) must rediscover. The default is the
+/// faithful routine; every fault breaks exactly one step of the §5.1
+/// C-Agreement argument:
+///
+/// * [`drop_announce`](ConvergeFaults::drop_announce) removes one
+///   process's phase-1 announcement, so the largest clean scan no longer
+///   contains every clean process's input and more than `k` clean values
+///   can coexist;
+/// * [`clean_slack`](ConvergeFaults::clean_slack) weakens the cleanliness
+///   test from `≤ k` to `≤ k + slack` distinct values — the classic
+///   off-by-one (`slack = 1`) lets `k + 1` values commit.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ConvergeFaults {
+    /// This process skips its phase-1 write (its input stays invisible to
+    /// other scanners). `None` injects nothing.
+    pub drop_announce: Option<ProcessId>,
+    /// Added to `k` in the cleanliness comparison (`0` = faithful).
+    pub clean_slack: usize,
+}
+
+impl ConvergeFaults {
+    /// No injected faults: the faithful routine.
+    pub const NONE: ConvergeFaults = ConvergeFaults {
+        drop_announce: None,
+        clean_slack: 0,
+    };
+}
 
 /// One named instance of the k-converge routine, shared by all processes
 /// that build a handle with the same key (e.g. `converge[r][k]` in Fig. 1).
@@ -67,6 +97,7 @@ pub struct ConvergeInstance {
     base: Key,
     n_plus_1: usize,
     flavor: SnapshotFlavor,
+    faults: ConvergeFaults,
 }
 
 impl ConvergeInstance {
@@ -77,7 +108,16 @@ impl ConvergeInstance {
             base,
             n_plus_1,
             flavor,
+            faults: ConvergeFaults::NONE,
         }
+    }
+
+    /// The same instance with deliberate faults injected — for seeded
+    /// mutants in fuzzing and mutation tests only; never call this from a
+    /// protocol.
+    pub fn with_faults(mut self, faults: ConvergeFaults) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The instance's base key.
@@ -110,9 +150,11 @@ impl ConvergeInstance {
 
         // Phase 1: publish the input; clean iff at most k distinct inputs
         // are visible.
-        s1.update(ctx, v.clone()).await?;
+        if self.faults.drop_announce != Some(ctx.pid()) {
+            s1.update(ctx, v.clone()).await?;
+        }
         let scan1 = s1.scan(ctx).await?;
-        let clean = distinct_values(&scan1).len() <= k;
+        let clean = distinct_values(&scan1).len() <= k + self.faults.clean_slack;
 
         // Phase 2: publish (input, clean); decide from the observed flags.
         s2.update(ctx, (v.clone(), clean)).await?;

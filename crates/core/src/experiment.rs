@@ -256,9 +256,8 @@ pub fn run_fig2(cfg: &AgreementConfig, f: usize, choice: UpsilonChoice) -> Agree
         .with_noise(cfg.noise);
     let algos = fig2::algorithms(
         Fig2Config {
-            f,
             flavor: cfg.flavor,
-            ablate_min_adoption: false,
+            ..Fig2Config::new(f)
         },
         &cfg.proposals,
     );
@@ -298,9 +297,8 @@ pub fn run_baseline_omega_k(
     } else {
         let algos = fig2::algorithms(
             Fig2Config {
-                f: k,
                 flavor: cfg.flavor,
-                ablate_min_adoption: false,
+                ..Fig2Config::new(k)
             },
             &cfg.proposals,
         );

@@ -1,0 +1,109 @@
+//! On-disk corpus persistence.
+//!
+//! A corpus directory holds one file per entry, named
+//! `<fnv64-of-token>.uchk1` and containing the `UCHK1:` encoding followed
+//! by a newline. Content-addressed names make saves idempotent and merges
+//! from parallel campaigns trivial (identical tokens collide into one
+//! file); loading sorts by filename so the read-back order is stable across
+//! filesystems.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use upsilon_sim::{Fnv64, ReplayToken};
+
+/// The file extension of corpus entries.
+pub const CORPUS_EXT: &str = "uchk1";
+
+fn entry_name(token: &ReplayToken) -> String {
+    let mut h = Fnv64::new();
+    h.write(token.encode().as_bytes());
+    format!("{:016x}.{CORPUS_EXT}", h.finish())
+}
+
+/// Writes `token` into `dir` (created if missing), named by content hash.
+/// Re-saving an existing entry rewrites the same file. Returns the path
+/// written.
+pub fn save_corpus_entry(dir: &Path, token: &ReplayToken) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(entry_name(token));
+    fs::write(&path, format!("{}\n", token.encode()))?;
+    Ok(path)
+}
+
+/// Loads every `.uchk1` entry in `dir`, sorted by filename. A missing
+/// directory is an empty corpus; an unparsable entry is an
+/// [`io::ErrorKind::InvalidData`] error naming the file.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<ReplayToken>> {
+    let mut names: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == CORPUS_EXT))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    names.sort();
+    names
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path)?;
+            ReplayToken::parse(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upsilon_sim::{ProcessId, Time};
+
+    fn sample(seed: u64) -> ReplayToken {
+        ReplayToken {
+            n_plus_1: 3,
+            crashes: vec![None, Some(Time(seed)), None],
+            fd_choices: vec![vec![0, 1], Vec::new(), vec![2]],
+            schedule: vec![ProcessId(0), ProcessId(2), ProcessId(0)],
+        }
+    }
+
+    #[test]
+    fn round_trips_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("upsilon-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = sample(1);
+        let b = sample(2);
+        let p1 = save_corpus_entry(&dir, &a).unwrap();
+        let p2 = save_corpus_entry(&dir, &a).unwrap();
+        assert_eq!(p1, p2, "identical tokens share one file");
+        save_corpus_entry(&dir, &b).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(&a) && loaded.contains(&b));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_is_empty() {
+        let dir = Path::new("/nonexistent/upsilon-corpus");
+        assert_eq!(load_corpus(dir).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn garbage_entry_is_invalid_data() {
+        let dir = std::env::temp_dir().join(format!("upsilon-corpus-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("deadbeef.uchk1"), "not a token\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -80,6 +80,7 @@
 
 mod batch;
 mod builder;
+mod coverage;
 mod engine;
 mod error;
 mod failure;
@@ -95,6 +96,7 @@ mod trace;
 
 pub use batch::{default_workers, run_batch};
 pub use builder::{algo, AlgoFn, AlgoFuture, SimBuilder, SimOutcome};
+pub use coverage::{conflict_coverage, conflict_pairs, ConflictPair, Fnv64};
 pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};
 pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
@@ -105,7 +107,8 @@ pub use process::{Iter, ProcessId, ProcessSet};
 pub use replay::{ReplayToken, TokenError};
 pub use runtime::Ctx;
 pub use sched::{
-    Adversary, FnAdversary, RoundRobin, SchedView, Scripted, SeededRandom, WeightedRandom,
+    Adversary, FnAdversary, PctScheduler, RoundRobin, SchedView, Scripted, SeededRandom,
+    WeightedRandom,
 };
 pub use time::Time;
 pub use trace::{Event, InducedTrace, Output, Run, StepKind, StopReason, TraceLevel};

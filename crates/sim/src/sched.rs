@@ -186,6 +186,133 @@ impl Adversary for WeightedRandom {
     }
 }
 
+/// Probabilistic Concurrency Testing (PCT) priority scheduling
+/// (Burckhardt–Kothari–Musuvathi–Nagarakatte, ASPLOS 2010), adapted to the
+/// paper's step model: each process draws a distinct random *priority*, the
+/// highest-priority eligible process always moves, and at `d − 1` random
+/// *priority-change points* along the schedule the process about to move is
+/// demoted below everyone else.
+///
+/// For a run of at most `horizon` steps over `n + 1` processes, any
+/// violation reachable by some schedule of *bug depth* `d` (a depth-`d`
+/// ordering constraint among steps) is hit with probability at least
+/// `1 / (n+1) · horizon^{d-1}` — much better than uniform random search
+/// for small `d`, which is why `upsilon-fuzz` drives long executions with
+/// this adversary. Unlike [`SeededRandom`], PCT is *unfair by design*:
+/// between change points it starves every process below the current
+/// maximum, producing exactly the long solo bursts the paper's partial-run
+/// constructions (Theorems 1 and 5) are built from.
+///
+/// Determinism: the same `(seed, depth, horizon)` triple always produces
+/// the same priorities and change points, hence the same schedule against
+/// the same configuration.
+#[derive(Clone, Debug)]
+pub struct PctScheduler {
+    rng: ChaCha8Rng,
+    depth: usize,
+    horizon: u64,
+    /// Initial priorities, one per process, assigned lazily at the first
+    /// scheduling decision (when `n + 1` is first observable). Higher wins.
+    priorities: Vec<u64>,
+    /// Remaining priority-change points (step indices), sorted descending
+    /// so the next one is `last()`.
+    change_points: Vec<u64>,
+    /// Steps granted so far (the scheduler's own step counter).
+    steps_seen: u64,
+    /// The next demotion priority; starts at `d − 1` and decreases, so
+    /// later demotions sink below earlier ones (the classic PCT layout:
+    /// initial priorities in `{d, …, d + n}`, demoted ones in `{1, …, d−1}`).
+    next_low: u64,
+}
+
+impl PctScheduler {
+    /// A PCT scheduler for schedules of at most `horizon` steps hunting
+    /// bugs of depth `depth ≥ 1`, derived deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0` or `horizon == 0`.
+    pub fn new(seed: u64, depth: usize, horizon: u64) -> Self {
+        assert!(depth >= 1, "PCT depth must be at least 1");
+        assert!(horizon >= 1, "PCT horizon must be at least 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // d − 1 change points, drawn over the horizon. Duplicates are
+        // harmless (two demotions at one step demote two processes).
+        let mut change_points: Vec<u64> = (1..depth).map(|_| rng.gen_range(0..horizon)).collect();
+        change_points.sort_unstable_by(|a, b| b.cmp(a));
+        PctScheduler {
+            rng,
+            depth,
+            horizon,
+            priorities: Vec::new(),
+            change_points,
+            steps_seen: 0,
+            next_low: depth.saturating_sub(1) as u64,
+        }
+    }
+
+    /// The initial priority permutation: process `i` gets
+    /// `priorities()[i]`, a bijection onto `{d, …, d + n}` — exposed so
+    /// property tests can check the bijection without replaying schedules.
+    ///
+    /// Assigns the priorities on first use for `n_plus_1` processes.
+    pub fn priorities(&mut self, n_plus_1: usize) -> &[u64] {
+        self.ensure_priorities(n_plus_1);
+        &self.priorities
+    }
+
+    fn ensure_priorities(&mut self, n_plus_1: usize) {
+        if !self.priorities.is_empty() {
+            return;
+        }
+        // A uniformly random permutation of {d, …, d + n} via Fisher–Yates:
+        // every initial priority sits above every demotion value.
+        let base = self.depth as u64;
+        let mut prios: Vec<u64> = (0..n_plus_1 as u64).map(|i| base + i).collect();
+        for i in (1..prios.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            prios.swap(i, j);
+        }
+        self.priorities = prios;
+    }
+}
+
+impl Adversary for PctScheduler {
+    fn next_process(&mut self, view: &SchedView<'_>) -> Option<ProcessId> {
+        if view.eligible.is_empty() || self.steps_seen >= self.horizon {
+            return None;
+        }
+        self.ensure_priorities(view.n_plus_1());
+        // Serve due change points: demote the process that is about to
+        // move (the eligible maximum) below everything else.
+        while self
+            .change_points
+            .last()
+            .is_some_and(|&cp| cp <= self.steps_seen)
+        {
+            self.change_points.pop();
+            if let Some(top) = view
+                .eligible
+                .iter()
+                .max_by_key(|p| self.priorities[p.index()])
+            {
+                self.priorities[top.index()] = self.next_low;
+                self.next_low = self.next_low.saturating_sub(1);
+            }
+        }
+        let pick = view
+            .eligible
+            .iter()
+            .max_by_key(|p| self.priorities[p.index()])?;
+        self.steps_seen += 1;
+        Some(pick)
+    }
+
+    fn describe(&self) -> String {
+        format!("pct(d={}, horizon={})", self.depth, self.horizon)
+    }
+}
+
 /// Plays back an explicit schedule prefix, then hands over to a fallback
 /// adversary (or stops if none) — the building block of the paper's
 /// partial-run constructions ("consider partial runs in which … every
@@ -413,6 +540,71 @@ mod tests {
         let mut a = Scripted::new(vec![ProcessId(0), ProcessId(1)]);
         let v = view(elig, &steps, &[], &last);
         assert_eq!(a.next_process(&v), Some(ProcessId(1)));
+    }
+
+    #[test]
+    fn pct_initial_priorities_are_a_permutation_above_demotions() {
+        for seed in 0..20u64 {
+            let mut pct = PctScheduler::new(seed, 3, 50);
+            let mut prios = pct.priorities(5).to_vec();
+            prios.sort_unstable();
+            assert_eq!(prios, vec![3, 4, 5, 6, 7], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pct_is_deterministic_per_seed() {
+        let steps = [0u64; 3];
+        let last = [None; 3];
+        let elig = ProcessSet::all(3);
+        let run = |seed| {
+            let mut a = PctScheduler::new(seed, 4, 30);
+            (0..30)
+                .map(|_| a.next_process(&view(elig, &steps, &[], &last)).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert!(
+            (0..32).any(|s| run(s) != run(9)),
+            "seeds must vary schedules"
+        );
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_until_a_change_point() {
+        let steps = [0u64; 3];
+        let last = [None; 3];
+        let elig = ProcessSet::all(3);
+        let mut a = PctScheduler::new(5, 2, 40);
+        let picks: Vec<_> = (0..40)
+            .map(|_| a.next_process(&view(elig, &steps, &[], &last)).unwrap())
+            .collect();
+        // With one change point the schedule is at most two solo bursts.
+        let mut bursts = 1;
+        for w in picks.windows(2) {
+            if w[0] != w[1] {
+                bursts += 1;
+            }
+        }
+        assert!(bursts <= 2, "d=2 allows at most one demotion: {picks:?}");
+    }
+
+    #[test]
+    fn pct_stops_at_horizon_and_respects_eligibility() {
+        let steps = [0u64; 2];
+        let last = [None; 2];
+        let mut a = PctScheduler::new(1, 3, 4);
+        let elig = ProcessSet::singleton(ProcessId(1));
+        let v = view(elig, &steps, &[], &last);
+        for _ in 0..4 {
+            assert_eq!(a.next_process(&v), Some(ProcessId(1)));
+        }
+        assert_eq!(a.next_process(&v), None, "horizon exhausted");
+        let mut b = PctScheduler::new(1, 3, 4);
+        assert_eq!(
+            b.next_process(&view(ProcessSet::EMPTY, &steps, &[], &last)),
+            None
+        );
     }
 
     #[test]

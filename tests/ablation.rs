@@ -64,9 +64,8 @@ fn ablation_is_harmless_when_citizens_survive() {
     let out = run_fig2_custom(
         &cfg,
         Fig2Config {
-            f: 2,
             flavor: SnapshotFlavor::Native,
-            ablate_min_adoption: true,
+            ..Fig2Config::ablated(2)
         },
         UpsilonChoice::Fixed(stable),
     );

@@ -27,9 +27,8 @@ fn run_once(
         .max_steps(800_000);
     for (pid, algo) in fig2::algorithms(
         Fig2Config {
-            f,
             flavor,
-            ablate_min_adoption: false,
+            ..Fig2Config::new(f)
         },
         &proposals,
     ) {
