@@ -4,13 +4,15 @@
 //! ```text
 //! cargo run -p upsilon-analysis --bin analyze -- lint [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- conform [--json]
+//! cargo run -p upsilon-analysis --bin analyze -- commute [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- run-conditions [--json] \
 //!     [--seeds <count>] [--procs <n+1>]
 //! ```
 //!
-//! `lint` and `conform` are the static passes (determinism lint over the
-//! simulator crates, §3.1 conformance over the algorithm crates); both
-//! also exist as standalone bins. `run-conditions` is the dynamic pass: it
+//! `lint`, `conform` and `commute` are the static passes (determinism lint
+//! over the simulator crates, §3.1 conformance over the algorithm crates,
+//! DPOR-soundness audit of the shared objects' `access()` classifications);
+//! all also exist as standalone bins. `run-conditions` is the dynamic pass: it
 //! drives a built-in leader workload over a seed sweep and validates every
 //! recorded run against the §3.3 run conditions with
 //! [`upsilon_analysis::check_run_for`].
@@ -25,13 +27,13 @@ use upsilon_sim::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: analyze <lint|conform|run-conditions> [options]\n\
+        "usage: analyze <lint|conform|commute|run-conditions> [options]\n\
          \n\
          common options:\n\
          \x20 --root <dir>        workspace root (default .)\n\
          \x20 --json              machine-readable output\n\
          \n\
-         lint / conform options:\n\
+         lint / conform / commute options:\n\
          \x20 --allowlist <file>  audited-exception file (default under crates/analysis/)\n\
          \n\
          run-conditions options:\n\
@@ -90,6 +92,7 @@ fn main() -> ExitCode {
     match mode.as_str() {
         "lint" => lint(&opts),
         "conform" => conform(&opts),
+        "commute" => commute(&opts),
         "run-conditions" => run_conditions(&opts),
         "--help" | "-h" => usage(),
         other => {
@@ -163,6 +166,39 @@ fn conform(opts: &Opts) -> ExitCode {
         );
     }
     pass_fail(report.findings.is_empty())
+}
+
+fn commute(opts: &Opts) -> ExitCode {
+    let path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/analysis/commute-allowlist.txt"));
+    let allow = match load_or_empty(&path, upsilon_commute::load_allowlist) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match upsilon_commute::scan_workspace(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze commute: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!(
+            "commute: {} files scanned, {} impls analyzed, {} findings, {} allowlisted",
+            report.files.len(),
+            report.impls.len(),
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+    pass_fail(report.is_clean())
 }
 
 /// Loads an allowlist file, treating a missing file as empty and a

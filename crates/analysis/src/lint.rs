@@ -44,6 +44,7 @@ pub const SCANNED_CRATES: &[&str] = &[
     "check",
     "fuzz",
     "analysis",
+    "commute",
 ];
 
 /// Files exempt from the whole scan because they *name* the banned

@@ -1,60 +1,80 @@
-//! Explorer throughput and partial-order-reduction ratio, emitting
+//! Explorer throughput and partial-order-reduction ratios, emitting
 //! `BENCH_check.json`.
 //!
 //! ```text
 //! cargo run --release -p upsilon-bench --bin bench_check [depth]
 //! cargo run --release -p upsilon-bench --bin bench_check -- \
-//!     --workload fig1 --n 3 --depth 9 [--faults N] [--out PATH]
+//!     [--workloads a,b,c] [--workload NAME --n N --depth N --faults N] [--out PATH]
 //! ```
 //!
-//! Explores the selected workload twice at the same depth — once with the
-//! sleep-set reduction, once naive — and reports the node counts, the
-//! reduction ratio, and the sustained states/second of the reduced search.
-//! Both searches must come back clean (the bundled workloads are all
-//! Υ-independent for safety), and the acceptance bar is a ≥ 10× reduction
-//! at depth 9. The JSON artifact is only written when every acceptance
+//! Each selected workload is explored three times at the same depth:
+//!
+//! * **naive** — no reduction: the full tree, the denominator;
+//! * **lattice** — sleep-set reduction over the coarse 3-value `Access`
+//!   conflict lattice (the pre-matrix explorer);
+//! * **matrix** — sleep sets over the lattice refined by the generated
+//!   per-op-pair commutativity matrix (`upsilon_sim::commute`), the
+//!   explorer's default.
+//!
+//! Reported per entry: node counts for all three modes, the reduction
+//! ratio `naive / matrix`, the matrix's own gain `lattice / matrix`, and
+//! the sustained states/second of the matrix search. Every workload must
+//! come back clean in all modes with naive and matrix agreeing on
+//! violations (soundness spot-check); acceptance further requires each
+//! entry to clear its reduction floor, the best entry to beat the
+//! pre-matrix 18.72× baseline strictly, and the matrix to strictly improve
+//! on the lattice somewhere. The JSON artifact is only written when every
 //! check passes, so a failing run can never overwrite a good baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
 use upsilon_check::{check, samples, CheckConfig, CheckReport};
 use upsilon_core::table::Table;
-use upsilon_sim::ProcessSet;
+use upsilon_sim::FdValue;
 
-/// The acceptance bar: reduced exploration at least this many times
-/// smaller than the naive one at the same depth.
-const MIN_REDUCTION_RATIO: f64 = 10.0;
-/// Throughput floor (nodes spec-checked per second, reduced search,
+/// Throughput floor (nodes spec-checked per second, matrix-reduced search,
 /// release build). The dev-profile CI floor lives in ci.yml instead.
 const MIN_STATES_PER_SEC: f64 = 500.0;
+/// The pre-matrix baseline (fig1, n+1 = 3, depth 9, lattice sleep sets):
+/// the best entry's `naive / matrix` ratio must beat it strictly.
+const BASELINE_RATIO: f64 = 18.72;
+/// At least one entry must show the matrix strictly refining the lattice.
+const MIN_BEST_MATRIX_GAIN: f64 = 1.0;
 
 const USAGE: &str = "usage: bench_check [depth] | bench_check [options]
-  --workload NAME  fig1 | fig1-mutating | fig2 (default fig1)
-  --n N            number of processes (default 3)
-  --depth N        schedule-length bound (default 9)
-  --faults N       crash-injection budget (default 0)
+  --workloads LIST comma-separated entries to run (default
+                   fig1,fig2,snapshot-commit,stable-report)
+  --workload NAME  run one workload: fig1 | fig1-mutating | fig2 |
+                   snapshot-commit | stable-report
+  --n N            processes for --workload (default 3)
+  --depth N        schedule-length bound for --workload / positional
+  --faults N       crash-injection budget for --workload (default 0)
   --out PATH       JSON artifact path (default BENCH_check.json)
   --help           this text";
 
 #[derive(Clone, Debug)]
 struct Args {
-    workload: String,
+    workloads: Vec<String>,
+    single: bool,
     n: usize,
     depth: usize,
     faults: usize,
     out: String,
 }
 
+const DEFAULT_SUITE: &[&str] = &["fig1", "fig2", "snapshot-commit", "stable-report"];
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        workload: "fig1".to_string(),
+        workloads: DEFAULT_SUITE.iter().map(|s| s.to_string()).collect(),
+        single: false,
         n: 3,
         depth: 9,
         faults: 0,
         out: "BENCH_check.json".to_string(),
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    // Positional compatibility: `bench_check 9` still sets the depth.
+    // Positional compatibility: `bench_check 9` sets the fig1 depth.
     if raw.len() == 1 && !raw[0].starts_with("--") {
         args.depth = raw[0]
             .parse()
@@ -65,7 +85,16 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--workload" => args.workload = value("--workload")?,
+            "--workloads" => {
+                args.workloads = value("--workloads")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--workload" => {
+                args.workloads = vec![value("--workload")?];
+                args.single = true;
+            }
             "--n" => args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
             "--depth" => {
                 args.depth = value("--depth")?
@@ -85,36 +114,149 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn workload(args: &Args) -> Result<CheckConfig<ProcessSet>, String> {
-    match args.workload.as_str() {
-        "fig1" => Ok(samples::fig1(args.n, args.depth, args.faults)),
-        "fig1-mutating" => Ok(samples::fig1_mutating(args.n, args.depth, args.faults, 1)),
-        "fig2" => Ok(samples::fig2(
-            args.n,
-            args.faults.max(1),
-            args.depth,
-            args.faults,
-        )),
-        other => Err(format!("unknown workload {other:?}")),
-    }
-}
-
+/// One explored mode of one workload.
 struct Sample {
-    mode: &'static str,
     report: CheckReport,
     secs: f64,
 }
 
-fn explore(base: &CheckConfig<ProcessSet>, reduction: bool) -> Sample {
-    let mut cfg = base.clone();
-    cfg.reduction = reduction;
+/// The three modes of one workload, plus its recipe parameters.
+struct Entry {
+    name: String,
+    n: usize,
+    depth: usize,
+    faults: usize,
+    /// Per-entry `naive / matrix` acceptance floor.
+    floor: f64,
+    naive: Sample,
+    lattice: Sample,
+    matrix: Sample,
+}
+
+impl Entry {
+    fn ratio(&self) -> f64 {
+        self.naive.report.stats.nodes as f64 / self.matrix.report.stats.nodes as f64
+    }
+
+    fn matrix_gain(&self) -> f64 {
+        self.lattice.report.stats.nodes as f64 / self.matrix.report.stats.nodes as f64
+    }
+
+    fn states_per_sec(&self) -> f64 {
+        self.matrix.report.stats.nodes as f64 / self.matrix.secs
+    }
+}
+
+fn explore<D: FdValue>(base: &CheckConfig<D>, reduction: bool, use_matrix: bool) -> Sample {
+    let cfg = base.clone().reduction(reduction).matrix(use_matrix);
     let start = Instant::now();
     let report = check(&cfg);
     Sample {
-        mode: if reduction { "reduced" } else { "naive" },
         report,
         secs: start.elapsed().as_secs_f64().max(1e-9),
     }
+}
+
+fn measure<D: FdValue>(
+    name: &str,
+    base: &CheckConfig<D>,
+    n: usize,
+    depth: usize,
+    faults: usize,
+    floor: f64,
+) -> Entry {
+    Entry {
+        name: name.to_string(),
+        n,
+        depth,
+        faults,
+        floor,
+        naive: explore(base, false, false),
+        lattice: explore(base, true, false),
+        matrix: explore(base, true, true),
+    }
+}
+
+/// Builds and measures one workload entry. The recipe (n, depth, faults,
+/// floor) comes from the defaults table unless `custom` pins the
+/// `--workload` overrides.
+fn run_workload(name: &str, custom: Option<&Args>) -> Result<Entry, String> {
+    // (n, depth, faults, floor) per workload; floors reflect what each
+    // sample's conflict structure supports rather than one global bar.
+    let (mut n, mut depth, mut faults, floor) = match name {
+        "fig1" => (3, 9, 0, 10.0),
+        "fig1-mutating" => (3, 9, 0, 10.0),
+        "fig2" => (3, 7, 0, 2.0),
+        "snapshot-commit" => (3, 10, 0, 10.0),
+        "stable-report" => (3, 10, 0, 10.0),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    if let Some(a) = custom {
+        (n, depth, faults) = (a.n, a.depth, a.faults);
+    }
+    Ok(match name {
+        "fig1" => measure(
+            name,
+            &samples::fig1(n, depth, faults),
+            n,
+            depth,
+            faults,
+            floor,
+        ),
+        "fig1-mutating" => measure(
+            name,
+            &samples::fig1_mutating(n, depth, faults, 1),
+            n,
+            depth,
+            faults,
+            floor,
+        ),
+        "fig2" => measure(
+            name,
+            &samples::fig2(n, faults.max(1), depth, faults),
+            n,
+            depth,
+            faults,
+            floor,
+        ),
+        "snapshot-commit" => measure(
+            name,
+            &samples::snapshot_commit(n, n - 1, depth, false),
+            n,
+            depth,
+            faults,
+            floor,
+        ),
+        "stable-report" => measure(
+            name,
+            &samples::stable_report(n, 2, depth),
+            n,
+            depth,
+            faults,
+            floor,
+        ),
+        _ => unreachable!("matched above"),
+    })
+}
+
+fn json_entry(e: &Entry) -> String {
+    format!(
+        "    {{\n      \"workload\": \"{}\",\n      \"n_plus_1\": {},\n      \"depth\": {},\n      \
+         \"faults\": {},\n      \"nodes_naive\": {},\n      \"nodes_lattice\": {},\n      \
+         \"nodes_matrix\": {},\n      \"sleep_pruned\": {},\n      \"reduction_ratio\": {:.2},\n      \
+         \"matrix_gain\": {:.2},\n      \"states_per_sec\": {:.1}\n    }}",
+        e.name,
+        e.n,
+        e.depth,
+        e.faults,
+        e.naive.report.stats.nodes,
+        e.lattice.report.stats.nodes,
+        e.matrix.report.stats.nodes,
+        e.matrix.report.stats.sleep_pruned,
+        e.ratio(),
+        e.matrix_gain(),
+        e.states_per_sec(),
+    )
 }
 
 fn main() -> ExitCode {
@@ -129,56 +271,118 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let base = match workload(&args) {
-        Ok(cfg) => cfg,
-        Err(msg) => {
-            eprintln!("error: {msg}\n{USAGE}");
-            return ExitCode::from(2);
+
+    let custom = args.single.then_some(&args);
+    let mut entries = Vec::new();
+    for name in &args.workloads {
+        match run_workload(name, custom) {
+            Ok(e) => entries.push(e),
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                return ExitCode::from(2);
+            }
         }
-    };
-
-    let reduced = explore(&base, true);
-    let naive = explore(&base, false);
-    let ratio = naive.report.stats.nodes as f64 / reduced.report.stats.nodes as f64;
-    let states_per_sec = reduced.report.stats.nodes as f64 / reduced.secs;
-
-    let mut t = Table::new(
-        format!(
-            "Explorer — {}, n+1 = {}, depth {}",
-            args.workload, args.n, args.depth
-        ),
-        &["mode", "nodes", "sleep_pruned", "secs", "states/sec"],
-    );
-    for s in [&reduced, &naive] {
-        t.row([
-            s.mode.to_string(),
-            s.report.stats.nodes.to_string(),
-            s.report.stats.sleep_pruned.to_string(),
-            format!("{:.4}", s.secs),
-            format!("{:.0}", s.report.stats.nodes as f64 / s.secs),
-        ]);
     }
-    println!("{t}");
-    println!("reduction ratio: {ratio:.1}x (floor {MIN_REDUCTION_RATIO:.0}x)");
 
     let mut failed = false;
-    if !reduced.report.ok() || !naive.report.ok() {
-        eprintln!(
-            "FAIL: {} exploration must be clean in both modes",
-            args.workload
+    for e in &entries {
+        let mut t = Table::new(
+            format!("Explorer — {}, n+1 = {}, depth {}", e.name, e.n, e.depth),
+            &["mode", "nodes", "sleep_pruned", "secs", "states/sec"],
         );
-        failed = true;
+        for (mode, s) in [
+            ("naive", &e.naive),
+            ("lattice", &e.lattice),
+            ("matrix", &e.matrix),
+        ] {
+            t.row([
+                mode.to_string(),
+                s.report.stats.nodes.to_string(),
+                s.report.stats.sleep_pruned.to_string(),
+                format!("{:.4}", s.secs),
+                format!("{:.0}", s.report.stats.nodes as f64 / s.secs),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "{}: reduction {:.1}x (floor {:.0}x), matrix gain {:.2}x",
+            e.name,
+            e.ratio(),
+            e.floor,
+            e.matrix_gain()
+        );
+
+        for (mode, s) in [
+            ("naive", &e.naive),
+            ("lattice", &e.lattice),
+            ("matrix", &e.matrix),
+        ] {
+            if !s.report.ok() {
+                eprintln!("FAIL: {} must explore clean in {mode} mode", e.name);
+                failed = true;
+            }
+        }
+        if e.naive.report.violations != e.matrix.report.violations {
+            eprintln!(
+                "FAIL: {}: naive and matrix searches disagree on violations",
+                e.name
+            );
+            failed = true;
+        }
+        if e.matrix_gain() < 1.0 {
+            eprintln!(
+                "FAIL: {}: matrix mode explored more nodes than the lattice — the refinement \
+                 may only remove conflicts",
+                e.name
+            );
+            failed = true;
+        }
+        if e.ratio() < e.floor {
+            eprintln!(
+                "FAIL: {}: reduction {:.1}x below the {:.0}x floor",
+                e.name,
+                e.ratio(),
+                e.floor
+            );
+            failed = true;
+        }
     }
-    if reduced.report.violations != naive.report.violations {
-        eprintln!("FAIL: reduced and naive searches disagree on violations");
-        failed = true;
+
+    let best = entries.iter().map(Entry::ratio).fold(0.0, f64::max);
+    let best_gain = entries.iter().map(Entry::matrix_gain).fold(0.0, f64::max);
+    let headline = entries
+        .iter()
+        .find(|e| e.name == "fig1")
+        .or(entries.first());
+    let Some(headline) = headline else {
+        eprintln!("error: no workloads selected\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    println!(
+        "best reduction: {best:.1}x (baseline {BASELINE_RATIO}x), best matrix gain: {best_gain:.2}x"
+    );
+
+    if !args.single {
+        if best <= BASELINE_RATIO {
+            eprintln!(
+                "FAIL: best reduction {best:.1}x does not beat the pre-matrix \
+                 {BASELINE_RATIO}x baseline"
+            );
+            failed = true;
+        }
+        if best_gain <= MIN_BEST_MATRIX_GAIN {
+            eprintln!(
+                "FAIL: no entry shows the matrix strictly refining the lattice \
+                 (best gain {best_gain:.2}x)"
+            );
+            failed = true;
+        }
     }
-    if ratio < MIN_REDUCTION_RATIO {
-        eprintln!("FAIL: reduction ratio {ratio:.1}x below the {MIN_REDUCTION_RATIO:.0}x floor");
-        failed = true;
-    }
-    if states_per_sec < MIN_STATES_PER_SEC {
-        eprintln!("FAIL: {states_per_sec:.0} states/sec below the {MIN_STATES_PER_SEC:.0} floor");
+    if headline.states_per_sec() < MIN_STATES_PER_SEC {
+        eprintln!(
+            "FAIL: {:.0} states/sec below the {MIN_STATES_PER_SEC:.0} floor",
+            headline.states_per_sec()
+        );
         failed = true;
     }
     if failed {
@@ -186,17 +390,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Headline fields mirror the fig1 entry (legacy shape), followed by the
+    // full per-workload entry list.
+    let entries_json: Vec<String> = entries.iter().map(json_entry).collect();
     let json = format!(
         "{{\n  \"workload\": \"{} exploration, n_plus_1 = {}\",\n  \"depth\": {},\n  \
          \"nodes_reduced\": {},\n  \"nodes_naive\": {},\n  \"sleep_pruned\": {},\n  \
-         \"reduction_ratio\": {ratio:.2},\n  \"states_per_sec\": {states_per_sec:.1},\n  \
-         \"clean\": true\n}}\n",
-        args.workload,
-        args.n,
-        args.depth,
-        reduced.report.stats.nodes,
-        naive.report.stats.nodes,
-        reduced.report.stats.sleep_pruned,
+         \"reduction_ratio\": {:.2},\n  \"matrix_gain\": {:.2},\n  \"states_per_sec\": {:.1},\n  \
+         \"best_reduction_ratio\": {best:.2},\n  \"best_matrix_gain\": {best_gain:.2},\n  \
+         \"clean\": true,\n  \"entries\": [\n{}\n  ]\n}}\n",
+        headline.name,
+        headline.n,
+        headline.depth,
+        headline.matrix.report.stats.nodes,
+        headline.naive.report.stats.nodes,
+        headline.matrix.report.stats.sleep_pruned,
+        headline.ratio(),
+        headline.matrix_gain(),
+        headline.states_per_sec(),
+        entries_json.join(",\n"),
     );
     std::fs::write(&args.out, &json).expect("write benchmark artifact");
     println!("wrote {}", args.out);

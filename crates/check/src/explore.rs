@@ -47,8 +47,8 @@ use std::sync::Arc;
 use upsilon_analysis::{RunConditionsSpec, RunSpec};
 use upsilon_core::shrink::ddmin_counted;
 use upsilon_sim::{
-    run_batch, Access, AlgoFn, EngineKind, FdValue, Key, Memory, ProcessId, ReplayToken, Run,
-    SimBuilder, StepKind, Time,
+    ops_commute, resolve, run_batch, Access, AlgoFn, EngineKind, FdValue, Key, Memory, ProcessId,
+    ReplayToken, ResolvedOp, Run, SimBuilder, StepKind, Time,
 };
 
 /// One scheduling decision of the explorer.
@@ -71,24 +71,44 @@ pub enum Footprint {
         key: Key,
         /// How the operation touched it.
         access: Access,
+        /// The op's signature resolved against the generated commutativity
+        /// matrix (`upsilon_sim::commute`), when the exploration records
+        /// signatures and the object type is analyzed. `None` falls back to
+        /// the `Access` lattice alone.
+        sig: Option<ResolvedOp>,
     },
 }
 
 impl Footprint {
     /// Whether two steps with these footprints are dependent (do not
     /// commute).
+    ///
+    /// The base relation is the `Access` lattice on same-key operations; a
+    /// lattice conflict is then *removed* when both sides carry resolved
+    /// signatures the per-op-pair matrix proves independent (e.g. two
+    /// writes of the same value to one register). The refinement is sound
+    /// for sleep sets because every matrix verdict is state-independent:
+    /// it holds in all object states, not just the one explored.
     pub fn conflicts_with(&self, other: &Footprint) -> bool {
         match (self, other) {
             (
                 Footprint::Obj {
                     key: k1,
                     access: a1,
+                    sig: s1,
                 },
                 Footprint::Obj {
                     key: k2,
                     access: a2,
+                    sig: s2,
                 },
-            ) => k1 == k2 && a1.conflicts_with(*a2),
+            ) => {
+                let matrix_commutes = match (s1, s2) {
+                    (Some(s1), Some(s2)) => ops_commute(s1, s2),
+                    _ => false,
+                };
+                k1 == k2 && a1.conflicts_with(*a2) && !matrix_commutes
+            }
             _ => false,
         }
     }
@@ -119,6 +139,13 @@ pub struct CheckConfig<D: FdValue> {
     /// Sleep-set partial-order reduction; `false` explores the full tree
     /// (the naive baseline benchmarked against).
     pub reduction: bool,
+    /// Refine the conflict relation through the generated per-op-pair
+    /// commutativity matrix (`upsilon_sim::commute`): op signatures are
+    /// recorded on every node and lattice conflicts the matrix proves
+    /// independent stop waking sleeping processes. `false` reverts to the
+    /// coarse `Access` lattice (the pre-matrix behaviour, benchmarked as
+    /// the `lattice` mode).
+    pub use_matrix: bool,
     /// Engine each node runs under.
     pub engine: EngineKind,
     /// Worker threads for the frontier fan-out (`0` = default pool).
@@ -163,6 +190,7 @@ impl<D: FdValue> CheckConfig<D> {
             specs: Vec::new(),
             algos,
             reduction: true,
+            use_matrix: true,
             engine: EngineKind::Inline,
             workers: 0,
             split_depth: 0,
@@ -187,6 +215,13 @@ impl<D: FdValue> CheckConfig<D> {
     /// Enables or disables the sleep-set reduction.
     pub fn reduction(mut self, on: bool) -> Self {
         self.reduction = on;
+        self
+    }
+
+    /// Enables or disables the per-op-pair commutativity refinement of the
+    /// conflict relation (on by default).
+    pub fn matrix(mut self, on: bool) -> Self {
+        self.use_matrix = on;
         self
     }
 
@@ -319,7 +354,10 @@ pub fn run_token<D: FdValue>(
         token.fd_choices.clone(),
     );
     let log = oracle.log();
-    let mut builder = SimBuilder::<D>::replay(token).oracle(oracle).engine(engine);
+    let mut builder = SimBuilder::<D>::replay(token)
+        .oracle(oracle)
+        .engine(engine)
+        .record_op_sigs(cfg.use_matrix);
     for (i, a) in (cfg.algos)().into_iter().enumerate() {
         if let Some(a) = a {
             builder = builder.spawn(ProcessId(i), a);
@@ -497,13 +535,19 @@ fn footprint<D: FdValue>(exec: &Exec<D>) -> Footprint {
         .expect("step child has an event")
         .kind
     {
-        StepKind::Op { object, access, .. } => Footprint::Obj {
+        StepKind::Op {
+            object,
+            access,
+            sig,
+            ..
+        } => Footprint::Obj {
             key: exec
                 .memory
                 .name_of(*object)
                 .expect("every allocated object is named")
                 .clone(),
             access: *access,
+            sig: sig.as_ref().and_then(resolve),
         },
         _ => Footprint::Local,
     }

@@ -18,6 +18,9 @@
 //!   replayable token for the resulting k-set-agreement violation. The
 //!   sound variant is safe in every schedule (the last announcing decider
 //!   sees every decider's value).
+//! * [`stable_report`] — the Fig. 1 instability-reporting fragment in
+//!   isolation: same-value register write races, the benchmark target for
+//!   the per-op-pair commutativity refinement of the conflict relation.
 
 use crate::explore::{AlgoFactory, CheckConfig};
 use crate::menu::{ConstantMenu, MutatingMenu};
@@ -27,8 +30,8 @@ use upsilon_agreement::fig2::{algorithms as fig2_algorithms, Fig2Config};
 use upsilon_agreement::KSetAgreementSpec;
 use upsilon_converge::{ConvergeFaults, ConvergeInstance};
 use upsilon_extract::{pinned_history, UpsilonFaithfulSpec};
-use upsilon_mem::{distinct_values, NativeSnapshot, Snapshot};
-use upsilon_sim::{algo, AlgoFn, Key, ProcessId, ProcessSet};
+use upsilon_mem::{distinct_values, NativeSnapshot, Register, Snapshot};
+use upsilon_sim::{algo, AlgoFn, Key, Output, ProcessId, ProcessSet};
 
 /// Distinct proposals `0, 1, …, n` — the hard case for set agreement.
 fn proposals(n_plus_1: usize) -> Vec<Option<u64>> {
@@ -178,6 +181,39 @@ pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> 
         k,
         proposals: proposals(n_plus_1),
     })
+}
+
+/// The Fig. 1 **instability-reporting fragment** in isolation (protocol
+/// lines 12–14): a process that sees the round destabilize publishes the
+/// fact by writing `true` into the shared `Stable` register — every
+/// reporter writes the *same* value, `reports` times each — then reads the
+/// flag back and outputs it. The write races here are exactly the pattern
+/// the per-op-pair commutativity matrix (`upsilon_sim::commute`) refines:
+/// equal-value register writes commute, while the value-blind `Access`
+/// lattice must order every write pair. Correctness is just the §3.3 run
+/// conditions (always checked); the interesting number is explored states,
+/// benchmarked as `BENCH_check`'s `stable-report` entry with the matrix on
+/// and off.
+pub fn stable_report(n_plus_1: usize, reports: usize, depth: usize) -> CheckConfig<()> {
+    assert!(reports >= 1);
+    let factory: AlgoFactory<()> = Arc::new(move || {
+        (0..n_plus_1)
+            .map(|_| {
+                Some(algo(move |ctx| async move {
+                    let stable = Register::new(Key::new("Stable"), false);
+                    // #[conform(bound = "B")]
+                    for _ in 0..reports {
+                        stable.write(&ctx, true).await?;
+                    }
+                    let flag = stable.read(&ctx).await?;
+                    ctx.output(Output::Value(u64::from(flag))).await?;
+                    Ok(())
+                }))
+            })
+            .collect()
+    });
+    let menu = Arc::new(ConstantMenu(()));
+    CheckConfig::new(n_plus_1, depth, factory, menu)
 }
 
 /// The **off-by-one mutant** of the k-converge commit check: each process

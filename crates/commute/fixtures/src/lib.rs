@@ -1,0 +1,22 @@
+//! Deliberately **mis-classified** shared objects.
+//!
+//! Each module implements [`ObjectType`](upsilon_sim::ObjectType) with an
+//! `access()` classification its `invoke()` body does not justify,
+//! violating exactly one `upsilon-commute` audit rule. The analyzer's
+//! negative golden tests (`crates/commute/tests/fixtures.rs`) scan these
+//! sources and assert that every file trips its intended rule — and
+//! *only* that rule. The code compiles (the mis-classifications are
+//! semantic, against DPOR soundness, not against Rust) but none of it is
+//! ever executed under the explorer.
+//!
+//! This crate is intentionally **not** in the analyzer's
+//! [`SCANNED_CRATES`](../upsilon_commute/constant.SCANNED_CRATES.html)
+//! set, so the workspace-wide "zero findings" gate stays meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod m1_read_writes;
+pub mod m2_write_escapes;
+pub mod m3_unknown_claim;
+pub mod m4_arm_mismatch;

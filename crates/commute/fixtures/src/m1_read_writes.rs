@@ -1,0 +1,40 @@
+//! **M1**: `access()` claims `Access::Read` for an op that writes state.
+//!
+//! `Probe` latches a "seen" flag — a state write — yet is classified as a
+//! read. Under that claim the explorer would freely reorder `Probe` past
+//! genuine reads and past other `Probe`s, losing interleavings in which
+//! the flag is observed before the latch.
+
+use upsilon_sim::{Access, ObjectType, ProcessId};
+
+/// A cell that records whether it has ever been probed.
+#[derive(Debug, Default)]
+pub struct ProbeLatch {
+    seen: bool,
+}
+
+/// Operations on [`ProbeLatch`].
+#[derive(Clone, Debug)]
+pub enum LatchOp {
+    /// Observe the latch (and, incorrectly for a "read", set it).
+    Probe,
+}
+
+impl ObjectType for ProbeLatch {
+    type Op = LatchOp;
+    type Resp = bool;
+
+    fn invoke(&mut self, _caller: ProcessId, op: LatchOp) -> bool {
+        match op {
+            LatchOp::Probe => {
+                self.seen = true;
+                true
+            }
+        }
+    }
+
+    // WRONG: Probe writes `seen`; Read claims it writes nothing.
+    fn access(_op: &LatchOp) -> Access {
+        Access::Read
+    }
+}

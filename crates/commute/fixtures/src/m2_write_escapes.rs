@@ -1,0 +1,43 @@
+//! **M2**: `access()` claims `Access::Write(0)` for an op whose response
+//! depends on prior state.
+//!
+//! `Store` overwrites the cell but returns the value it finds *after* the
+//! write through a state read — so the pair (`Store(a)`, `Store(b)`)
+//! does not commute even though both "just write cell 0": the second
+//! store's return value differs between the two orders only through
+//! state, which a `Write`-claimed op promises cannot happen.
+
+use upsilon_sim::{Access, ObjectType, ProcessId};
+
+/// A single storage cell with a state-reading response.
+#[derive(Debug, Default)]
+pub struct EchoCell {
+    value: u64,
+}
+
+/// Operations on [`EchoCell`].
+#[derive(Clone, Debug)]
+pub enum EchoOp {
+    /// Overwrite the cell, echoing the stored state back.
+    Store(u64),
+}
+
+impl ObjectType for EchoCell {
+    type Op = EchoOp;
+    type Resp = u64;
+
+    fn invoke(&mut self, _caller: ProcessId, op: EchoOp) -> u64 {
+        match op {
+            EchoOp::Store(v) => {
+                self.value = v;
+                self.value
+            }
+        }
+    }
+
+    // WRONG: the response reads `value`, so the op is not a pure
+    // constant-cell write; it must be Access::Update.
+    fn access(_op: &EchoOp) -> Access {
+        Access::Write(0)
+    }
+}

@@ -1,0 +1,42 @@
+//! **M3**: the `invoke()` arm is unanalyzable, but `access()` claims
+//! something other than the always-sound `Access::Update`.
+//!
+//! `Append` mutates through `Vec::push` — a method call outside the
+//! analyzer's pure-method whitelist, so the arm's footprint is unknown.
+//! An unknown footprint may read and write anything; only `Update` (the
+//! lattice's conservative top) is a sound classification for it.
+
+use upsilon_sim::{Access, ObjectType, ProcessId};
+
+/// An append-only event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    entries: Vec<u64>,
+}
+
+/// Operations on [`EventLog`].
+#[derive(Clone, Debug)]
+pub enum LogOp {
+    /// Append an entry to the log.
+    Append(u64),
+}
+
+impl ObjectType for EventLog {
+    type Op = LogOp;
+    type Resp = usize;
+
+    fn invoke(&mut self, _caller: ProcessId, op: LogOp) -> usize {
+        match op {
+            LogOp::Append(v) => {
+                self.entries.push(v);
+                0
+            }
+        }
+    }
+
+    // WRONG: `push` makes the arm unanalyzable; the claim must be
+    // Access::Update, not a cell write.
+    fn access(_op: &LogOp) -> Access {
+        Access::Write(0)
+    }
+}

@@ -1,0 +1,51 @@
+//! **M4**: `access()` classifies a variant that `invoke()` handles only
+//! through a wildcard arm.
+//!
+//! `Vent` exists in the op enum and `access()` gives it its own (very
+//! permissive) classification — but `invoke()` matches it with `_`, so
+//! the analyzer never sees the arm body and cannot audit the claim. The
+//! classification floats free of any analyzed code.
+
+use upsilon_sim::{Access, ObjectType, ProcessId};
+
+/// A gate with an audited open operation and unaudited extras.
+#[derive(Debug, Default)]
+pub struct Gate {
+    open: bool,
+}
+
+/// Operations on [`Gate`].
+#[derive(Clone, Debug)]
+pub enum GateOp {
+    /// Open the gate.
+    Open,
+    /// Vent pressure (handled by invoke's wildcard arm).
+    Vent,
+    /// Seal the gate (handled by invoke's wildcard arm).
+    Seal,
+}
+
+impl ObjectType for Gate {
+    type Op = GateOp;
+    type Resp = bool;
+
+    fn invoke(&mut self, _caller: ProcessId, op: GateOp) -> bool {
+        match op {
+            GateOp::Open => {
+                self.open = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // WRONG: the `Vent` arm classifies an invoke() path the analyzer
+    // never saw; its claim cannot be audited against anything.
+    fn access(op: &GateOp) -> Access {
+        match op {
+            GateOp::Open => Access::Update,
+            GateOp::Vent => Access::Read,
+            _ => Access::Update,
+        }
+    }
+}

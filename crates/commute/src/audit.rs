@@ -1,0 +1,585 @@
+//! Verdict derivation and the DPOR-soundness audit of `access()`.
+//!
+//! # Derivation
+//!
+//! For an ordered pair of op variants `(a, b)` of one object type, the
+//! analyzer must prove *state-independent* commutation: both orders yield
+//! the same object state and the same two responses from **every** starting
+//! state. Only state-independent facts may feed a sleep-set explorer — a
+//! sleep set records "don't explore `b` before `a` here again" and carries
+//! that promise into descendant states the analyzer never saw.
+//!
+//! The derivable verdicts:
+//!
+//! * **Commute** — the footprints interfere on no field: neither writes a
+//!   field the other reads or writes (length-only reads tolerate element
+//!   writes, which preserve length).
+//! * **CommuteIf { equal_args }** — same variant, and the arm's sole state
+//!   effect is a whole-field overwrite whose value is a function of the
+//!   op's arguments with a state-independent response (equal arguments ⇒
+//!   both orders overwrite with the same value, responses constant), or a
+//!   first-write-wins `get_or_insert` whose response is the field's final
+//!   value (equal arguments ⇒ identical final slot and identical
+//!   responses either way).
+//! * **CommuteIf { distinct_cell, equal_args }** — same variant writing
+//!   one element selected by an op argument, length-preserving, constant
+//!   response: distinct cells ⇒ disjoint writes; equal arguments ⇒ the
+//!   same idempotent overwrite.
+//! * **Conflict** — everything else, including every pair touching an
+//!   `unknown` footprint.
+//!
+//! # Audit rules
+//!
+//! * **M1** — `access()` claims `Read` but the arm provably writes state.
+//! * **M2** — `access()` claims `Write(c)` the footprint does not justify
+//!   (state-dependent response, reads that a distinct-cell reorder could
+//!   observe differently, a cell expression unrelated to the write
+//!   target, ...).
+//! * **M3** — the arm is unanalyzable, but `access()` claims anything
+//!   other than the always-sound `Update`.
+//! * **M4** — an `access()` arm names a variant `invoke` does not have.
+
+use crate::effects::{Footprint, ReadKind, WriteTarget};
+use crate::model::{AccessArm, Claim, ObjectImpl, Variant};
+use crate::report::{Finding, RuleId};
+use std::collections::BTreeSet;
+
+/// A derived pair verdict, mirroring `upsilon_sim::commute::Verdict`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// No provable commutation.
+    Conflict,
+    /// Commutes unconditionally.
+    Commute,
+    /// Commutes under an argument condition.
+    CommuteIf {
+        /// Commutes when the cell-selecting arguments differ.
+        distinct_cell: bool,
+        /// Commutes when the rendered argument lists are equal.
+        equal_args: bool,
+    },
+}
+
+impl Verdict {
+    /// Source rendering for the emitter.
+    pub fn render(self) -> String {
+        match self {
+            Verdict::Conflict => "Verdict::Conflict".to_string(),
+            Verdict::Commute => "Verdict::Commute".to_string(),
+            Verdict::CommuteIf {
+                distinct_cell,
+                equal_args,
+            } => format!(
+                "Verdict::CommuteIf {{\n            distinct_cell: {distinct_cell},\n            equal_args: {equal_args},\n        }}"
+            ),
+        }
+    }
+}
+
+/// The fully derived matrix for one object type.
+#[derive(Clone, Debug)]
+pub struct DerivedImpl {
+    /// The analyzed impl.
+    pub object: ObjectImpl,
+    /// `(a, b) -> verdict` for every ordered variant pair, in
+    /// lexicographic variant order.
+    pub pairs: Vec<(String, String, Verdict)>,
+    /// `variant -> cell-selecting argument index`, where applicable.
+    pub cell_args: Vec<(String, usize)>,
+}
+
+/// Derives the pair matrix for one impl.
+pub fn derive(object: ObjectImpl) -> DerivedImpl {
+    let mut names: Vec<&Variant> = object.variants.iter().collect();
+    names.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut pairs = Vec::new();
+    let mut cell_args = Vec::new();
+    for a in &names {
+        for b in &names {
+            let v = pair_verdict(a, b);
+            if let Verdict::CommuteIf {
+                distinct_cell: true,
+                ..
+            } = v
+            {
+                if a.name == b.name {
+                    if let Some(idx) = elem_write_arg(a) {
+                        cell_args.push((a.name.clone(), idx));
+                    }
+                }
+            }
+            pairs.push((a.name.clone(), b.name.clone(), v));
+        }
+    }
+    cell_args.sort();
+    cell_args.dedup();
+    DerivedImpl {
+        object,
+        pairs,
+        cell_args,
+    }
+}
+
+/// The argument index selecting the written element, when the variant's
+/// sole write is `Elem(f, binder)` with `binder` among its own binders.
+fn elem_write_arg(v: &Variant) -> Option<usize> {
+    let mut elems = v.footprint.writes.iter().filter_map(|w| match w {
+        WriteTarget::Elem(_, b) => Some(b),
+        WriteTarget::Whole(_) => None,
+    });
+    let binder = elems.next()?;
+    if elems.next().is_some() {
+        return None;
+    }
+    v.binders.iter().position(|b| b == binder)
+}
+
+/// Whether footprint `x` interferes with footprint `y` on any field: a
+/// write (or first-write-wins) on one side meeting a read or write of the
+/// same field on the other. Length-only reads tolerate element writes.
+fn interferes(x: &Footprint, y: &Footprint) -> bool {
+    for f in x.written_fields() {
+        let whole_write = x
+            .writes
+            .iter()
+            .any(|w| matches!(w, WriteTarget::Whole(g) if g == f))
+            || x.fww.as_deref() == Some(f);
+        for (g, kind) in &y.reads {
+            if g != f {
+                continue;
+            }
+            match kind {
+                ReadKind::Whole => return true,
+                ReadKind::Len if whole_write => return true,
+                ReadKind::Len => {}
+            }
+        }
+        if y.written_fields().contains(f) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Derives the verdict for one ordered variant pair.
+fn pair_verdict(a: &Variant, b: &Variant) -> Verdict {
+    let (fa, fb) = (&a.footprint, &b.footprint);
+    if fa.unknown || fb.unknown {
+        return Verdict::Conflict;
+    }
+    if !interferes(fa, fb) && !interferes(fb, fa) {
+        return Verdict::Commute;
+    }
+    // Conditional commutation is only derived for a variant against
+    // itself: the argument conditions compare like with like.
+    if a.name != b.name {
+        return Verdict::Conflict;
+    }
+    let fp = fa;
+    if fp.resp_reads_state && fp.fww.is_none() {
+        return Verdict::Conflict;
+    }
+    // Sole effect: one whole-field overwrite from arguments, constant
+    // response, and no reads of the written field in any shape.
+    if fp.fww.is_none() && fp.writes.len() == 1 {
+        match fp.writes.iter().next() {
+            Some(WriteTarget::Whole(f)) if !fp.resp_reads_state && !reads_field(fp, f) => {
+                return Verdict::CommuteIf {
+                    distinct_cell: false,
+                    equal_args: true,
+                };
+            }
+            Some(WriteTarget::Elem(f, _)) => {
+                let len_reads_only = fp
+                    .reads
+                    .iter()
+                    .all(|(g, kind)| g != f || *kind == ReadKind::Len);
+                if !fp.resp_reads_state && len_reads_only && elem_write_arg(a).is_some() {
+                    return Verdict::CommuteIf {
+                        distinct_cell: true,
+                        equal_args: true,
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    // Sole effect: first-write-wins with the final value as response.
+    if fp.writes.is_empty() && fp.fww.is_some() {
+        let f = fp.fww.as_deref().unwrap_or_default();
+        if !reads_field(fp, f) {
+            return Verdict::CommuteIf {
+                distinct_cell: false,
+                equal_args: true,
+            };
+        }
+    }
+    Verdict::Conflict
+}
+
+/// Whether the footprint records any read of `field`.
+fn reads_field(fp: &Footprint, field: &str) -> bool {
+    fp.reads.iter().any(|(g, _)| g == field)
+}
+
+/// Audits every `access()` classification of one impl against the derived
+/// footprints, appending findings.
+pub fn audit(object: &ObjectImpl, findings: &mut Vec<Finding>) {
+    let invoke_variants: BTreeSet<&str> = object.variants.iter().map(|v| v.name.as_str()).collect();
+    // M4: access arms naming variants invoke() does not analyze.
+    for arm in &object.access_arms {
+        if let Some(v) = &arm.variant {
+            if !invoke_variants.contains(v.as_str()) {
+                let message = if object.wildcard_invoke {
+                    format!(
+                        "access() classifies `{v}`, but invoke() handles it only through \
+                         a wildcard arm, so the classification cannot be audited"
+                    )
+                } else {
+                    format!("access() has an arm for `{v}`, but invoke() has no such variant")
+                };
+                findings.push(finding(
+                    object,
+                    RuleId::M4,
+                    arm.line,
+                    message,
+                    "make the access() match arms mirror the invoke() variants exactly".to_string(),
+                ));
+            }
+        }
+    }
+    // Variants hidden behind an invoke() wildcard are never analyzed, so a
+    // catch-all access claim covering them must be the always-sound Update.
+    if object.wildcard_invoke {
+        for arm in &object.access_arms {
+            if arm.variant.is_none() && arm.claim != Claim::Update {
+                findings.push(finding(
+                    object,
+                    RuleId::M3,
+                    arm.line,
+                    format!(
+                        "invoke() has a wildcard arm, but the catch-all access() claim \
+                         is {:?} instead of Access::Update",
+                        arm.claim
+                    ),
+                    "variants behind an invoke() wildcard are unanalyzable; classify \
+                     them as Access::Update or list them explicitly"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    // Per-variant claim checks.
+    for v in &object.variants {
+        let Some(arm) = object.claim_for(&v.name) else {
+            findings.push(finding(
+                object,
+                RuleId::M4,
+                v.line,
+                format!(
+                    "invoke() variant `{}` has no access() classification",
+                    v.name
+                ),
+                "add an access() arm (or a direct expression) covering the variant".to_string(),
+            ));
+            continue;
+        };
+        audit_claim(object, v, arm, findings);
+    }
+    // Unanalyzable regions surfaced during extraction.
+    for (line, msg) in &object.problems {
+        findings.push(finding(
+            object,
+            RuleId::Parse,
+            *line,
+            msg.clone(),
+            "restructure the impl into the analyzable shapes (a match over the op, \
+             or a destructured op parameter) so it can be certified"
+                .to_string(),
+        ));
+    }
+}
+
+fn audit_claim(object: &ObjectImpl, v: &Variant, arm: &AccessArm, findings: &mut Vec<Finding>) {
+    let fp = &v.footprint;
+    let mut fail = |rule: RuleId, message: String, suggestion: &str| {
+        findings.push(finding(
+            object,
+            rule,
+            v.line,
+            message,
+            suggestion.to_string(),
+        ));
+    };
+    // Unanalyzable arms must claim Update (M3) — checked before M1/M2 so a
+    // poisoned footprint is not double-reported.
+    if fp.unknown {
+        if arm.claim != Claim::Update {
+            fail(
+                RuleId::M3,
+                format!(
+                    "invoke() arm for `{}` uses constructs the analyzer cannot model, \
+                     but access() claims {:?} instead of Access::Update",
+                    v.name, arm.claim
+                ),
+                "classify unanalyzable operations as Access::Update (the lattice's \
+                 conservative top), or rewrite the arm into analyzable form",
+            );
+        }
+        return;
+    }
+    match &arm.claim {
+        Claim::Update => {} // always sound: Update conflicts with everything
+        Claim::Read => {
+            if !fp.is_read_only() {
+                fail(
+                    RuleId::M1,
+                    format!(
+                        "access() claims Access::Read for `{}`, but invoke() writes state \
+                         (writes: {:?}, first-write-wins: {:?})",
+                        v.name, fp.writes, fp.fww
+                    ),
+                    "a Read claim lets the explorer reorder this op past other reads; \
+                     classify it as Write or Update",
+                );
+            }
+        }
+        Claim::WriteLit => audit_write_lit(object, v, findings),
+        Claim::WriteBinder(b) => audit_write_binder(object, v, arm, b, findings),
+        Claim::WriteOther => fail(
+            RuleId::M2,
+            format!(
+                "access() claims Access::Write with a cell expression for `{}` the \
+                 analyzer cannot relate to the op's arguments",
+                v.name
+            ),
+            "use a literal cell or `<binder> as u32`, or fall back to Access::Update",
+        ),
+        Claim::Unrecognized => fail(
+            RuleId::M3,
+            format!(
+                "access() arm for `{}` is not a recognizable Access::... expression",
+                v.name
+            ),
+            "return a literal Access variant so the classification can be audited",
+        ),
+    }
+}
+
+/// `Access::Write(<literal>)`: a constant-cell write claim. Sound when the
+/// arm's sole effect is one whole-field overwrite with a constant response,
+/// its value does not read state, no other variant writes the same field
+/// whole (two constant cells cannot be compared textually), and its reads
+/// touch only fields no variant writes.
+fn audit_write_lit(object: &ObjectImpl, v: &Variant, findings: &mut Vec<Finding>) {
+    let fp = &v.footprint;
+    let reason = write_lit_violation(object, v);
+    if let Some(reason) = reason {
+        findings.push(finding(
+            object,
+            RuleId::M2,
+            v.line,
+            format!(
+                "access() claims a constant-cell Access::Write for `{}`, but {reason} \
+                 (footprint: reads {:?}, writes {:?})",
+                v.name, fp.reads, fp.writes
+            ),
+            "a Write(c) claim tells the explorer this op commutes with any \
+             Write(c') of a different cell and has a state-independent response; \
+             use Access::Update when that is not provable"
+                .to_string(),
+        ));
+    }
+}
+
+fn write_lit_violation(object: &ObjectImpl, v: &Variant) -> Option<String> {
+    let fp = &v.footprint;
+    if fp.fww.is_some() {
+        return Some("the arm is first-write-wins, so its effect depends on prior state".into());
+    }
+    if fp.resp_reads_state {
+        return Some("the response depends on prior state".into());
+    }
+    let mut whole = fp.writes.iter().filter_map(|w| match w {
+        WriteTarget::Whole(f) => Some(f.as_str()),
+        WriteTarget::Elem(..) => None,
+    });
+    let (field, extra) = (whole.next(), whole.next());
+    let Some(field) = field else {
+        return Some("the arm performs no recognizable whole-field write".into());
+    };
+    if extra.is_some() || fp.writes.len() != 1 {
+        return Some("the arm writes more than one target".into());
+    }
+    for other in &object.variants {
+        if other.name != v.name && other.footprint.written_fields().contains(field) {
+            return Some(format!(
+                "variant `{}` also writes field `{field}`, and two constant cells \
+                 cannot be proven distinct",
+                other.name
+            ));
+        }
+    }
+    if let Some(bad) = read_of_written_field(object, v) {
+        return Some(bad);
+    }
+    None
+}
+
+/// `Access::Write(<binder> as u32)`: a per-argument cell claim. Sound when
+/// the arm's sole effect is one element write indexed by that same binder
+/// position, the response is constant, reads of the written field are
+/// length-only, and every element write to the field (by any variant)
+/// keeps the length intact — i.e. no variant overwrites the field whole.
+fn audit_write_binder(
+    object: &ObjectImpl,
+    v: &Variant,
+    arm: &AccessArm,
+    cell_binder: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let fp = &v.footprint;
+    if let Some(reason) = write_binder_violation(object, v, arm, cell_binder) {
+        findings.push(finding(
+            object,
+            RuleId::M2,
+            v.line,
+            format!(
+                "access() claims Access::Write(<arg> as u32) for `{}`, but {reason} \
+                 (footprint: reads {:?}, writes {:?})",
+                v.name, fp.reads, fp.writes
+            ),
+            "the claimed cell must be exactly the written element's index \
+             argument; use Access::Update when that is not provable"
+                .to_string(),
+        ));
+    }
+}
+
+fn write_binder_violation(
+    object: &ObjectImpl,
+    v: &Variant,
+    arm: &AccessArm,
+    cell_binder: &str,
+) -> Option<String> {
+    let fp = &v.footprint;
+    if fp.fww.is_some() {
+        return Some("the arm is first-write-wins, so its effect depends on prior state".into());
+    }
+    if fp.resp_reads_state {
+        return Some("the response depends on prior state".into());
+    }
+    let mut elems = fp.writes.iter().filter_map(|w| match w {
+        WriteTarget::Elem(f, b) => Some((f.as_str(), b.as_str())),
+        WriteTarget::Whole(_) => None,
+    });
+    let (first, extra) = (elems.next(), elems.next());
+    let Some((field, write_binder)) = first else {
+        return Some("the arm performs no recognizable element write".into());
+    };
+    if extra.is_some() || fp.writes.len() != 1 {
+        return Some("the arm writes more than one target".into());
+    }
+    // The claimed cell binder (in the access pattern) must sit at the same
+    // argument position as the write's index binder (in the invoke
+    // pattern).
+    let claim_pos = arm.binders.iter().position(|b| b == cell_binder);
+    let write_pos = v.binders.iter().position(|b| b == write_binder);
+    match (claim_pos, write_pos) {
+        (Some(c), Some(w)) if c == w => {}
+        _ => {
+            return Some(format!(
+                "the claimed cell binder `{cell_binder}` is not the written element's \
+                 index argument `{write_binder}`"
+            ))
+        }
+    }
+    let len_reads_only = fp
+        .reads
+        .iter()
+        .all(|(g, kind)| g != field || *kind == ReadKind::Len);
+    if !len_reads_only {
+        return Some(format!(
+            "the arm reads field `{field}` beyond its length, so element writes to \
+             other cells are observable"
+        ));
+    }
+    for other in &object.variants {
+        let whole = other
+            .footprint
+            .writes
+            .iter()
+            .any(|w| matches!(w, WriteTarget::Whole(f) if f == field))
+            || other.footprint.fww.as_deref() == Some(field);
+        if whole {
+            return Some(format!(
+                "variant `{}` overwrites field `{field}` whole, so the element-cell \
+                 claim is not length-stable",
+                other.name
+            ));
+        }
+    }
+    if let Some(bad) = read_of_written_field_excluding_len(object, v) {
+        return Some(bad);
+    }
+    None
+}
+
+/// A whole-shape read of a field some variant writes: such a read makes the
+/// response/behavior depend on state other Write-claimed ops modify.
+fn read_of_written_field(object: &ObjectImpl, v: &Variant) -> Option<String> {
+    let written_by_this = v.footprint.written_fields();
+    for (g, _) in &v.footprint.reads {
+        if written_by_this.contains(g.as_str()) {
+            return Some(format!("the arm reads field `{g}` which it also writes"));
+        }
+        for other in &object.variants {
+            if other.footprint.written_fields().contains(g.as_str()) {
+                return Some(format!(
+                    "the arm reads field `{g}`, which variant `{}` writes",
+                    other.name
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Like [`read_of_written_field`], but length-only reads of the written
+/// field itself are tolerated (already validated length-stable).
+fn read_of_written_field_excluding_len(object: &ObjectImpl, v: &Variant) -> Option<String> {
+    let own_field = v.footprint.writes.iter().next().map(WriteTarget::field);
+    for (g, kind) in &v.footprint.reads {
+        if Some(g.as_str()) == own_field && *kind == ReadKind::Len {
+            continue;
+        }
+        for other in &object.variants {
+            if other.footprint.written_fields().contains(g.as_str()) {
+                return Some(format!(
+                    "the arm reads field `{g}`, which variant `{}` writes",
+                    other.name
+                ));
+            }
+        }
+        if v.footprint.written_fields().contains(g.as_str()) {
+            return Some(format!("the arm reads field `{g}` which it also writes"));
+        }
+    }
+    None
+}
+
+fn finding(
+    object: &ObjectImpl,
+    rule: RuleId,
+    line: u32,
+    message: String,
+    suggestion: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: object.file.clone(),
+        line,
+        message: format!("{}: {message}", object.type_name),
+        suggestion,
+    }
+}

@@ -1,0 +1,437 @@
+//! Per-arm state footprints: which `self` fields an op variant's `invoke`
+//! arm reads and writes, and in what shape.
+//!
+//! The analysis is deliberately conservative. It recognizes a small set of
+//! statement and expression forms — whole-field assignment, element
+//! assignment through a binder index, `assert!`-family reads, a whitelist
+//! of pure accessor methods, and the `*self.f.get_or_insert(x)`
+//! first-write-wins idiom — and marks *everything else that touches
+//! `self`* as unknown. Unknown footprints derive no commutation and force
+//! an `Access::Update` classification, so an unrecognized construct can
+//! weaken the matrix but never unsoundly strengthen it.
+
+use std::collections::BTreeSet;
+use upsilon_conform::tree::{Delim, Spanned, Tok};
+
+/// How a read observes a field.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum ReadKind {
+    /// The field's value (or any part of it).
+    Whole,
+    /// Only the field's length (`.len()` / `.is_empty()`); element writes
+    /// preserve it.
+    Len,
+}
+
+/// A write target.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum WriteTarget {
+    /// `self.f = <expr>` — full overwrite of the field.
+    Whole(String),
+    /// `self.f[b] = <expr>` — overwrite of the element selected by binder
+    /// `b`.
+    Elem(String, String),
+}
+
+impl WriteTarget {
+    /// The written field's name.
+    pub fn field(&self) -> &str {
+        match self {
+            WriteTarget::Whole(f) | WriteTarget::Elem(f, _) => f,
+        }
+    }
+}
+
+/// The derived state footprint of one op variant's arm body.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Footprint {
+    /// Fields read, with the shape of each read.
+    pub reads: BTreeSet<(String, ReadKind)>,
+    /// Fields (or elements) written by recognized assignments. The written
+    /// values are functions of the op's arguments alone whenever `unknown`
+    /// is false: an assignment whose right-hand side reads `self` records
+    /// that read here, and the derivation layer treats it as interference.
+    pub writes: BTreeSet<WriteTarget>,
+    /// A `*self.f.get_or_insert(x)` first-write-wins field; the response is
+    /// the field's final value.
+    pub fww: Option<String>,
+    /// Whether the response expression observes `self` (beyond `fww`,
+    /// which implies it).
+    pub resp_reads_state: bool,
+    /// Whether the arm contains any construct the analyzer does not model.
+    pub unknown: bool,
+}
+
+impl Footprint {
+    /// Every field this footprint can modify.
+    pub fn written_fields(&self) -> BTreeSet<&str> {
+        let mut out: BTreeSet<&str> = self.writes.iter().map(WriteTarget::field).collect();
+        if let Some(f) = &self.fww {
+            out.insert(f);
+        }
+        out
+    }
+
+    /// Whether the footprint modifies no state at all.
+    pub fn is_read_only(&self) -> bool {
+        !self.unknown && self.writes.is_empty() && self.fww.is_none()
+    }
+}
+
+/// Methods on fields treated as pure reads of the receiver.
+const PURE_METHODS: &[&str] = &["clone", "len", "is_empty", "contains", "get"];
+/// Methods treated as reads of only the receiver's length.
+const LEN_METHODS: &[&str] = &["len", "is_empty"];
+
+/// Analyzes one arm body. `is_fn_body` marks a match-free `invoke` body
+/// (destructured op parameter), which is a brace-level statement list like
+/// a block arm.
+pub fn analyze_arm(body: &[Spanned], is_fn_body: bool) -> Footprint {
+    let _ = is_fn_body; // both shapes are statement lists; kept for clarity
+    let mut fp = Footprint::default();
+    let stmts = split_statements(body);
+    let n = stmts.len();
+    for (idx, stmt) in stmts.iter().enumerate() {
+        let is_resp = idx + 1 == n && !stmt.trailing_semi;
+        analyze_statement(stmt.toks, is_resp, &mut fp);
+    }
+    fp
+}
+
+/// One top-level statement of an arm body.
+struct Stmt<'a> {
+    toks: &'a [Spanned],
+    trailing_semi: bool,
+}
+
+/// Splits a token list at top-level semicolons.
+fn split_statements(body: &[Spanned]) -> Vec<Stmt<'_>> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (idx, t) in body.iter().enumerate() {
+        if t.is_punct(';') {
+            if idx > start {
+                out.push(Stmt {
+                    toks: &body[start..idx],
+                    trailing_semi: true,
+                });
+            }
+            start = idx + 1;
+        }
+    }
+    if start < body.len() {
+        out.push(Stmt {
+            toks: &body[start..],
+            trailing_semi: false,
+        });
+    }
+    out
+}
+
+fn analyze_statement(toks: &[Spanned], is_resp: bool, fp: &mut Footprint) {
+    if toks.is_empty() {
+        return;
+    }
+    // `assert!(...)` / `assert_eq!(...)` / `assert_ne!(...)`: reads only.
+    if let (Some(head), true) = (
+        toks.first().and_then(|t| t.ident()),
+        toks.get(1).is_some_and(|t| t.is_punct('!')),
+    ) {
+        if matches!(head, "assert" | "assert_eq" | "assert_ne" | "debug_assert") {
+            if let Some(Spanned {
+                tok: Tok::Group(Delim::Paren, args, _),
+                ..
+            }) = toks.get(2)
+            {
+                scan_reads(args, fp, false);
+                return;
+            }
+        }
+    }
+    // First-write-wins response: `*self.f.get_or_insert(x)`.
+    if is_resp {
+        if let Some(field) = match_fww(toks) {
+            fp.fww = Some(field);
+            fp.resp_reads_state = true;
+            return;
+        }
+    }
+    // Assignment: `self.f = expr` or `self.f[b] = expr`.
+    if let Some(eq) = find_top_level_assign(toks) {
+        match parse_lvalue(&toks[..eq]) {
+            Some(target) => {
+                fp.writes.insert(target);
+                scan_reads(&toks[eq + 1..], fp, false);
+            }
+            None => fp.unknown = true,
+        }
+        return;
+    }
+    // Response (or dropped) expression: reads only; anything touching
+    // `self` in an unmodeled way flips `unknown` inside `scan_reads`.
+    scan_reads(toks, fp, false);
+    if is_resp && contains_self(toks) {
+        fp.resp_reads_state = true;
+    }
+}
+
+/// Matches exactly `* self . f . get_or_insert ( args )` where `args`
+/// does not mention `self`.
+fn match_fww(toks: &[Spanned]) -> Option<String> {
+    if toks.len() != 7
+        || !toks[0].is_punct('*')
+        || toks[1].ident() != Some("self")
+        || !toks[2].is_punct('.')
+        || !toks[4].is_punct('.')
+        || toks[5].ident() != Some("get_or_insert")
+    {
+        return None;
+    }
+    let field = toks[3].ident()?;
+    match &toks[6].tok {
+        Tok::Group(Delim::Paren, args, _) if !contains_self(args) => (),
+        _ => return None,
+    }
+    Some(field.to_string())
+}
+
+/// Finds a top-level `=` that is an assignment (not `==`, `=>`, `<=`,
+/// `>=`, `!=`, or a compound assignment's second char).
+fn find_top_level_assign(toks: &[Spanned]) -> Option<usize> {
+    for (idx, t) in toks.iter().enumerate() {
+        if !t.is_punct('=') {
+            continue;
+        }
+        let next_is = |c| toks.get(idx + 1).is_some_and(|t: &Spanned| t.is_punct(c));
+        let prev_is = |c| idx > 0 && toks[idx - 1].is_punct(c);
+        if next_is('=') || next_is('>') {
+            continue;
+        }
+        if prev_is('=') || prev_is('!') || prev_is('<') || prev_is('>') {
+            continue;
+        }
+        // Compound assignments (`+=`, `-=`, ...) mutate-and-read; the
+        // lvalue parser sees the operator and rejects, flagging unknown —
+        // but `self.f += e` should at least record the write intent, so
+        // treat the preceding arithmetic punct as unknown directly.
+        if prev_is('+')
+            || prev_is('-')
+            || prev_is('*')
+            || prev_is('/')
+            || prev_is('%')
+            || prev_is('&')
+            || prev_is('|')
+            || prev_is('^')
+        {
+            return Some(idx);
+        }
+        return Some(idx);
+    }
+    None
+}
+
+/// Parses a recognized assignment target.
+fn parse_lvalue(toks: &[Spanned]) -> Option<WriteTarget> {
+    if toks.len() < 3 || toks[0].ident() != Some("self") || !toks[1].is_punct('.') {
+        return None;
+    }
+    let field = toks[2].ident()?;
+    match toks.get(3) {
+        None => Some(WriteTarget::Whole(field.to_string())),
+        Some(Spanned {
+            tok: Tok::Group(Delim::Bracket, index, _),
+            ..
+        }) if toks.len() == 4 => {
+            // Element write: the index must be a single binder identifier.
+            if index.len() == 1 {
+                if let Some(b) = index[0].ident() {
+                    return Some(WriteTarget::Elem(field.to_string(), b.to_string()));
+                }
+            }
+            None
+        }
+        // Compound assignment's operator char, nested fields, casts:
+        // unrecognized.
+        Some(_) => None,
+    }
+}
+
+/// Whether `self` appears anywhere (recursively).
+fn contains_self(toks: &[Spanned]) -> bool {
+    toks.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => s == "self",
+        Tok::Group(_, children, _) => contains_self(children),
+        _ => false,
+    })
+}
+
+/// Scans an expression for `self` field reads, recording them in `fp`.
+/// Unmodeled uses of `self` set `fp.unknown`.
+fn scan_reads(toks: &[Spanned], fp: &mut Footprint, _in_args: bool) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(s) if s == "self" => {
+                i += scan_self_use(&toks[i..], fp);
+            }
+            Tok::Group(_, children, _) => {
+                scan_reads(children, fp, true);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Consumes one `self`-rooted postfix chain starting at `toks[0] == self`;
+/// returns how many tokens were consumed.
+fn scan_self_use(toks: &[Spanned], fp: &mut Footprint) -> usize {
+    // `self` not followed by `.field`: the receiver escapes (method call
+    // on self, self passed by value, ...) — unknown.
+    let Some(field) = (if toks.get(1).is_some_and(|t| t.is_punct('.')) {
+        toks.get(2).and_then(|t| t.ident())
+    } else {
+        None
+    }) else {
+        fp.unknown = true;
+        return 1;
+    };
+    // `self.field` followed by:
+    match (toks.get(3), toks.get(4), toks.get(5)) {
+        // `.method(args)` — whitelist decides read shape; args scanned.
+        (Some(dot), Some(m), Some(args)) if dot.is_punct('.') => {
+            if let (Some(method), Tok::Group(Delim::Paren, arg_toks, _)) = (m.ident(), &args.tok) {
+                if PURE_METHODS.contains(&method) {
+                    let kind = if LEN_METHODS.contains(&method) {
+                        ReadKind::Len
+                    } else {
+                        ReadKind::Whole
+                    };
+                    fp.reads.insert((field.to_string(), kind));
+                    scan_reads(arg_toks, fp, true);
+                    return 6;
+                }
+                // Unknown method: could mutate through `&mut self`.
+                fp.unknown = true;
+                scan_reads(arg_toks, fp, true);
+                return 6;
+            }
+            // `.subfield` chain or `.method` without args in view:
+            // conservative whole read, keep scanning after the chain.
+            fp.reads.insert((field.to_string(), ReadKind::Whole));
+            3
+        }
+        // `self.method(args)` — a method call straight on `self`: it can
+        // mutate anything. Unknown.
+        (
+            Some(Spanned {
+                tok: Tok::Group(Delim::Paren, arg_toks, _),
+                ..
+            }),
+            _,
+            _,
+        ) => {
+            fp.unknown = true;
+            scan_reads(arg_toks, fp, true);
+            4
+        }
+        // `self.field[index]` — element read; unknown index widens to a
+        // whole read (still just a read).
+        (
+            Some(Spanned {
+                tok: Tok::Group(Delim::Bracket, index, _),
+                ..
+            }),
+            _,
+            _,
+        ) => {
+            fp.reads.insert((field.to_string(), ReadKind::Whole));
+            scan_reads(index, fp, true);
+            4
+        }
+        // Bare `self.field`.
+        _ => {
+            fp.reads.insert((field.to_string(), ReadKind::Whole));
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upsilon_conform::{lexer, tree};
+
+    fn fp(src: &str) -> Footprint {
+        let toks = tree::parse(lexer::lex(src)).expect("balanced");
+        analyze_arm(&toks, false)
+    }
+
+    #[test]
+    fn whole_write_with_pure_rhs() {
+        let f = fp("self.value = v; RegResp::Ack");
+        assert_eq!(
+            f.writes.iter().collect::<Vec<_>>(),
+            vec![&WriteTarget::Whole("value".into())]
+        );
+        assert!(f.reads.is_empty() && !f.unknown && !f.resp_reads_state);
+    }
+
+    #[test]
+    fn element_write_with_len_assert() {
+        let f =
+            fp("assert!(i < self.cells.len(), \"oob\");\nself.cells[i] = Some(v);\nSnapResp::Ack");
+        assert_eq!(
+            f.writes.iter().collect::<Vec<_>>(),
+            vec![&WriteTarget::Elem("cells".into(), "i".into())]
+        );
+        assert_eq!(
+            f.reads.iter().collect::<Vec<_>>(),
+            vec![&("cells".into(), ReadKind::Len)]
+        );
+        assert!(!f.unknown && !f.resp_reads_state);
+    }
+
+    #[test]
+    fn clone_response_reads_state() {
+        let f = fp("RegResp::Value(self.value.clone())");
+        assert!(f.is_read_only());
+        assert!(f.resp_reads_state);
+        assert_eq!(
+            f.reads.iter().collect::<Vec<_>>(),
+            vec![&("value".into(), ReadKind::Whole)]
+        );
+    }
+
+    #[test]
+    fn get_or_insert_is_first_write_wins() {
+        let f = fp("assert!(self.allowed.contains(caller), \"bad\", self.allowed);\n*self.decided.get_or_insert(v)");
+        assert_eq!(f.fww.as_deref(), Some("decided"));
+        assert!(f.resp_reads_state && !f.unknown);
+        assert!(f.reads.contains(&("allowed".into(), ReadKind::Whole)));
+    }
+
+    #[test]
+    fn rhs_self_read_is_recorded() {
+        let f = fp("self.hits = self.hits + 1; R::Ack");
+        assert!(f.writes.contains(&WriteTarget::Whole("hits".into())));
+        assert!(f.reads.contains(&("hits".into(), ReadKind::Whole)));
+    }
+
+    #[test]
+    fn unknown_method_poisons() {
+        let f = fp("self.log.push(v); R::Ack");
+        assert!(f.unknown);
+    }
+
+    #[test]
+    fn escaping_self_poisons() {
+        assert!(fp("helper(self); R::Ack").unknown);
+        assert!(fp("self.tick(); R::Ack").unknown);
+    }
+
+    #[test]
+    fn compound_assign_is_unknown() {
+        assert!(fp("self.hits += 1; R::Ack").unknown);
+    }
+}

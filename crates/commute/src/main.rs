@@ -1,0 +1,108 @@
+//! CLI for the commutativity analyzer.
+//!
+//! ```text
+//! cargo run -p upsilon-commute                 # audit, human-readable
+//! cargo run -p upsilon-commute -- --json       # audit, machine-readable
+//! cargo run -p upsilon-commute -- --emit       # print the generated matrix module
+//! ```
+//!
+//! Exit status: 0 when the audit is clean (or `--emit` succeeds), 1 on
+//! findings, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: upsilon-commute [options]\n\
+         \x20 --root <dir>        workspace root (default .)\n\
+         \x20 --allowlist <file>  audited-exception file \n\
+         \x20                     (default crates/analysis/commute-allowlist.txt)\n\
+         \x20 --json              machine-readable report\n\
+         \x20 --emit              print the generated crates/sim/src/commute.rs"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
+    let mut emit = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--json" => json = true,
+            "--emit" => emit = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let allow_path =
+        allowlist.unwrap_or_else(|| root.join("crates/analysis/commute-allowlist.txt"));
+    let allow = if allow_path.exists() {
+        match upsilon_commute::load_allowlist(&allow_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "upsilon-commute: bad allowlist {}: {e}",
+                    allow_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        upsilon_commute::Allowlist::empty()
+    };
+
+    let report = match upsilon_commute::scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("upsilon-commute: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit {
+        // The generated module must only ever be produced from a clean
+        // audit: an unjustified classification would be baked into the
+        // explorer's conflict relation.
+        if !report.is_clean() {
+            for f in &report.findings {
+                eprintln!("{f}");
+            }
+            eprintln!("upsilon-commute: refusing to emit from a failing audit");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", upsilon_commute::emit::render(&report.impls));
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "commute: {} files scanned, {} impls analyzed, {} findings, {} allowlisted",
+            report.files.len(),
+            report.impls.len(),
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

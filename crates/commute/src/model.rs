@@ -1,0 +1,560 @@
+//! Extraction of [`ObjectType`] implementations from source trees.
+//!
+//! The walker reuses the `upsilon-conform` front end (lexer + bracket
+//! tree) and recognizes exactly the shapes the repository's object
+//! implementations use:
+//!
+//! * `impl<...> ObjectType for TypeName<...> { ... }`
+//! * an `invoke` method whose body is either a `match` over the op binder
+//!   (one arm per variant) or — when the op parameter is destructured in
+//!   the signature, as in `Propose(v): Propose` — a single match-free body;
+//! * an `access` method whose body is either a `match` with one
+//!   `Pattern => Access::...` arm per variant or a single direct
+//!   `Access::...` expression applying to every variant.
+//!
+//! Anything outside these shapes is reported as unanalyzable rather than
+//! guessed at: the findings layer turns unanalyzable constructs into
+//! conservative (`Conflict`/`Update`) requirements, never silent claims.
+//!
+//! [`ObjectType`]: ../../upsilon_sim/trait.ObjectType.html
+
+use crate::effects::{self, Footprint};
+use upsilon_conform::lexer;
+use upsilon_conform::tree::{self, Delim, Spanned, Tok};
+
+/// One op variant of an object implementation, as seen by `invoke`.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Variant name (`Read`, `Write`, `Update`, ...).
+    pub name: String,
+    /// 1-based line of the arm (or of `invoke` for destructured params).
+    pub line: u32,
+    /// Binder names in declaration order (`_` kept verbatim).
+    pub binders: Vec<String>,
+    /// The derived state footprint of the arm body.
+    pub footprint: Footprint,
+}
+
+/// The claimed [`Access`] classification of one `access()` arm.
+///
+/// [`Access`]: ../../upsilon_sim/enum.Access.html
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Claim {
+    /// `Access::Read`.
+    Read,
+    /// `Access::Write(<literal>)` — a constant cell.
+    WriteLit,
+    /// `Access::Write(*b as u32)` / `Access::Write(b as u32)` — the cell is
+    /// the named pattern binder.
+    WriteBinder(String),
+    /// `Access::Write(<anything else>)` — a cell expression the analyzer
+    /// cannot relate to the op's arguments.
+    WriteOther,
+    /// `Access::Update`.
+    Update,
+    /// The arm body is not a recognizable `Access::...` expression.
+    Unrecognized,
+}
+
+/// One arm of the `access()` method.
+#[derive(Clone, Debug)]
+pub struct AccessArm {
+    /// Variant the pattern names, or `None` for a `_` wildcard / a direct
+    /// (match-free) expression body that applies to every variant.
+    pub variant: Option<String>,
+    /// Binder names of the pattern, in order (`_` kept verbatim).
+    pub binders: Vec<String>,
+    /// The claimed classification.
+    pub claim: Claim,
+    /// 1-based line of the arm.
+    pub line: u32,
+}
+
+/// One extracted `impl ObjectType for T`.
+#[derive(Clone, Debug)]
+pub struct ObjectImpl {
+    /// Repository-relative file path.
+    pub file: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// The implementing type's base name (no generics, no path).
+    pub type_name: String,
+    /// Variants discovered from `invoke`.
+    pub variants: Vec<Variant>,
+    /// Whether `invoke`'s match has a `_` arm: the variants it covers are
+    /// invisible to the analysis, so they derive nothing and their
+    /// classifications cannot be audited.
+    pub wildcard_invoke: bool,
+    /// Arms discovered from `access`.
+    pub access_arms: Vec<AccessArm>,
+    /// Problems that prevented full extraction: `(line, message)`.
+    pub problems: Vec<(u32, String)>,
+}
+
+impl ObjectImpl {
+    /// The access claim applying to `variant`, resolving wildcard and
+    /// direct-expression arms, with the arm's own pattern binders.
+    pub fn claim_for(&self, variant: &str) -> Option<&AccessArm> {
+        self.access_arms
+            .iter()
+            .find(|a| a.variant.as_deref() == Some(variant))
+            .or_else(|| self.access_arms.iter().find(|a| a.variant.is_none()))
+    }
+}
+
+/// Everything extracted from one file.
+#[derive(Clone, Default, Debug)]
+pub struct FileImpls {
+    /// The object implementations found outside test regions.
+    pub impls: Vec<ObjectImpl>,
+    /// File-level parse errors: `(line, message)`.
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Lexes, tree-parses and walks one file for `ObjectType` impls.
+pub fn model_file(rel_file: &str, source: &str) -> FileImpls {
+    let mut out = FileImpls::default();
+    let raw = lexer::lex(source);
+    let toks = match tree::parse(raw) {
+        Ok(t) => t,
+        Err((line, msg)) => {
+            out.errors.push((line, msg));
+            return out;
+        }
+    };
+    walk(&toks, rel_file, &mut out);
+    out
+}
+
+/// Whether a bracket attribute group contains `cfg` and `test`.
+fn is_cfg_test(children: &[Spanned]) -> bool {
+    fn scan(children: &[Spanned], cfg: &mut bool, test: &mut bool) {
+        for c in children {
+            match &c.tok {
+                Tok::Ident(s) if s == "cfg" => *cfg = true,
+                Tok::Ident(s) if s == "test" => *test = true,
+                Tok::Group(_, inner, _) => scan(inner, cfg, test),
+                _ => {}
+            }
+        }
+    }
+    let (mut cfg, mut test) = (false, false);
+    scan(children, &mut cfg, &mut test);
+    cfg && test
+}
+
+fn walk(toks: &[Spanned], file: &str, out: &mut FileImpls) {
+    let mut pending_cfg_test = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if let Some(Spanned {
+                    tok: Tok::Group(Delim::Bracket, children, _),
+                    ..
+                }) = toks.get(j)
+                {
+                    if is_cfg_test(children) {
+                        pending_cfg_test = true;
+                    }
+                    i = j + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "mod" && pending_cfg_test => {
+                // Skip the whole `#[cfg(test)] mod name { ... }` subtree.
+                let mut j = i + 1;
+                while j < toks.len()
+                    && !matches!(&toks[j].tok, Tok::Group(Delim::Brace, ..))
+                    && !toks[j].is_punct(';')
+                {
+                    j += 1;
+                }
+                pending_cfg_test = false;
+                i = j + 1;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                i = scan_impl(toks, i, file, out);
+                pending_cfg_test = false;
+            }
+            Tok::Group(_, children, _) => {
+                pending_cfg_test = false;
+                walk(children, file, out);
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                pending_cfg_test = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses an `impl` item starting at the `impl` keyword; returns the index
+/// to resume at. Non-`ObjectType` impls are skipped (but their bodies are
+/// still walked for nested impls).
+fn scan_impl(toks: &[Spanned], impl_idx: usize, file: &str, out: &mut FileImpls) -> usize {
+    let line = toks[impl_idx].line;
+    // Collect the header (everything up to the body brace group).
+    let mut j = impl_idx + 1;
+    let mut header: Vec<&Spanned> = Vec::new();
+    let body = loop {
+        match toks.get(j) {
+            Some(Spanned {
+                tok: Tok::Group(Delim::Brace, children, _),
+                ..
+            }) => break children,
+            Some(t) if t.is_punct(';') => return j + 1,
+            Some(t) => {
+                header.push(t);
+                j += 1;
+            }
+            None => return toks.len(),
+        }
+    };
+    let is_object_type = header.iter().any(|t| t.ident() == Some("ObjectType"));
+    let for_pos = header.iter().position(|t| t.ident() == Some("for"));
+    if !is_object_type || for_pos.is_none() {
+        walk(body, file, out);
+        return j + 1;
+    }
+    let type_name = for_pos
+        .and_then(|p| header[p + 1..].iter().find_map(|t| t.ident()))
+        .map(str::to_string);
+    let Some(type_name) = type_name else {
+        out.errors.push((
+            line,
+            "impl ObjectType without a recognizable target type".into(),
+        ));
+        return j + 1;
+    };
+
+    let mut obj = ObjectImpl {
+        file: file.to_string(),
+        line,
+        type_name,
+        variants: Vec::new(),
+        wildcard_invoke: false,
+        access_arms: Vec::new(),
+        problems: Vec::new(),
+    };
+    scan_methods(body, &mut obj);
+    out.impls.push(obj);
+    j + 1
+}
+
+/// Finds `fn invoke` and `fn access` inside an impl body and extracts the
+/// variant set and access arms.
+fn scan_methods(body: &[Spanned], obj: &mut ObjectImpl) {
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].ident() == Some("fn") {
+            let name = body.get(i + 1).and_then(|t| t.ident()).unwrap_or("");
+            let (params, fn_body, next) = split_fn(body, i);
+            match name {
+                "invoke" => scan_invoke(params, fn_body, body[i].line, obj),
+                "access" => scan_access(params, fn_body, body[i].line, obj),
+                _ => {}
+            }
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Splits a `fn` item at index `fn_idx` into `(params, body, resume)`.
+fn split_fn(toks: &[Spanned], fn_idx: usize) -> (&[Spanned], &[Spanned], usize) {
+    static EMPTY: &[Spanned] = &[];
+    let mut j = fn_idx + 2;
+    let params = loop {
+        match toks.get(j) {
+            Some(Spanned {
+                tok: Tok::Group(Delim::Paren, children, _),
+                ..
+            }) => break children.as_slice(),
+            Some(t) if t.is_punct(';') => return (EMPTY, EMPTY, j + 1),
+            Some(_) => j += 1,
+            None => return (EMPTY, EMPTY, toks.len()),
+        }
+    };
+    let mut k = j + 1;
+    loop {
+        match toks.get(k) {
+            Some(Spanned {
+                tok: Tok::Group(Delim::Brace, children, _),
+                ..
+            }) => return (params, children.as_slice(), k + 1),
+            Some(t) if t.is_punct(';') => return (params, EMPTY, k + 1),
+            Some(_) => k += 1,
+            None => return (params, EMPTY, toks.len()),
+        }
+    }
+}
+
+/// Splits a parameter list at top-level commas.
+fn split_params(params: &[Spanned]) -> Vec<&[Spanned]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (idx, t) in params.iter().enumerate() {
+        if t.is_punct(',') {
+            out.push(&params[start..idx]);
+            start = idx + 1;
+        }
+    }
+    if start < params.len() {
+        out.push(&params[start..]);
+    }
+    out
+}
+
+/// Extracts the variant set from `fn invoke(&mut self, caller, op)`.
+fn scan_invoke(params: &[Spanned], body: &[Spanned], line: u32, obj: &mut ObjectImpl) {
+    let parts = split_params(params);
+    let Some(op_param) = parts.get(2) else {
+        obj.problems
+            .push((line, "invoke does not take an op parameter".into()));
+        return;
+    };
+    // Destructured op parameter: `Variant(binders): Type` — one variant,
+    // the whole body is its arm.
+    if let (
+        Some(Spanned {
+            tok: Tok::Ident(v), ..
+        }),
+        Some(Spanned {
+            tok: Tok::Group(Delim::Paren, binders, _),
+            ..
+        }),
+    ) = (op_param.first(), op_param.get(1))
+    {
+        obj.variants.push(Variant {
+            name: v.clone(),
+            line,
+            binders: binder_names(binders),
+            footprint: effects::analyze_arm(body, true),
+        });
+        return;
+    }
+    // Plain binder: `op: Type` — the body must be a match over it.
+    let Some(binder) = op_param.iter().find_map(|t| t.ident()) else {
+        obj.problems.push((
+            line,
+            "invoke op parameter has no recognizable binder".into(),
+        ));
+        return;
+    };
+    match find_match(body, binder) {
+        Some(arms) => {
+            scan_match_arms(
+                arms,
+                obj,
+                |pat, arm_body, arm_line, obj| match parse_variant_pattern(pat) {
+                    Some((name, binders)) => obj.variants.push(Variant {
+                        name,
+                        line: arm_line,
+                        binders,
+                        footprint: effects::analyze_arm(arm_body, false),
+                    }),
+                    None if is_wildcard(pat) => obj.wildcard_invoke = true,
+                    None => obj.problems.push((
+                        arm_line,
+                        "invoke match arm pattern is not a plain variant".into(),
+                    )),
+                },
+            )
+        }
+        None => obj.problems.push((
+            line,
+            format!("invoke body is not a `match {binder}` over the op"),
+        )),
+    }
+}
+
+/// Extracts access arms from `fn access(op: &Op)`.
+fn scan_access(params: &[Spanned], body: &[Spanned], line: u32, obj: &mut ObjectImpl) {
+    let parts = split_params(params);
+    let binder = parts
+        .first()
+        .and_then(|p| p.iter().find_map(|t| t.ident()))
+        .unwrap_or("op");
+    if let Some(arms) = find_match(body, binder) {
+        scan_match_arms(arms, obj, |pat, arm_body, arm_line, obj| {
+            let (variant, binders) = match parse_variant_pattern(pat) {
+                Some((name, binders)) => (Some(name), binders),
+                None if is_wildcard(pat) => (None, Vec::new()),
+                None => {
+                    obj.problems.push((
+                        arm_line,
+                        "access match arm pattern is not a plain variant".into(),
+                    ));
+                    return;
+                }
+            };
+            obj.access_arms.push(AccessArm {
+                variant,
+                binders,
+                claim: parse_claim(arm_body),
+                line: arm_line,
+            });
+        });
+        return;
+    }
+    // Direct expression body: one claim applying to every variant.
+    obj.access_arms.push(AccessArm {
+        variant: None,
+        binders: Vec::new(),
+        claim: parse_claim(body),
+        line,
+    });
+}
+
+/// Finds `match <binder> { arms }` at the top level of a body.
+fn find_match<'a>(body: &'a [Spanned], binder: &str) -> Option<&'a [Spanned]> {
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].ident() == Some("match")
+            && body.get(i + 1).and_then(|t| t.ident()) == Some(binder)
+        {
+            if let Some(Spanned {
+                tok: Tok::Group(Delim::Brace, arms, _),
+                ..
+            }) = body.get(i + 2)
+            {
+                return Some(arms);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks match arms (`pattern => body,`*), invoking `f` per arm.
+fn scan_match_arms(
+    arms: &[Spanned],
+    obj: &mut ObjectImpl,
+    mut f: impl FnMut(&[Spanned], &[Spanned], u32, &mut ObjectImpl),
+) {
+    let mut i = 0usize;
+    while i < arms.len() {
+        // Pattern: tokens until `=>`.
+        let pat_start = i;
+        while i < arms.len()
+            && !(arms[i].is_punct('=') && arms.get(i + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            i += 1;
+        }
+        if i >= arms.len() {
+            if pat_start < arms.len() {
+                obj.problems
+                    .push((arms[pat_start].line, "match arm without `=>`".into()));
+            }
+            return;
+        }
+        let pat = &arms[pat_start..i];
+        let arm_line = arms.get(pat_start).map_or(0, |t| t.line);
+        i += 2; // skip `=>`
+                // Body: a single brace group, or tokens until a top-level comma.
+        let body_start = i;
+        let body: &[Spanned] = if let Some(Spanned {
+            tok: Tok::Group(Delim::Brace, children, _),
+            ..
+        }) = arms.get(i)
+        {
+            i += 1;
+            children
+        } else {
+            while i < arms.len() && !arms[i].is_punct(',') {
+                i += 1;
+            }
+            &arms[body_start..i]
+        };
+        f(pat, body, arm_line, obj);
+        if arms.get(i).is_some_and(|t| t.is_punct(',')) {
+            i += 1;
+        }
+    }
+}
+
+/// Parses `Path::Variant` or `Path::Variant(binders)` patterns.
+fn parse_variant_pattern(pat: &[Spanned]) -> Option<(String, Vec<String>)> {
+    if pat.is_empty() || is_wildcard(pat) {
+        return None;
+    }
+    // The variant name is the last identifier; binders come from a trailing
+    // paren group, if any.
+    match pat.last() {
+        Some(Spanned {
+            tok: Tok::Group(Delim::Paren, binders, _),
+            ..
+        }) => {
+            let name = pat[..pat.len() - 1].iter().rev().find_map(|t| t.ident())?;
+            Some((name.to_string(), binder_names(binders)))
+        }
+        Some(t) => t.ident().map(|n| (n.to_string(), Vec::new())),
+        None => None,
+    }
+}
+
+/// Whether a pattern is the `_` wildcard.
+fn is_wildcard(pat: &[Spanned]) -> bool {
+    pat.len() == 1 && pat[0].ident() == Some("_")
+}
+
+/// Binder names from a pattern's paren group (split at commas).
+fn binder_names(binders: &[Spanned]) -> Vec<String> {
+    split_params(binders)
+        .iter()
+        .filter_map(|p| p.iter().find_map(|t| t.ident()).map(str::to_string))
+        .collect()
+}
+
+/// Parses an access arm body into a [`Claim`].
+fn parse_claim(body: &[Spanned]) -> Claim {
+    // Expect `Access :: Kind [ ( cell ) ]`, ignoring surrounding tokens
+    // produced by e.g. a trailing expression position.
+    let pos = body
+        .iter()
+        .position(|t| t.ident() == Some("Access"))
+        .map(|p| p + 3); // skip `Access`, `:`, `:`
+    let Some(pos) = pos else {
+        return Claim::Unrecognized;
+    };
+    let Some(kind) = body.get(pos).and_then(|t| t.ident()) else {
+        return Claim::Unrecognized;
+    };
+    match kind {
+        "Read" => Claim::Read,
+        "Update" => Claim::Update,
+        "Write" => match body.get(pos + 1) {
+            Some(Spanned {
+                tok: Tok::Group(Delim::Paren, cell, _),
+                ..
+            }) => parse_cell(cell),
+            _ => Claim::WriteOther,
+        },
+        _ => Claim::Unrecognized,
+    }
+}
+
+/// Classifies a `Write(...)` cell expression.
+fn parse_cell(cell: &[Spanned]) -> Claim {
+    // A single literal: constant cell.
+    if cell.len() == 1 && matches!(cell[0].tok, Tok::Literal) {
+        return Claim::WriteLit;
+    }
+    // `*b as u32` / `b as u32`: the binder names the cell.
+    let toks: Vec<&Spanned> = cell.iter().filter(|t| !t.is_punct('*')).collect();
+    if toks.len() == 3 && toks[1].ident() == Some("as") && toks[2].ident() == Some("u32") {
+        if let Some(b) = toks[0].ident() {
+            return Claim::WriteBinder(b.to_string());
+        }
+    }
+    Claim::WriteOther
+}

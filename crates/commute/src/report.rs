@@ -1,0 +1,261 @@
+//! Findings and the machine-readable report, mirroring the
+//! `upsilon-conform` diagnostics shape (deterministic ordering, hand-rolled
+//! JSON suitable for golden-file tests).
+
+use crate::audit::{DerivedImpl, Verdict};
+use std::fmt;
+use upsilon_conform::diag::json_string;
+
+/// A commutativity-audit rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RuleId {
+    /// `access()` claims `Read` but `invoke()` writes state.
+    M1,
+    /// `access()` claims `Write(c)` the footprint does not justify.
+    M2,
+    /// `invoke()` arm unanalyzable but `access()` claims ≠ `Update`.
+    M3,
+    /// `access()` arm for a variant `invoke()` does not have (or a variant
+    /// with no classification).
+    M4,
+    /// The file or impl could not be analyzed.
+    Parse,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::M1,
+        RuleId::M2,
+        RuleId::M3,
+        RuleId::M4,
+        RuleId::Parse,
+    ];
+
+    /// The stable identifier used in reports and allowlists.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::M1 => "M1",
+            RuleId::M2 => "M2",
+            RuleId::M3 => "M3",
+            RuleId::M4 => "M4",
+            RuleId::Parse => "parse",
+        }
+    }
+
+    /// Why the rule exists, phrased against the explorer's soundness
+    /// argument.
+    pub fn why(self) -> &'static str {
+        match self {
+            RuleId::M1 => {
+                "a Read classification lets the sleep-set explorer reorder the op \
+                 past other reads in every state; a hidden write makes those \
+                 reorderings inequivalent"
+            }
+            RuleId::M2 => {
+                "Write(c) promises commutation with any Write(c') of a distinct cell \
+                 and a state-independent response; an unjustified claim prunes \
+                 schedules that distinguish states"
+            }
+            RuleId::M3 => {
+                "an arm the analyzer cannot model may read or write anything; only \
+                 Update (conflicts with everything) is sound for it"
+            }
+            RuleId::M4 => {
+                "a classification arm that matches no real variant means some op is \
+                 classified by accident (wildcards) or not at all"
+            }
+            RuleId::Parse => "an unparsable impl cannot be certified",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Repository-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (fix: {})",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.suggestion
+        )
+    }
+}
+
+/// The complete analyzer output.
+#[derive(Clone, Default, Debug)]
+pub struct CommuteReport {
+    /// Violations not covered by the allowlist.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by the allowlist.
+    pub suppressed: Vec<Finding>,
+    /// The derived matrices, sorted by type name.
+    pub impls: Vec<DerivedImpl>,
+    /// Files scanned, sorted.
+    pub files: Vec<String>,
+}
+
+impl CommuteReport {
+    /// Sorts all sections into report order.
+    pub fn normalize(&mut self) {
+        let key = |f: &Finding| (f.file.clone(), f.line, f.rule, f.message.clone());
+        self.findings.sort_by_key(key);
+        self.suppressed.sort_by_key(key);
+        self.impls
+            .sort_by(|a, b| a.object.type_name.cmp(&b.object.type_name));
+        self.files.sort();
+    }
+
+    /// Whether the audit is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        push_findings(&mut out, &self.findings);
+        out.push_str("],\n  \"suppressed\": [");
+        push_findings(&mut out, &self.suppressed);
+        out.push_str("],\n  \"matrix\": [");
+        for (i, d) in self.impls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"type\": {}, \"file\": {}, \"variants\": [",
+                json_string(&d.object.type_name),
+                json_string(&d.object.file),
+            ));
+            let mut names: Vec<&str> = d.object.variants.iter().map(|v| v.name.as_str()).collect();
+            names.sort_unstable();
+            for (j, n) in names.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(n));
+            }
+            out.push_str("], \"pairs\": [");
+            for (j, (a, b, v)) in d.pairs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"a\": {}, \"b\": {}, \"verdict\": {}}}",
+                    json_string(a),
+                    json_string(b),
+                    json_string(&verdict_label(*v))
+                ));
+            }
+            if !d.pairs.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.impls.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"files_scanned\": ");
+        out.push_str(&self.files.len().to_string());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Compact verdict label for the JSON report.
+fn verdict_label(v: Verdict) -> String {
+    match v {
+        Verdict::Conflict => "conflict".to_string(),
+        Verdict::Commute => "commute".to_string(),
+        Verdict::CommuteIf {
+            distinct_cell,
+            equal_args,
+        } => {
+            let mut conds = Vec::new();
+            if distinct_cell {
+                conds.push("distinct-cell");
+            }
+            if equal_args {
+                conds.push("equal-args");
+            }
+            format!("commute-if({})", conds.join("|"))
+        }
+    }
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suggestion\": {}",
+            json_string(f.rule.id()),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            json_string(&f.suggestion)
+        ));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable() {
+        let ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, vec!["M1", "M2", "M3", "M4", "parse"]);
+        for r in RuleId::ALL {
+            assert!(!r.why().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let mut report = CommuteReport {
+            findings: vec![Finding {
+                rule: RuleId::M1,
+                file: "b.rs".into(),
+                line: 3,
+                message: "claims \"Read\"".into(),
+                suggestion: "use Update".into(),
+            }],
+            ..CommuteReport::default()
+        };
+        report.normalize();
+        let json = report.to_json();
+        assert!(json.contains("\\\"Read\\\""), "{json}");
+        assert_eq!(json, report.clone().to_json());
+    }
+}

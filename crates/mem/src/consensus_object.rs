@@ -59,8 +59,18 @@ impl ObjectType for ConsensusObject {
     }
 
     fn access(_op: &Propose) -> Access {
-        // A proposal reads the decided slot and may write it: no two
-        // proposals commute (the first to arrive wins).
+        // `Update` is required here: a proposal reads the decided slot and
+        // may write it (first-propose-wins), so in the coarse 3-value
+        // `Access` lattice nothing finer is sound — `Read` would hide the
+        // write, and `Write(c)` claims a response independent of prior
+        // state, while the response *is* the prior state when one exists.
+        // The finer fact — `Propose(v)` and `Propose(w)` commute exactly
+        // when `v == w`, because `get_or_insert` then leaves the same slot
+        // value and returns the same response in either order — is not
+        // expressible per-op here; it lives in the per-op-*pair* matrix
+        // that `upsilon-commute` derives from this `invoke` body and emits
+        // as `upsilon_sim::commute` (verdict `CommuteIf { equal_args }`),
+        // which the explorer consults on top of this classification.
         Access::Update
     }
 }

@@ -93,6 +93,7 @@ pub struct SimBuilder<D: FdValue> {
     adversary: Box<dyn Adversary>,
     engine: EngineKind,
     trace_level: TraceLevel,
+    record_sigs: bool,
     max_steps: u64,
     #[allow(clippy::type_complexity)]
     stop_when: Option<Box<dyn FnMut(&SchedView<'_>) -> bool>>,
@@ -133,6 +134,7 @@ impl<D: FdValue> SimBuilder<D> {
             adversary: Box::new(RoundRobin::new()),
             engine: EngineKind::default(),
             trace_level: TraceLevel::Steps,
+            record_sigs: false,
             max_steps: 2_000_000,
             stop_when: None,
             propagate_panics: true,
@@ -161,6 +163,16 @@ impl<D: FdValue> SimBuilder<D> {
     /// Sets how much detail the trace records.
     pub fn trace_level(mut self, level: TraceLevel) -> Self {
         self.trace_level = level;
+        self
+    }
+
+    /// Records an [`OpSig`](crate::OpSig) (object type name plus the
+    /// `Debug`-rendered operation) on every `Op` event. Off by default —
+    /// rendering costs an allocation per op step; consumers that refine
+    /// conflicts through the [`commute`](crate::commute) matrix (the
+    /// `upsilon-check` explorer, coverage-guided fuzzing) switch it on.
+    pub fn record_op_sigs(mut self, yes: bool) -> Self {
+        self.record_sigs = yes;
         self
     }
 
@@ -217,6 +229,7 @@ impl<D: FdValue> SimBuilder<D> {
             memory: Memory::new(),
             oracle: self.oracle,
             trace_level: self.trace_level,
+            record_sigs: self.record_sigs,
         };
         let algos = std::mem::take(&mut self.algos);
         let has_algo: Vec<bool> = algos.iter().map(|a| a.is_some()).collect();

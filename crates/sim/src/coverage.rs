@@ -20,6 +20,7 @@
 //! its corpus on exactly this growth).
 
 use crate::object::{Access, Key, Memory};
+use crate::opsig::{self, OpSig};
 use crate::oracle::FdValue;
 use crate::process::ProcessId;
 use crate::trace::{Run, StepKind};
@@ -111,34 +112,52 @@ impl ConflictPair {
 /// ops on objects the memory cannot name are skipped — that cannot happen
 /// for a [`SimOutcome`](crate::SimOutcome), whose memory names every
 /// allocated object.
+///
+/// When the run recorded op signatures
+/// ([`record_op_sigs`](crate::SimBuilder::record_op_sigs)), an
+/// [`Access`]-lattice conflict that the per-op-pair commutativity matrix
+/// ([`crate::commute`]) proves independent — e.g. two writes of the *same*
+/// value to one register — is dropped: the refined dependence relation is
+/// what the sleep-set explorer prunes by, so coverage stays a function of
+/// the Mazurkiewicz trace under the same relation. Runs without signatures
+/// use the lattice alone, as before.
 pub fn conflict_pairs<D: FdValue>(run: &Run<D>, memory: &Memory) -> Vec<ConflictPair> {
     // Latest op per key, replaced as the run walks forward. Keys are few
     // per run, so a linear scan beats a map here.
-    let mut last: Vec<(Key, ProcessId, Access)> = Vec::new();
+    let mut last: Vec<(Key, ProcessId, Access, Option<OpSig>)> = Vec::new();
     let mut pairs = Vec::new();
     for ev in run.events() {
-        let StepKind::Op { object, access, .. } = &ev.kind else {
+        let StepKind::Op {
+            object,
+            access,
+            sig,
+            ..
+        } = &ev.kind
+        else {
             continue;
         };
         let Some(key) = memory.name_of(*object) else {
             continue;
         };
-        match last.iter_mut().find(|(k, _, _)| k == key) {
+        match last.iter_mut().find(|(k, ..)| k == key) {
             Some(entry) => {
-                let (_, prev_pid, prev_access) = *entry;
-                if prev_pid != ev.pid && prev_access.conflicts_with(*access) {
+                let conflicts = entry.1 != ev.pid
+                    && entry.2.conflicts_with(*access)
+                    && !opsig::sigs_commute(entry.3.as_ref(), sig.as_ref());
+                if conflicts {
                     pairs.push(ConflictPair {
                         key: key.clone(),
-                        earlier: prev_pid,
-                        earlier_access: prev_access,
+                        earlier: entry.1,
+                        earlier_access: entry.2,
                         later: ev.pid,
                         later_access: *access,
                     });
                 }
                 entry.1 = ev.pid;
                 entry.2 = *access;
+                entry.3 = sig.clone();
             }
-            None => last.push((key.clone(), ev.pid, *access)),
+            None => last.push((key.clone(), ev.pid, *access, sig.clone())),
         }
     }
     pairs

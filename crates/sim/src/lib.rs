@@ -80,11 +80,13 @@
 
 mod batch;
 mod builder;
+pub mod commute;
 mod coverage;
 mod engine;
 mod error;
 mod failure;
 mod object;
+mod opsig;
 mod oracle;
 mod phased;
 mod process;
@@ -101,6 +103,7 @@ pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};
 pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
 pub use object::{Access, Key, Memory, ObjectId, ObjectType};
+pub use opsig::{base_type_name, ops_commute, resolve, sigs_commute, OpSig, ResolvedOp};
 pub use oracle::{DummyOracle, FdValue, MappedOracle, NullOracle, Oracle};
 pub use phased::{Phase, PhasedAdversary};
 pub use process::{Iter, ProcessId, ProcessSet};

@@ -69,7 +69,12 @@ impl fmt::Display for Access {
 /// An implementation defines the sequential behaviour of the object; the
 /// simulator guarantees each [`invoke`](ObjectType::invoke) executes atomically
 /// within one granted step, so the object is trivially linearizable.
-pub trait ObjectType: Send + 'static {
+///
+/// The `Debug` bound makes the object's *state* renderable: it backs
+/// [`Memory::state_fingerprint`], the whole-memory equality witness the
+/// dynamic reorder cross-check (`upsilon-commute`) compares after swapping
+/// provably-commuting adjacent steps.
+pub trait ObjectType: Send + fmt::Debug + 'static {
     /// The operations the object accepts.
     type Op: Send + fmt::Debug + 'static;
     /// The responses the object returns.
@@ -159,6 +164,7 @@ trait AnyObject: Send {
     fn invoke_any(&mut self, caller: ProcessId, op: Box<dyn Any + Send>) -> Box<dyn Any + Send>;
     fn as_any(&self) -> &dyn Any;
     fn type_name(&self) -> &'static str;
+    fn debug_state(&self) -> String;
 }
 
 impl<O: ObjectType> AnyObject for O {
@@ -175,6 +181,10 @@ impl<O: ObjectType> AnyObject for O {
 
     fn type_name(&self) -> &'static str {
         std::any::type_name::<O>()
+    }
+
+    fn debug_state(&self) -> String {
+        format!("{self:?}")
     }
 }
 
@@ -247,6 +257,23 @@ impl Memory {
     /// Whether no object was allocated.
     pub fn is_empty(&self) -> bool {
         self.objects.is_empty()
+    }
+
+    /// A deterministic rendering of the entire shared state: every allocated
+    /// object's key, type name and `Debug`-rendered state, one line each,
+    /// sorted lexicographically. Two runs end in indistinguishable shared
+    /// memory exactly when their fingerprints are equal — the equality the
+    /// dynamic reorder cross-check (`upsilon-commute`) asserts after
+    /// swapping adjacent steps the commutativity matrix calls independent.
+    pub fn state_fingerprint(&self) -> String {
+        let mut lines: Vec<String> = self
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| format!("{}:{}={}", self.names[i], o.type_name(), o.debug_state()))
+            .collect();
+        lines.sort();
+        lines.join("\n")
     }
 
     /// Iterates over `(id, key, type name)` for every allocated object.

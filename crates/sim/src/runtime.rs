@@ -22,6 +22,7 @@
 
 use crate::error::Crashed;
 use crate::object::{Key, Memory, ObjectType};
+use crate::opsig::OpSig;
 use crate::oracle::{FdValue, Oracle};
 use crate::process::ProcessId;
 use crate::time::Time;
@@ -56,6 +57,7 @@ pub(crate) struct World<D: FdValue> {
     pub(crate) memory: Memory,
     pub(crate) oracle: Box<dyn Oracle<D>>,
     pub(crate) trace_level: TraceLevel,
+    pub(crate) record_sigs: bool,
 }
 
 /// Per-process mailbox of the inline engine: the scheduler deposits a grant,
@@ -244,6 +246,9 @@ impl<D: FdValue> Ctx<D> {
         self.step(move |world, pid, _t| {
             let id = world.memory.resolve::<O>(key, init);
             let access = O::access(&op);
+            let sig = world
+                .record_sigs
+                .then(|| OpSig::new(std::any::type_name::<O>(), format!("{op:?}")));
             let detail_prefix = match world.trace_level {
                 TraceLevel::Full => Some(format!("{op:?}")),
                 TraceLevel::Steps => None,
@@ -254,6 +259,7 @@ impl<D: FdValue> Ctx<D> {
                 StepKind::Op {
                     object: id,
                     access,
+                    sig,
                     detail,
                 },
                 resp,

@@ -8,6 +8,7 @@
 
 use crate::failure::FailurePattern;
 use crate::object::{Access, ObjectId};
+use crate::opsig::OpSig;
 use crate::oracle::FdValue;
 use crate::process::{ProcessId, ProcessSet};
 use crate::time::Time;
@@ -51,6 +52,11 @@ pub enum StepKind<D> {
         object: ObjectId,
         /// How the operation touched the object (for conflict analysis).
         access: Access,
+        /// The operation's signature (type name plus `Debug` rendering),
+        /// when [`record_op_sigs`](crate::SimBuilder::record_op_sigs) is on
+        /// — feeds the per-op-pair commutativity refinement of conflict
+        /// analysis (see [`crate::commute`]).
+        sig: Option<OpSig>,
         /// `Debug`-rendered operation and response, when full tracing is on.
         detail: Option<Box<str>>,
     },

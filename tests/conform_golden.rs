@@ -1,10 +1,11 @@
-//! Golden JSON-diagnostic snapshots for the two static analyzers.
+//! Golden JSON-diagnostic snapshots for the static analyzers.
 //!
-//! The JSON renderings of `upsilon-conform` and the determinism lint are
-//! consumed by CI and by external tooling; their shape and ordering must
-//! not drift silently. Each test renders a report over *fixed* inputs (the
-//! deliberately nonconforming fixture crate, and a synthetic lint target)
-//! and compares it byte-for-byte against a checked-in golden file.
+//! The JSON renderings of `upsilon-conform`, `upsilon-commute` and the
+//! determinism lint are consumed by CI and by external tooling; their
+//! shape and ordering must not drift silently. Each test renders a report
+//! over *fixed* inputs (the deliberately nonconforming / mis-classified
+//! fixture crates, and a synthetic lint target) and compares it
+//! byte-for-byte against a checked-in golden file.
 //!
 //! To regenerate after an intentional format change:
 //!
@@ -57,6 +58,26 @@ fn conform_fixture_report_matches_golden_json() {
     sources.sort();
     let report = check_sources(&sources, &Allowlist::empty());
     assert_golden("conform_fixtures.json", &report.to_json());
+}
+
+#[test]
+fn commute_fixture_report_matches_golden_json() {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("crates/commute/fixtures/src");
+    let mut sources: Vec<(String, String)> = [
+        "m1_read_writes.rs",
+        "m2_write_escapes.rs",
+        "m3_unknown_claim.rs",
+        "m4_arm_mismatch.rs",
+    ]
+    .iter()
+    .map(|f| {
+        let src = fs::read_to_string(fixtures.join(f)).expect("fixture readable");
+        (format!("crates/commute/fixtures/src/{f}"), src)
+    })
+    .collect();
+    sources.sort();
+    let report = upsilon_commute::check_sources(&sources, &upsilon_commute::Allowlist::empty());
+    assert_golden("commute_fixtures.json", &report.to_json());
 }
 
 #[test]
