@@ -7,6 +7,7 @@
 //! cargo run -p upsilon-analysis --bin analyze -- commute [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- run-conditions [--json] \
 //!     [--seeds <count>] [--procs <n+1>]
+//! cargo run -p upsilon-analysis --bin analyze -- scenario [--json]
 //! ```
 //!
 //! `lint`, `conform` and `commute` are the static passes (determinism lint
@@ -15,7 +16,11 @@
 //! all also exist as standalone bins. `run-conditions` is the dynamic pass: it
 //! drives a built-in leader workload over a seed sweep and validates every
 //! recorded run against the §3.3 run conditions with
-//! [`upsilon_analysis::check_run_for`].
+//! [`upsilon_analysis::check_run_for`]. `scenario` is the declarative-layer
+//! pass: it parses every `scenarios/*.toml` with the dependency-free schema
+//! crate (analysis sits below the runner), reports axis cardinalities and
+//! cell counts, and fails on orphans — parse failures or files whose `name`
+//! does not match the stem — and on missing required check samples.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,7 +32,7 @@ use upsilon_sim::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: analyze <lint|conform|commute|run-conditions> [options]\n\
+        "usage: analyze <lint|conform|commute|run-conditions|scenario> [options]\n\
          \n\
          common options:\n\
          \x20 --root <dir>        workspace root (default .)\n\
@@ -38,7 +43,9 @@ fn usage() -> ! {
          \n\
          run-conditions options:\n\
          \x20 --seeds <count>     schedules per pattern (default 16)\n\
-         \x20 --procs <n+1>       processes, half of them also run a crashy pattern (default 3)"
+         \x20 --procs <n+1>       processes, half of them also run a crashy pattern (default 3)\n\
+         \n\
+         scenario: validates <root>/scenarios/*.toml against the schema"
     );
     std::process::exit(2);
 }
@@ -94,6 +101,7 @@ fn main() -> ExitCode {
         "conform" => conform(&opts),
         "commute" => commute(&opts),
         "run-conditions" => run_conditions(&opts),
+        "scenario" => scenario(&opts),
         "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown mode: {other}");
@@ -199,6 +207,149 @@ fn commute(opts: &Opts) -> ExitCode {
         );
     }
     pass_fail(report.is_clean())
+}
+
+/// The declarative-layer pass: schema-validate every checked-in scenario
+/// file and report each matrix's cardinalities. Orphans — files that fail
+/// to parse or whose `name` disagrees with the stem — and missing required
+/// check samples fail the pass. Only the dependency-free schema crate is
+/// used: analysis sits below the check/fuzz layer, so it validates the
+/// documents without being able to run them.
+fn scenario(opts: &Opts) -> ExitCode {
+    use upsilon_conform::diag::json_string;
+    use upsilon_scenario_schema::{Kind, ScenarioDoc, REQUIRED_SAMPLES};
+
+    let dir = opts.root.join("scenarios");
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect(),
+        Err(e) => {
+            eprintln!("analyze scenario: {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    paths.sort();
+
+    let mut docs: Vec<(PathBuf, ScenarioDoc)> = Vec::new();
+    let mut orphans: Vec<(PathBuf, String)> = Vec::new();
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                orphans.push((path, e.to_string()));
+                continue;
+            }
+        };
+        match ScenarioDoc::parse(&text) {
+            Ok(doc) => {
+                let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                if doc.name == stem {
+                    docs.push((path, doc));
+                } else {
+                    let msg = format!("name {:?} does not match the file stem {stem:?}", doc.name);
+                    orphans.push((path, msg));
+                }
+            }
+            Err(d) => orphans.push((path, d.to_string())),
+        }
+    }
+    let missing: Vec<&str> = REQUIRED_SAMPLES
+        .iter()
+        .copied()
+        .filter(|r| {
+            !docs
+                .iter()
+                .any(|(_, d)| d.name == *r && d.kind == Kind::Check)
+        })
+        .collect();
+    let clean = orphans.is_empty() && missing.is_empty();
+
+    if opts.json {
+        let mut out = String::from("{\n  \"scenarios\": [");
+        for (i, (path, doc)) in docs.iter().enumerate() {
+            let s = doc.summary();
+            let axes: Vec<String> = s
+                .axes
+                .iter()
+                .map(|(name, card)| format!("{}: {card}", json_string(name)))
+                .collect();
+            out.push_str(&format!(
+                "{}\n    {{\"name\": {}, \"path\": {}, \"kind\": {}, \"protocol\": {}, \
+                 \"arms\": {}, \"axes\": {{{}}}, \"cells\": {}, \"seeds\": {}, \
+                 \"repeats\": {}, \"total_runs\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_string(&doc.name),
+                json_string(&path.display().to_string()),
+                json_string(doc.kind.as_str()),
+                json_string(&doc.protocol),
+                s.arms,
+                axes.join(", "),
+                s.cells,
+                s.seeds,
+                s.repeats,
+                s.total_runs,
+            ));
+        }
+        if !docs.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"orphans\": [");
+        for (i, (path, err)) in orphans.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    {{\"path\": {}, \"error\": {}}}",
+                if i > 0 { "," } else { "" },
+                json_string(&path.display().to_string()),
+                json_string(err),
+            ));
+        }
+        if !orphans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"missing_required\": [");
+        let quoted: Vec<String> = missing.iter().map(|m| json_string(m)).collect();
+        out.push_str(&quoted.join(", "));
+        out.push_str(&format!("],\n  \"ok\": {clean}\n}}\n"));
+        print!("{out}");
+    } else {
+        for (path, doc) in &docs {
+            let s = doc.summary();
+            let axes: Vec<String> = s
+                .axes
+                .iter()
+                .map(|(name, card)| format!("{name}={card}"))
+                .collect();
+            println!(
+                "scenario: {} ({}, {}) — {} arm(s), axes [{}], {} cells x {} seeds x {} \
+                 repeats = {} runs — {}",
+                doc.name,
+                doc.kind.as_str(),
+                doc.protocol,
+                s.arms,
+                axes.join(", "),
+                s.cells,
+                s.seeds,
+                s.repeats,
+                s.total_runs,
+                path.display()
+            );
+        }
+        for (path, err) in &orphans {
+            println!("scenario: ORPHAN {}: {err}", path.display());
+        }
+        for m in &missing {
+            println!("scenario: MISSING required check sample {m}");
+        }
+        println!(
+            "scenario: {} valid, {} orphaned, {} required missing",
+            docs.len(),
+            orphans.len(),
+            missing.len()
+        );
+    }
+    pass_fail(clean)
 }
 
 /// Loads an allowlist file, treating a missing file as empty and a

@@ -45,6 +45,7 @@ pub const SCANNED_CRATES: &[&str] = &[
     "fuzz",
     "analysis",
     "commute",
+    "scenario",
 ];
 
 /// Files exempt from the whole scan because they *name* the banned

@@ -3,7 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p upsilon-bench --bin bench_fuzz [--execs N] [--out PATH]
+//! cargo run --release -p upsilon-bench --bin bench_fuzz -- --scenario scenarios/bench-fuzz.toml
 //! ```
+//!
+//! With `--scenario` the throughput campaign (measurements 1 and 2) is
+//! resolved from a `kind = "fuzz"` scenario file — target, seed, and
+//! round budget all come from the document. The seeded-mutant
+//! time-to-find suite is a fixed regression guard and is unaffected.
 //!
 //! Three measurements:
 //!
@@ -32,12 +38,15 @@ use upsilon_sim::ProcessId;
 const MIN_EXECS_PER_SEC: f64 = 50_000.0;
 
 const USAGE: &str = "usage: bench_fuzz [options]
-  --execs N   executions per round for the throughput campaign (default 4096)
-  --out PATH  JSON artifact path (default BENCH_fuzz.json)
-  --help      this text";
+  --execs N        executions per round for the throughput campaign (default 4096)
+  --scenario FILE  resolve the throughput campaign from a kind = \"fuzz\"
+                   scenario file instead of the built-in fig1 target
+  --out PATH       JSON artifact path (default BENCH_fuzz.json)
+  --help           this text";
 
-fn parse_args() -> Result<(u64, String), String> {
+fn parse_args() -> Result<(u64, Option<String>, String), String> {
     let mut execs = 4096u64;
+    let mut scenario = None;
     let mut out = "BENCH_fuzz.json".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,12 +57,31 @@ fn parse_args() -> Result<(u64, String), String> {
                     .parse()
                     .map_err(|e| format!("--execs: {e}"))?
             }
+            "--scenario" => scenario = Some(value("--scenario")?),
             "--out" => out = value("--out")?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((execs, out))
+    Ok((execs, scenario, out))
+}
+
+/// Resolves the throughput campaign from a `kind = "fuzz"` scenario file:
+/// `(label, report)` for the file's first cell under its first seed.
+fn scenario_campaign(path: &str) -> Result<(String, upsilon_fuzz::FuzzReport), String> {
+    let doc = upsilon_scenario::load_file(std::path::Path::new(path))?;
+    if doc.kind != upsilon_scenario::Kind::Fuzz {
+        return Err(format!("{path}: --scenario needs kind = \"fuzz\""));
+    }
+    let cell = doc
+        .expand()
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("{path}: the scenario expands to no cells"))?;
+    let seed = doc.seeds.first().copied().unwrap_or(0);
+    let campaign = upsilon_scenario::resolve_fuzz(&doc, &cell, seed)?;
+    let label = format!("{} ({})", doc.name, cell.label());
+    Ok((label, campaign.fuzz(&[])))
 }
 
 /// One seeded-mutant measurement: `(execs spent, exec index of the first
@@ -80,7 +108,7 @@ fn time_to_find<D: upsilon_sim::FdValue>(
 }
 
 fn main() -> ExitCode {
-    let (execs, out) = match parse_args() {
+    let (execs, scenario, out) = match parse_args() {
         Ok(v) => v,
         Err(msg) => {
             if msg.is_empty() {
@@ -93,17 +121,29 @@ fn main() -> ExitCode {
     };
 
     // 1 + 2: throughput and coverage growth on the clean reference
-    // workload (Fig. 1, n + 1 = 3, one crash allowed).
-    let cfg = FuzzConfig::new(samples::fig1(3, 24, 1))
-        .seed(42)
-        .budget(4, execs);
+    // workload — Fig. 1 (n + 1 = 3, one crash allowed) by default, or
+    // whatever campaign the scenario file declares.
     let start = Instant::now();
-    let report = fuzz(&cfg, &[]);
+    let (label, report) = match &scenario {
+        Some(path) => match scenario_campaign(path) {
+            Ok(v) => v,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let cfg = FuzzConfig::new(samples::fig1(3, 24, 1))
+                .seed(42)
+                .budget(4, execs);
+            ("Fig. 1, n+1 = 3, depth 24".to_string(), fuzz(&cfg, &[]))
+        }
+    };
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let execs_per_sec = report.execs as f64 / secs;
 
     let mut t = Table::new(
-        format!("Fuzzer — Fig. 1, n+1 = 3, depth 24, {} execs", report.execs),
+        format!("Fuzzer — {label}, {} execs", report.execs),
         &["metric", "value"],
     );
     t.row(["execs/sec".to_string(), format!("{execs_per_sec:.0}")]);
@@ -185,8 +225,12 @@ fn main() -> ExitCode {
             format!("{{\"mutant\":{name:?},\"budget\":{budget},\"found_at_exec\":{at}}}")
         })
         .collect();
+    let workload_label = match &scenario {
+        Some(_) => format!("{label} fuzzing"),
+        None => "fig1 fuzzing, n_plus_1 = 3, depth 24".to_string(),
+    };
     let json = format!(
-        "{{\n  \"workload\": \"fig1 fuzzing, n_plus_1 = 3, depth 24\",\n  \
+        "{{\n  \"workload\": \"{workload_label}\",\n  \
          \"execs\": {},\n  \"execs_per_sec\": {execs_per_sec:.1},\n  \
          \"coverage\": {},\n  \"corpus\": {},\n  \"growth\": [{}],\n  \
          \"time_to_find\": [{}],\n  \"clean\": true\n}}\n",

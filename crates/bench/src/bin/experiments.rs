@@ -10,9 +10,8 @@
 
 use upsilon_bench::{average_case_config, staggered_crashes, worst_case_config};
 use upsilon_core::experiment::{
-    run_baseline_omega_k, run_boost, run_fig1, run_fig2, run_fig3, run_omega_consensus,
-    run_upsilon1_consensus, run_upsilon1_to_omega, sweep_seeds, AgreementConfig, Sched,
-    StableSource,
+    run_boost, run_fig1, run_fig2, run_fig3, run_omega_consensus, run_upsilon1_consensus,
+    run_upsilon1_to_omega, AgreementConfig, Sched, StableSource,
 };
 use upsilon_core::extract::{all_candidates, play, GameConfig, GameVerdict};
 use upsilon_core::fd::{
@@ -20,14 +19,10 @@ use upsilon_core::fd::{
     OmegaKChoice, OmegaOracle, UpsilonChoice, UpsilonNoise, UpsilonOracle,
 };
 use upsilon_core::sim::{
-    algo, default_workers, run_batch, FailurePattern, Key, Oracle, Output, ProcessId, ProcessSet,
-    SeededRandom, SimBuilder, Time,
+    FailurePattern, Oracle, Output, ProcessId, ProcessSet, SeededRandom, SimBuilder, Time,
 };
 use upsilon_core::stats::Summary;
 use upsilon_core::table::Table;
-
-/// Shared per-process (picked, committed) results of a converge run.
-type SharedResults = std::sync::Arc<std::sync::Mutex<Vec<Option<(u64, bool)>>>>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -586,8 +581,40 @@ fn e8_boosting() {
     println!("{t}");
 }
 
+/// Loads a checked-in scenario and runs its full matrix; E9–E11 are
+/// driven entirely by `scenarios/*.toml` so the tables, the matrix driver
+/// and the CI scenario job share one definition of each experiment.
+fn scenario_records(name: &str) -> Vec<upsilon_scenario::EvidenceRecord> {
+    let doc = upsilon_scenario::load(name)
+        .unwrap_or_else(|e| panic!("scenario `{name}` failed to load: {e}"));
+    let report = upsilon_scenario::run_matrix(&doc, 0)
+        .unwrap_or_else(|e| panic!("scenario `{name}` failed to run: {e}"));
+    assert!(
+        report.deterministic,
+        "scenario `{name}`: repeated coordinates diverged"
+    );
+    report.records
+}
+
+/// Integer axis binding of an evidence record.
+fn binding_int(r: &upsilon_scenario::EvidenceRecord, key: &str) -> i64 {
+    match r.bindings.iter().find(|(k, _)| k == key) {
+        Some((_, upsilon_scenario::Scalar::Int(v))) => *v,
+        other => panic!("binding `{key}` missing or non-integer: {other:?}"),
+    }
+}
+
+/// Extra counter of an evidence record.
+fn extra(r: &upsilon_scenario::EvidenceRecord, key: &str) -> i64 {
+    match r.out.extras.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => *v,
+        None => panic!("extra `{key}` missing"),
+    }
+}
+
 /// E9 (Corollary 3 context): native Υ vs the Ω_n-complement baseline —
-/// both solve set agreement; Υ is the (strictly) weaker oracle.
+/// both solve set agreement; Υ is the (strictly) weaker oracle. The two
+/// oracles are the scenario's A/B arms.
 fn e9_baseline() {
     let mut t = Table::new(
         "E9 — set agreement: native Υ vs Ω_n-complement baseline (n+1 = 4)",
@@ -599,21 +626,19 @@ fn e9_baseline() {
             "spec ok (8 seeds)",
         ],
     );
-    for crashes in [0usize, 2] {
-        for native in [true, false] {
-            let cfg = average_case_config(staggered_crashes(4, crashes, 50), 0);
-            let outs = sweep_seeds(&cfg, 0..8, |cfg| {
-                if native {
-                    run_fig1(cfg, UpsilonChoice::default())
-                } else {
-                    run_baseline_omega_k(cfg, 3, OmegaKChoice::default())
-                }
-            });
-            let all_ok = outs.iter().all(|o| o.spec.is_ok());
-            let steps: Vec<u64> = outs.iter().map(|o| o.total_steps).collect();
+    let records = scenario_records("e9-baseline");
+    for crashes in [0i64, 2] {
+        for arm in ["native", "baseline"] {
+            let cell: Vec<_> = records
+                .iter()
+                .filter(|r| r.arm == arm && binding_int(r, "crashes") == crashes)
+                .collect();
+            assert_eq!(cell.len(), 8, "8 seeds per (oracle, crashes) cell");
+            let all_ok = cell.iter().all(|r| r.matched);
+            let steps: Vec<u64> = cell.iter().map(|r| r.out.states).collect();
             let s = Summary::of(&steps);
             t.row([
-                if native {
+                if arm == "native" {
                     "Υ (native)"
                 } else {
                     "Ω_3 complemented"
@@ -630,12 +655,9 @@ fn e9_baseline() {
 }
 
 /// E10 (§5.1): the k-converge routine — Convergence commits exactly when
-/// the number of distinct inputs is at most k.
+/// the number of distinct inputs is at most k. The `k` × `distinct` grid
+/// is the scenario's axis matrix; commits come back as evidence extras.
 fn e10_converge() {
-    use std::sync::{Arc, Mutex};
-    use upsilon_core::converge::ConvergeInstance;
-    use upsilon_core::mem::SnapshotFlavor;
-
     let mut t = Table::new(
         "E10 — k-converge: commit behaviour vs distinct inputs (4 processes, 20 seeds)",
         &[
@@ -646,57 +668,20 @@ fn e10_converge() {
             "C-Agreement violations",
         ],
     );
-    for k in 1..=3usize {
-        for distinct in 1..=4usize {
-            let mut all_commit = 0;
-            let mut some_commit = 0;
-            let mut violations = 0;
-            // Independent seeds fan out across the run-batch worker pool;
-            // results come back in seed order.
-            let jobs: Vec<_> = (0..20u64)
-                .map(|seed| {
-                    move || {
-                        let inputs: Vec<u64> = (0..4).map(|i| (i % distinct) as u64 + 1).collect();
-                        let results: SharedResults = Arc::new(Mutex::new(vec![None; 4]));
-                        let results2 = Arc::clone(&results);
-                        let inputs2 = inputs.clone();
-                        let _ = SimBuilder::<()>::new(FailurePattern::failure_free(4))
-                            .adversary(SeededRandom::new(seed))
-                            .spawn_all(move |pid| {
-                                let results = Arc::clone(&results2);
-                                let v = inputs2[pid.index()];
-                                algo(move |ctx| async move {
-                                    let inst = ConvergeInstance::new(
-                                        Key::new("cv"),
-                                        4,
-                                        SnapshotFlavor::Native,
-                                    );
-                                    let out = inst.converge(&ctx, k, v).await?;
-                                    results.lock().unwrap()[pid.index()] = Some(out);
-                                    Ok(())
-                                })
-                            })
-                            .run();
-                        let outs = results.lock().unwrap().clone();
-                        outs
-                    }
-                })
+    let records = scenario_records("e10-converge");
+    for k in 1..=3i64 {
+        for distinct in 1..=4i64 {
+            let cell: Vec<_> = records
+                .iter()
+                .filter(|r| binding_int(r, "k") == k && binding_int(r, "distinct") == distinct)
                 .collect();
-            for outs in run_batch(jobs, default_workers()) {
-                let commits = outs.iter().flatten().filter(|(_, c)| *c).count();
-                if commits == 4 {
-                    all_commit += 1;
-                }
-                if commits > 0 {
-                    some_commit += 1;
-                    let mut picked: Vec<u64> = outs.iter().flatten().map(|(v, _)| *v).collect();
-                    picked.sort_unstable();
-                    picked.dedup();
-                    if picked.len() > k {
-                        violations += 1;
-                    }
-                }
-            }
+            assert_eq!(cell.len(), 20, "20 seeds per (k, distinct) cell");
+            let all_commit = cell.iter().filter(|r| extra(r, "all_commit") == 1).count();
+            let some_commit = cell.iter().filter(|r| extra(r, "some_commit") == 1).count();
+            let violations = cell
+                .iter()
+                .filter(|r| r.verdict == upsilon_scenario::matrix::Verdict::Violation)
+                .count();
             t.row([
                 k.to_string(),
                 distinct.to_string(),
@@ -711,21 +696,25 @@ fn e10_converge() {
 
 /// E11 (snapshots \[1\]): native vs register-only snapshot — identical
 /// protocol outcomes, quadratic step overhead for the register version.
+/// The two substrates are the scenario's A/B arms.
 fn e11_snapshots() {
-    use upsilon_core::mem::SnapshotFlavor;
     let mut t = Table::new(
         "E11 — snapshot substrate: native vs Afek-et-al register-only (Fig. 1 workload)",
         &["n+1", "flavor", "steps mean (5 seeds)", "spec ok"],
     );
-    for n_plus_1 in [3usize, 4] {
-        for flavor in [SnapshotFlavor::Native, SnapshotFlavor::RegisterBased] {
-            let cfg = average_case_config(staggered_crashes(n_plus_1, 1, 40), 0).flavor(flavor);
-            let outs = sweep_seeds(&cfg, 0..5, |cfg| run_fig1(cfg, UpsilonChoice::default()));
-            let ok = outs.iter().all(|o| o.spec.is_ok());
-            let steps: Vec<u64> = outs.iter().map(|o| o.total_steps).collect();
+    let records = scenario_records("e11-snapshots");
+    for n_plus_1 in [3i64, 4] {
+        for (arm, shown) in [("native", "Native"), ("register", "RegisterBased")] {
+            let cell: Vec<_> = records
+                .iter()
+                .filter(|r| r.arm == arm && binding_int(r, "n_plus_1") == n_plus_1)
+                .collect();
+            assert_eq!(cell.len(), 5, "5 seeds per (n+1, flavor) cell");
+            let ok = cell.iter().all(|r| r.matched);
+            let steps: Vec<u64> = cell.iter().map(|r| r.out.states).collect();
             t.row([
                 n_plus_1.to_string(),
-                format!("{flavor:?}"),
+                shown.to_string(),
                 Summary::of(&steps).mean.to_string(),
                 ok.to_string(),
             ]);

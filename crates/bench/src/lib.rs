@@ -11,7 +11,7 @@ pub use upsilon_core as core_api;
 
 use upsilon_core::experiment::{AgreementConfig, Sched};
 use upsilon_core::fd::UpsilonNoise;
-use upsilon_core::sim::{FailurePattern, ProcessId, Time};
+use upsilon_core::sim::{FailurePattern, Time};
 
 /// The canonical worst-case configuration for latency experiments:
 /// lock-step scheduling and constant-Π noise, so decisions genuinely wait
@@ -30,18 +30,16 @@ pub fn average_case_config(pattern: FailurePattern, seed: u64) -> AgreementConfi
 }
 
 /// A pattern with `crashes` processes failing at staggered times.
-pub fn staggered_crashes(n_plus_1: usize, crashes: usize, first_at: u64) -> FailurePattern {
-    assert!(crashes < n_plus_1);
-    let mut builder = FailurePattern::builder(n_plus_1);
-    for c in 0..crashes {
-        builder = builder.crash(ProcessId(c), Time(first_at + 30 * c as u64));
-    }
-    builder.build()
-}
+///
+/// The canonical implementation moved to
+/// [`upsilon_core::experiment::staggered_crashes`] so the scenario cell
+/// runners can share it; this re-export keeps the bench-side name.
+pub use upsilon_core::experiment::staggered_crashes;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use upsilon_core::sim::ProcessId;
 
     #[test]
     fn staggered_crashes_shape() {

@@ -1,5 +1,15 @@
 //! Ready-made exploration configurations over the paper's artifacts.
 //!
+//! **Deprecation note.** Direct use of these constructors is the legacy
+//! entry path. The canonical way to select and parameterize a workload is
+//! now a scenario file: the checked-in `scenarios/*.toml` documents bind
+//! each of these samples by protocol name through the `upsilon-scenario`
+//! registry, which calls back into this module — so the constructors stay
+//! the single source of truth for what each workload *is*, while axis
+//! choices (n, depth, fault budgets, A/B arms) live in the declarative
+//! layer. New workloads should be added here **and** given a scenario
+//! file; new call sites should go through `upsilon-scenario`.
+//!
 //! Three families:
 //!
 //! * [`fig1`] / [`fig1_mutating`] — the paper's Fig. 1 protocol under a

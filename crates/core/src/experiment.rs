@@ -333,6 +333,18 @@ pub fn run_upsilon1_consensus(cfg: &AgreementConfig, choice: UpsilonChoice) -> A
     run_with_oracle(cfg, oracle, algos, 1)
 }
 
+/// A pattern with `crashes` processes failing at staggered times: `p_c`
+/// crashes at `first_at + 30·c`. The canonical crash script shared by the
+/// latency benchmarks and the E9/E11 scenario cells.
+pub fn staggered_crashes(n_plus_1: usize, crashes: usize, first_at: u64) -> FailurePattern {
+    assert!(crashes < n_plus_1);
+    let mut builder = FailurePattern::builder(n_plus_1);
+    for c in 0..crashes {
+        builder = builder.crash(ProcessId(c), Time(first_at + 30 * c as u64));
+    }
+    builder.build()
+}
+
 /// Runs the same experiment at many seeds, fanned across the
 /// [`run_batch`] worker pool; outcomes come back in seed order.
 ///

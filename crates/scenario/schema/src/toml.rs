@@ -1,0 +1,423 @@
+//! A minimal, dependency-free TOML-subset parser with span-carrying
+//! diagnostics.
+//!
+//! The subset is exactly what scenario files need and nothing more:
+//!
+//! * `# comments`, blank lines;
+//! * table headers `[name]` and dotted headers `[variant.arm]`;
+//! * `key = value` entries where the value is a string (`"..."` with
+//!   `\" \\ \n \t` escapes), an integer, a float, a boolean, or a
+//!   single-line array of homogeneous scalars;
+//! * bare keys made of letters, digits, `_` and `-`.
+//!
+//! Every entry and header records its 1-based line and column so
+//! higher-level validation ([`crate::ScenarioDoc::parse`]) can report
+//! *where* a scenario is wrong, not just that it is.
+
+use std::fmt;
+
+/// A span-carrying parse or validation diagnostic.
+///
+/// The rendering is stable (`line L, col C: message`) so golden tests can
+/// assert on it; callers prepend the file name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diag {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl Diag {
+    pub(crate) fn new(line: u32, col: u32, msg: impl Into<String>) -> Self {
+        Diag {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// One scalar value of the subset.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Scalar {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal (always rendered with a decimal point).
+    Float(f64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A quoted string.
+    Str(String),
+}
+
+impl Scalar {
+    /// A short name of the scalar's type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Scalar::Int(_) => "integer",
+            Scalar::Float(_) => "float",
+            Scalar::Bool(_) => "boolean",
+            Scalar::Str(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    /// Renders the scalar in its canonical TOML form (strings quoted and
+    /// escaped, floats always with a decimal point).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v:?}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+        }
+    }
+}
+
+/// A raw parsed value: a scalar or a one-level array of scalars.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) enum RawValue {
+    Scalar(Scalar),
+    Array(Vec<Scalar>),
+}
+
+/// One `key = value` entry with the spans of both sides.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct Entry {
+    pub key: String,
+    pub line: u32,
+    pub col: u32,
+    pub value: RawValue,
+    pub vline: u32,
+    pub vcol: u32,
+}
+
+/// One section: the implicit root (empty path) or a `[a.b]` table.
+#[derive(Clone, PartialEq, Debug)]
+pub(crate) struct Section {
+    pub path: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+    pub entries: Vec<Entry>,
+}
+
+fn is_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// A single line being scanned, with 1-based position tracking.
+struct Line<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    _text: &'a str,
+}
+
+impl Line<'_> {
+    fn col(&self) -> u32 {
+        self.pos as u32 + 1
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diag {
+        Diag::new(self.line, self.col(), msg)
+    }
+
+    /// Whether the rest of the line is only whitespace or a comment.
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        matches!(self.peek(), None | Some('#'))
+    }
+
+    fn parse_key(&mut self) -> Result<(String, u32), Diag> {
+        self.skip_ws();
+        let col = self.col();
+        let mut key = String::new();
+        while let Some(c) = self.peek() {
+            if is_key_char(c) {
+                key.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            return Err(self.err("expected a key"));
+        }
+        Ok((key, col))
+    }
+
+    fn parse_string(&mut self) -> Result<Scalar, Diag> {
+        debug_assert_eq!(self.peek(), Some('"'));
+        let start = self.col();
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(Diag::new(self.line, start, "unterminated string")),
+                Some('"') => return Ok(Scalar::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    other => {
+                        return Err(self.err(format!(
+                            "unsupported escape {:?}",
+                            other.map(String::from).unwrap_or_default()
+                        )))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_bare(&mut self) -> Result<Scalar, Diag> {
+        let col = self.col();
+        let mut tok = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() || c == ',' || c == ']' || c == '#' {
+                break;
+            }
+            tok.push(c);
+            self.pos += 1;
+        }
+        match tok.as_str() {
+            "" => Err(Diag::new(self.line, col, "expected a value")),
+            "true" => Ok(Scalar::Bool(true)),
+            "false" => Ok(Scalar::Bool(false)),
+            _ => {
+                if let Ok(i) = tok.parse::<i64>() {
+                    return Ok(Scalar::Int(i));
+                }
+                if tok.contains('.') || tok.contains('e') || tok.contains('E') {
+                    if let Ok(f) = tok.parse::<f64>() {
+                        if f.is_finite() {
+                            return Ok(Scalar::Float(f));
+                        }
+                    }
+                }
+                Err(Diag::new(
+                    self.line,
+                    col,
+                    format!(
+                        "unrecognized value {tok:?} (expected string, integer, float or boolean)"
+                    ),
+                ))
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, Diag> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => self.parse_string(),
+            Some('[') => Err(self.err("nested arrays are not supported")),
+            _ => self.parse_bare(),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<RawValue, Diag> {
+        self.skip_ws();
+        if self.peek() != Some('[') {
+            return Ok(RawValue::Scalar(self.parse_scalar()?));
+        }
+        let start = self.col();
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Err(Diag::new(self.line, start, "unterminated array")),
+                Some(']') => {
+                    self.pos += 1;
+                    if items.is_empty() {
+                        return Err(Diag::new(self.line, start, "empty array"));
+                    }
+                    return Ok(RawValue::Array(items));
+                }
+                _ => {
+                    items.push(self.parse_scalar()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(',') => {
+                            self.pos += 1;
+                        }
+                        Some(']') => {}
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parses the subset into an ordered list of sections; the first section is
+/// the implicit root (empty path).
+pub(crate) fn parse_sections(text: &str) -> Result<Vec<Section>, Diag> {
+    let mut sections = vec![Section {
+        path: Vec::new(),
+        line: 1,
+        col: 1,
+        entries: Vec::new(),
+    }];
+    for (idx, raw) in text.lines().enumerate() {
+        let mut line = Line {
+            chars: raw.chars().collect(),
+            pos: 0,
+            line: idx as u32 + 1,
+            _text: raw,
+        };
+        if line.at_end() {
+            continue;
+        }
+        if line.peek() == Some('[') {
+            let hcol = line.col();
+            line.pos += 1;
+            let mut path = Vec::new();
+            loop {
+                let (part, _) = line.parse_key()?;
+                path.push(part);
+                line.skip_ws();
+                match line.bump() {
+                    Some('.') => continue,
+                    Some(']') => break,
+                    _ => return Err(Diag::new(line.line, hcol, "malformed table header")),
+                }
+            }
+            if !line.at_end() {
+                return Err(line.err("trailing characters after table header"));
+            }
+            sections.push(Section {
+                path,
+                line: line.line,
+                col: hcol,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, kcol) = line.parse_key()?;
+        line.skip_ws();
+        if line.bump() != Some('=') {
+            return Err(line.err(format!("expected '=' after key {key:?}")));
+        }
+        line.skip_ws();
+        let vline = line.line;
+        let vcol = line.col();
+        let value = line.parse_value()?;
+        if !line.at_end() {
+            return Err(line.err("trailing characters after value"));
+        }
+        let section = sections.last_mut().expect("root section always present");
+        if section.entries.iter().any(|e| e.key == key) {
+            return Err(Diag::new(
+                line.line,
+                kcol,
+                format!("duplicate key {key:?} in this table"),
+            ));
+        }
+        section.entries.push(Entry {
+            key,
+            line: line.line,
+            col: kcol,
+            value,
+            vline,
+            vcol,
+        });
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_values() {
+        let text = "name = \"fig1\"\nn = 3\nok = true\nf = 1.5\n[params]\ndepth = [5, 6]\n[variant.a]\nk = 2\n";
+        let sections = parse_sections(text).expect("parses");
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].entries.len(), 4);
+        assert_eq!(
+            sections[0].entries[0].value,
+            RawValue::Scalar(Scalar::Str("fig1".into()))
+        );
+        assert_eq!(sections[1].path, vec!["params".to_string()]);
+        assert_eq!(
+            sections[1].entries[0].value,
+            RawValue::Array(vec![Scalar::Int(5), Scalar::Int(6)])
+        );
+        assert_eq!(
+            sections[2].path,
+            vec!["variant".to_string(), "a".to_string()]
+        );
+    }
+
+    #[test]
+    fn diagnostics_carry_spans() {
+        let d = parse_sections("a = \n").expect_err("missing value");
+        assert_eq!((d.line, d.col), (1, 5));
+        let d = parse_sections("x = 3\ny = oops\n").expect_err("bad value");
+        assert_eq!(d.line, 2);
+        assert!(d.to_string().starts_with("line 2, col 5:"), "{d}");
+        let d = parse_sections("a = 1\na = 2\n").expect_err("dup key");
+        assert_eq!((d.line, d.col), (2, 1));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = Scalar::Str("a\"b\\c\nd\te".into());
+        let rendered = s.to_string();
+        let parsed = parse_sections(&format!("k = {rendered}\n")).expect("parses");
+        assert_eq!(parsed[0].entries[0].value, RawValue::Scalar(s));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\nk = 1 # trailing\n";
+        let sections = parse_sections(text).expect("parses");
+        assert_eq!(sections[0].entries.len(), 1);
+    }
+}

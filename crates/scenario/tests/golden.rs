@@ -1,0 +1,89 @@
+//! Golden snapshots of the matrix result table: the JSONL evidence stream
+//! of small deterministic scenarios is byte-stable across runs, worker
+//! counts, and refactors. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p upsilon-scenario --test golden
+//! ```
+
+use std::path::PathBuf;
+
+use upsilon_scenario::load;
+use upsilon_scenario::matrix::{arm_summaries, run_matrix, to_jsonl};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{name}.jsonl"))
+}
+
+fn assert_golden(scenario: &str) {
+    let doc = load(scenario).expect("checked-in scenario");
+    let report = run_matrix(&doc, 0).expect("matrix runs");
+    assert!(report.deterministic, "{scenario}: repeats diverged");
+    assert!(report.ok, "{scenario}: a verdict missed its expectation");
+    let got = to_jsonl(&report.records);
+
+    // A different worker count must merge to the same evidence stream.
+    let again = run_matrix(&doc, 2).expect("matrix runs");
+    assert_eq!(
+        got,
+        to_jsonl(&again.records),
+        "{scenario}: evidence depends on worker count"
+    );
+
+    let path = golden_path(scenario);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with UPDATE_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "{scenario}: evidence stream drifted from {} (UPDATE_GOLDEN=1 regenerates)",
+        path.display()
+    );
+}
+
+#[test]
+fn snapshot_commit_matrix_is_golden() {
+    assert_golden("snapshot-commit");
+}
+
+#[test]
+fn pinned_upsilon_matrix_is_golden() {
+    assert_golden("pinned-upsilon");
+}
+
+#[test]
+fn e9_baseline_matrix_is_golden() {
+    assert_golden("e9-baseline");
+}
+
+/// The two-arm A/B comparison on the demo matrix: the sound and buggy
+/// arms of `snapshot-commit` differ in exactly the expected way.
+#[test]
+fn ab_comparison_separates_the_arms() {
+    let doc = load("snapshot-commit").expect("checked-in scenario");
+    let report = run_matrix(&doc, 0).expect("matrix runs");
+    let arms = arm_summaries(&report.records);
+    assert_eq!(arms.len(), 2);
+    let sound = &arms[0];
+    let buggy = &arms[1];
+    assert_eq!((sound.arm.as_str(), sound.violations), ("sound", 0));
+    assert_eq!(buggy.arm.as_str(), "buggy");
+    assert!(buggy.violations > 0, "buggy arm finds the seeded bug");
+    assert_eq!(sound.matched, sound.runs);
+    assert_eq!(buggy.matched, buggy.runs);
+    assert!(
+        sound.total_states > buggy.total_states,
+        "the sound arm explores past where the buggy arm stops"
+    );
+}

@@ -1,0 +1,118 @@
+//! Registry ↔ schema ↔ checked-in-files synchronization:
+//!
+//! * every protocol in [`KNOWN_PROTOCOLS`] is resolvable by exactly one
+//!   layer of the runner (check registry, experiment runners, bench
+//!   suite);
+//! * every required sample has a checked-in scenario file whose `kind` is
+//!   `check` and whose protocol matches;
+//! * the repeats axis re-runs coordinates without perturbing them.
+
+use upsilon_scenario::matrix::{run_matrix, validate_cells};
+use upsilon_scenario::registry::bench_workload_of;
+use upsilon_scenario::{
+    load, load_all, Cell, Expect, Kind, Scalar, KNOWN_PROTOCOLS, REQUIRED_SAMPLES,
+};
+
+/// Which runner layer owns each known protocol. A protocol no layer owns
+/// (or two layers own) is a registry drift this test pins down.
+#[test]
+fn every_known_protocol_has_exactly_one_runner() {
+    let check = [
+        "fig1",
+        "fig1-mutating",
+        "fig2",
+        "pinned-upsilon",
+        "snapshot-commit",
+        "stable-report",
+        "converge-offby1",
+        "fig2-dropped",
+    ];
+    let experiment = ["e9-baseline", "e10-converge", "e11-snapshots"];
+    let bench = ["bench-suite"];
+    for p in KNOWN_PROTOCOLS {
+        let owners = usize::from(check.contains(p))
+            + usize::from(experiment.contains(p))
+            + usize::from(bench.contains(p));
+        assert_eq!(owners, 1, "protocol `{p}` must have exactly one runner");
+    }
+    assert_eq!(
+        KNOWN_PROTOCOLS.len(),
+        check.len() + experiment.len() + bench.len(),
+        "a runner claims a protocol the schema does not know"
+    );
+}
+
+/// All six pre-refactor check samples are served from checked-in `.toml`
+/// files, plus at least one fuzz campaign and one E9–E11 experiment.
+#[test]
+fn checked_in_files_cover_the_required_surface() {
+    let docs = load_all().expect("all checked-in scenarios load");
+    for required in REQUIRED_SAMPLES {
+        let doc = docs
+            .iter()
+            .map(|(_, d)| d)
+            .find(|d| d.name == *required)
+            .unwrap_or_else(|| panic!("missing scenarios/{required}.toml"));
+        assert_eq!(doc.kind, Kind::Check, "{required} must be a check scenario");
+        assert_eq!(&doc.protocol, required);
+    }
+    assert!(
+        docs.iter().any(|(_, d)| d.kind == Kind::Fuzz),
+        "at least one fuzz campaign scenario"
+    );
+    assert!(
+        docs.iter().any(|(_, d)| matches!(
+            d.protocol.as_str(),
+            "e9-baseline" | "e10-converge" | "e11-snapshots"
+        )),
+        "at least one E9–E11 experiment scenario"
+    );
+    // Every checked-in scenario fully cell-resolves.
+    for (path, doc) in &docs {
+        validate_cells(doc).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
+
+/// The bench suite resolves each workload onto the check registry and
+/// carries its per-workload floor.
+#[test]
+fn bench_suite_cells_resolve_with_floors() {
+    let doc = load("bench-check").expect("checked-in scenario");
+    let cells = doc.expand();
+    assert_eq!(cells.len(), 5, "the five benched workloads");
+    for cell in &cells {
+        let (workload, target, floor) = bench_workload_of(cell).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(workload, cell.arm, "arm names the workload");
+        assert_eq!(target.n_plus_1(), 3);
+        assert!(floor.is_some(), "every benched workload pins a floor");
+    }
+}
+
+/// A malformed bench cell is rejected, not defaulted.
+#[test]
+fn bench_suite_rejects_unknown_workloads() {
+    let cell = Cell {
+        arm: "x".into(),
+        protocol: "bench-suite".into(),
+        expect: Expect::Pass,
+        bindings: vec![("workload".into(), Scalar::Str("warble".into()))],
+    };
+    let err = bench_workload_of(&cell).expect_err("unknown workload");
+    assert!(err.contains("not a check protocol"), "{err}");
+}
+
+/// `repeats > 1` re-runs coordinates and the determinism cross-check
+/// passes: repeated runs are indistinguishable.
+#[test]
+fn repeats_are_deterministic() {
+    let mut doc = load("pinned-upsilon").expect("checked-in scenario");
+    doc.repeats = 3;
+    let report = run_matrix(&doc, 0).expect("matrix runs");
+    assert_eq!(report.records.len(), 3);
+    assert!(report.deterministic);
+    assert!(report.ok);
+    assert!(report
+        .records
+        .iter()
+        .all(|r| r.out == report.records[0].out));
+}
