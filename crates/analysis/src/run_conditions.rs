@@ -193,15 +193,34 @@ pub struct RunStats {
 ///
 /// Returns the first violated condition.
 pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation> {
+    check_run_parts(
+        &view.pattern,
+        &view.events,
+        &view.outputs,
+        &view.fd_samples,
+        &view.induced,
+    )
+}
+
+/// The validator over borrowed run components — the allocation-free core
+/// behind [`check_run`] and [`check_run_for`]. Campaign runners call the
+/// validator on every execution, so it must not copy the trace it judges.
+fn check_run_parts<D: FdValue>(
+    pattern: &FailurePattern,
+    events: &[Event<D>],
+    outputs: &[(Time, ProcessId, Output)],
+    fd_samples: &[(Time, ProcessId, D)],
+    induced: &InducedTrace,
+) -> Result<RunStats, RunViolation> {
     let mut stats = RunStats {
-        events: view.events.len(),
-        outputs: view.outputs.len(),
+        events: events.len(),
+        outputs: outputs.len(),
         ..RunStats::default()
     };
 
     // Condition 3: strictly increasing times; condition 1 for steps.
     let mut last: Option<Time> = None;
-    for (index, ev) in view.events.iter().enumerate() {
+    for (index, ev) in events.iter().enumerate() {
         if last.is_some_and(|prev| ev.time <= prev) {
             return Err(RunViolation::NonIncreasingTime {
                 index,
@@ -209,7 +228,7 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
             });
         }
         last = Some(ev.time);
-        if view.pattern.is_crashed_at(ev.pid, ev.time) {
+        if pattern.is_crashed_at(ev.pid, ev.time) {
             return Err(RunViolation::StepAfterCrash {
                 pid: ev.pid,
                 time: ev.time,
@@ -220,8 +239,7 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
 
     // Condition 2 (recorded half): the k-th query step carries the k-th
     // sample, at the same process and time.
-    let queries: Vec<(&Event<D>, &D)> = view
-        .events
+    let queries: Vec<(&Event<D>, &D)> = events
         .iter()
         .filter_map(|ev| match &ev.kind {
             StepKind::Query(d) => Some((ev, d)),
@@ -229,13 +247,13 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
         })
         .collect();
     stats.queries = queries.len();
-    if queries.len() != view.fd_samples.len() {
+    if queries.len() != fd_samples.len() {
         return Err(RunViolation::QueryCountMismatch {
             queries: queries.len(),
-            samples: view.fd_samples.len(),
+            samples: fd_samples.len(),
         });
     }
-    for (index, ((ev, d), (st, sp, sd))) in queries.iter().zip(&view.fd_samples).enumerate() {
+    for (index, ((ev, d), (st, sp, sd))) in queries.iter().zip(fd_samples).enumerate() {
         if ev.time != *st || ev.pid != *sp {
             return Err(RunViolation::SampleMismatch {
                 index,
@@ -251,7 +269,7 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
                 detail: format!("query value {d:?} vs sample value {sd:?}"),
             });
         }
-        if view.pattern.is_crashed_at(*sp, *st) {
+        if pattern.is_crashed_at(*sp, *st) {
             return Err(RunViolation::StepAfterCrash {
                 pid: *sp,
                 time: *st,
@@ -261,22 +279,21 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
     }
 
     // Output integrity: the output list is exactly the `Output` steps.
-    let output_events: Vec<&Event<D>> = view
-        .events
+    let output_events: Vec<&Event<D>> = events
         .iter()
         .filter(|ev| matches!(ev.kind, StepKind::Output(_)))
         .collect();
-    if output_events.len() != view.outputs.len() {
+    if output_events.len() != outputs.len() {
         return Err(RunViolation::OutputMismatch {
-            index: output_events.len().min(view.outputs.len()),
+            index: output_events.len().min(outputs.len()),
             detail: format!(
                 "{} output steps in the trace but {} recorded outputs",
                 output_events.len(),
-                view.outputs.len()
+                outputs.len()
             ),
         });
     }
-    for (index, (ev, (t, p, o))) in output_events.iter().zip(&view.outputs).enumerate() {
+    for (index, (ev, (t, p, o))) in output_events.iter().zip(outputs).enumerate() {
         let StepKind::Output(eo) = &ev.kind else {
             unreachable!("filtered to output steps");
         };
@@ -289,7 +306,7 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
                 ),
             });
         }
-        if view.pattern.is_crashed_at(*p, *t) {
+        if pattern.is_crashed_at(*p, *t) {
             return Err(RunViolation::StepAfterCrash {
                 pid: *p,
                 time: *t,
@@ -299,8 +316,8 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
     }
 
     // Decide irrevocability.
-    let mut decided: Vec<Option<u64>> = vec![None; view.pattern.n_plus_1()];
-    for (t, p, o) in &view.outputs {
+    let mut decided: Vec<Option<u64>> = vec![None; pattern.n_plus_1()];
+    for (t, p, o) in outputs {
         if let Output::Decide(v) = o {
             stats.decisions += 1;
             match decided[p.index()] {
@@ -318,31 +335,30 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
     }
 
     // §3.4: σ and T̄ align with the output list.
-    if view.induced.sigma.len() != view.induced.times.len() {
+    if induced.sigma.len() != induced.times.len() {
         return Err(RunViolation::SigmaMisaligned {
             detail: format!(
                 "σ has {} entries but T̄ has {}",
-                view.induced.sigma.len(),
-                view.induced.times.len()
+                induced.sigma.len(),
+                induced.times.len()
             ),
         });
     }
-    if view.induced.sigma.len() != view.outputs.len() {
+    if induced.sigma.len() != outputs.len() {
         return Err(RunViolation::SigmaMisaligned {
             detail: format!(
                 "σ has {} entries but the run produced {} outputs",
-                view.induced.sigma.len(),
-                view.outputs.len()
+                induced.sigma.len(),
+                outputs.len()
             ),
         });
     }
     let mut last_t: Option<Time> = None;
-    for (i, (((sp, so), st), (t, p, o))) in view
-        .induced
+    for (i, (((sp, so), st), (t, p, o))) in induced
         .sigma
         .iter()
-        .zip(&view.induced.times)
-        .zip(&view.outputs)
+        .zip(&induced.times)
+        .zip(outputs)
         .enumerate()
     {
         if sp != p || so != o || st != t {
@@ -369,7 +385,14 @@ pub fn check_run<D: FdValue>(view: &RunView<D>) -> Result<RunStats, RunViolation
 ///
 /// Returns the first violated condition.
 pub fn check_run_for<D: FdValue>(run: &Run<D>) -> Result<RunStats, RunViolation> {
-    check_run(&RunView::of(run))
+    // Borrow the run's components directly — no trace copy per validation.
+    check_run_parts(
+        run.pattern(),
+        run.events(),
+        run.outputs(),
+        run.fd_samples(),
+        &run.induced_trace(),
+    )
 }
 
 /// Condition 2, determinism half: replays a freshly constructed oracle

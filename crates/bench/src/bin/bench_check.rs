@@ -39,7 +39,12 @@ use upsilon_sim::FdValue;
 
 /// Throughput floor (nodes spec-checked per second, matrix-reduced search,
 /// release build). The dev-profile CI floor lives in ci.yml instead.
-const MIN_STATES_PER_SEC: f64 = 500.0;
+/// Raised 200× with the snapshot-resume cursor (measured: >1M states/sec on
+/// the stable-report headline; generous margin for slow shared runners).
+const MIN_STATES_PER_SEC: f64 = 400_000.0;
+/// Snapshot-resume must beat stateless re-execution on wall clock somewhere
+/// (measured: 3-4× per workload).
+const MIN_TURBO_SPEEDUP: f64 = 2.5;
 /// The pre-matrix baseline (fig1, n+1 = 3, depth 9, lattice sleep sets):
 /// the best entry's `naive / matrix` ratio must beat it strictly.
 const BASELINE_RATIO: f64 = 18.72;
@@ -130,7 +135,13 @@ struct Sample {
     secs: f64,
 }
 
-/// The three modes of one workload, plus its recipe parameters.
+impl Sample {
+    fn states_per_sec(&self) -> f64 {
+        self.report.stats.nodes as f64 / self.secs
+    }
+}
+
+/// The measured modes of one workload, plus its recipe parameters.
 struct Entry {
     name: String,
     n: usize,
@@ -141,6 +152,11 @@ struct Entry {
     naive: Sample,
     lattice: Sample,
     matrix: Sample,
+    /// The matrix search re-executed stateless (turbo off) — the replay
+    /// baseline the snapshot-resume cursor is measured against.
+    stateless: Sample,
+    /// The matrix search with fingerprint dedup on.
+    dedup: Sample,
 }
 
 impl Entry {
@@ -153,12 +169,29 @@ impl Entry {
     }
 
     fn states_per_sec(&self) -> f64 {
-        self.matrix.report.stats.nodes as f64 / self.matrix.secs
+        self.matrix.states_per_sec()
+    }
+
+    /// Wall-clock speedup of snapshot-resume over stateless re-execution on
+    /// the same (matrix-reduced) search.
+    fn turbo_speedup(&self) -> f64 {
+        self.stateless.secs / self.matrix.secs
     }
 }
 
-fn explore<D: FdValue>(base: &CheckConfig<D>, reduction: bool, use_matrix: bool) -> Sample {
-    let cfg = base.clone().reduction(reduction).matrix(use_matrix);
+fn explore<D: FdValue>(
+    base: &CheckConfig<D>,
+    reduction: bool,
+    use_matrix: bool,
+    turbo: bool,
+    dedup: bool,
+) -> Sample {
+    let cfg = base
+        .clone()
+        .reduction(reduction)
+        .matrix(use_matrix)
+        .turbo(turbo)
+        .dedup(dedup);
     let start = Instant::now();
     let report = check(&cfg);
     Sample {
@@ -181,9 +214,11 @@ fn measure<D: FdValue>(
         depth,
         faults,
         floor,
-        naive: explore(base, false, false),
-        lattice: explore(base, true, false),
-        matrix: explore(base, true, true),
+        naive: explore(base, false, false, true, false),
+        lattice: explore(base, true, false, true, false),
+        matrix: explore(base, true, true, true, false),
+        stateless: explore(base, true, true, false, false),
+        dedup: explore(base, true, true, true, true),
     }
 }
 
@@ -288,8 +323,11 @@ fn json_entry(e: &Entry) -> String {
     format!(
         "    {{\n      \"workload\": \"{}\",\n      \"n_plus_1\": {},\n      \"depth\": {},\n      \
          \"faults\": {},\n      \"nodes_naive\": {},\n      \"nodes_lattice\": {},\n      \
-         \"nodes_matrix\": {},\n      \"sleep_pruned\": {},\n      \"reduction_ratio\": {:.2},\n      \
-         \"matrix_gain\": {:.2},\n      \"states_per_sec\": {:.1}\n    }}",
+         \"nodes_matrix\": {},\n      \"nodes_dedup\": {},\n      \"dedup_pruned\": {},\n      \
+         \"sleep_pruned\": {},\n      \"reduction_ratio\": {:.2},\n      \
+         \"matrix_gain\": {:.2},\n      \"turbo_speedup\": {:.2},\n      \
+         \"states_per_sec\": {:.1},\n      \"states_per_sec_naive\": {:.1},\n      \
+         \"states_per_sec_stateless\": {:.1}\n    }}",
         e.name,
         e.n,
         e.depth,
@@ -297,10 +335,15 @@ fn json_entry(e: &Entry) -> String {
         e.naive.report.stats.nodes,
         e.lattice.report.stats.nodes,
         e.matrix.report.stats.nodes,
+        e.dedup.report.stats.nodes,
+        e.dedup.report.stats.dedup_pruned,
         e.matrix.report.stats.sleep_pruned,
         e.ratio(),
         e.matrix_gain(),
+        e.turbo_speedup(),
         e.states_per_sec(),
+        e.naive.states_per_sec(),
+        e.stateless.states_per_sec(),
     )
 }
 
@@ -349,28 +392,35 @@ fn main() -> ExitCode {
             ("naive", &e.naive),
             ("lattice", &e.lattice),
             ("matrix", &e.matrix),
+            ("stateless", &e.stateless),
+            ("dedup", &e.dedup),
         ] {
             t.row([
                 mode.to_string(),
                 s.report.stats.nodes.to_string(),
                 s.report.stats.sleep_pruned.to_string(),
                 format!("{:.4}", s.secs),
-                format!("{:.0}", s.report.stats.nodes as f64 / s.secs),
+                format!("{:.0}", s.states_per_sec()),
             ]);
         }
         println!("{t}");
         println!(
-            "{}: reduction {:.1}x (floor {:.0}x), matrix gain {:.2}x",
+            "{}: reduction {:.1}x (floor {:.0}x), matrix gain {:.2}x, turbo speedup {:.2}x, \
+             dedup pruned {}",
             e.name,
             e.ratio(),
             e.floor,
-            e.matrix_gain()
+            e.matrix_gain(),
+            e.turbo_speedup(),
+            e.dedup.report.stats.dedup_pruned,
         );
 
         for (mode, s) in [
             ("naive", &e.naive),
             ("lattice", &e.lattice),
             ("matrix", &e.matrix),
+            ("stateless", &e.stateless),
+            ("dedup", &e.dedup),
         ] {
             if !s.report.ok() {
                 eprintln!("FAIL: {} must explore clean in {mode} mode", e.name);
@@ -380,6 +430,25 @@ fn main() -> ExitCode {
         if e.naive.report.violations != e.matrix.report.violations {
             eprintln!(
                 "FAIL: {}: naive and matrix searches disagree on violations",
+                e.name
+            );
+            failed = true;
+        }
+        if e.stateless.report != e.matrix.report {
+            eprintln!(
+                "FAIL: {}: snapshot-resume and stateless searches must produce \
+                 identical reports",
+                e.name
+            );
+            failed = true;
+        }
+        if e.dedup.report.violations != e.matrix.report.violations {
+            eprintln!("FAIL: {}: fingerprint dedup changed the verdict", e.name);
+            failed = true;
+        }
+        if e.dedup.report.stats.nodes > e.matrix.report.stats.nodes {
+            eprintln!(
+                "FAIL: {}: dedup explored more nodes than the plain search",
                 e.name
             );
             failed = true;
@@ -405,6 +474,7 @@ fn main() -> ExitCode {
 
     let best = entries.iter().map(Entry::ratio).fold(0.0, f64::max);
     let best_gain = entries.iter().map(Entry::matrix_gain).fold(0.0, f64::max);
+    let best_turbo = entries.iter().map(Entry::turbo_speedup).fold(0.0, f64::max);
     // The headline is the entry where the matrix refinement earns the
     // most — the number the artifact exists to defend — not a fixed
     // workload that may show a 1.00x gain.
@@ -434,6 +504,13 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+        if best_turbo < MIN_TURBO_SPEEDUP {
+            eprintln!(
+                "FAIL: best snapshot-resume speedup {best_turbo:.2}x below the \
+                 {MIN_TURBO_SPEEDUP}x floor"
+            );
+            failed = true;
+        }
     }
     if headline.states_per_sec() < MIN_STATES_PER_SEC {
         eprintln!(
@@ -455,6 +532,7 @@ fn main() -> ExitCode {
          \"nodes_reduced\": {},\n  \"nodes_naive\": {},\n  \"sleep_pruned\": {},\n  \
          \"reduction_ratio\": {:.2},\n  \"matrix_gain\": {:.2},\n  \"states_per_sec\": {:.1},\n  \
          \"best_reduction_ratio\": {best:.2},\n  \"best_matrix_gain\": {best_gain:.2},\n  \
+         \"best_turbo_speedup\": {best_turbo:.2},\n  \
          \"clean\": true,\n  \"entries\": [\n{}\n  ]\n}}\n",
         headline.name,
         headline.n,

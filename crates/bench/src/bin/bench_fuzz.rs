@@ -11,14 +11,19 @@
 //! round budget all come from the document. The seeded-mutant
 //! time-to-find suite is a fixed regression guard and is unaffected.
 //!
-//! Three measurements:
+//! Four measurements:
 //!
-//! 1. **Throughput** — a clean campaign over Fig. 1 (n + 1 = 3, the
-//!    ISSUE's reference workload) fanned out over `run_batch`, reported as
-//!    executions/second with a 50k floor (release build).
-//! 2. **Coverage growth** — the campaign's per-round coverage curve, so
-//!    plateaus (a saturated corpus) are visible in the artifact.
-//! 3. **Time-to-find** — for each seeded mutant, the index of the
+//! 1. **Throughput** — a clean campaign over the stable-report workload
+//!    (n + 1 = 2, depth 8) fanned out over the work-stealing pool,
+//!    reported as executions/second with a 250k floor (release build).
+//!    The short horizon makes this the harness-bound headline: campaign
+//!    overhead, not algorithm compute, is what it guards.
+//! 2. **Deep throughput** — the same campaign shape over Fig. 1
+//!    (n + 1 = 3, depth 24, one crash allowed), the algorithm-bound
+//!    reference workload, with its own floor.
+//! 3. **Coverage growth** — the per-round coverage curves, so plateaus
+//!    (a saturated corpus) are visible in the artifact.
+//! 4. **Time-to-find** — for each seeded mutant, the index of the
 //!    execution that produced the first counterexample under the fixed
 //!    benchmark seed; a budget regression shows up as a growing index.
 //!
@@ -33,14 +38,17 @@ use upsilon_core::table::Table;
 use upsilon_fuzz::{fuzz, FuzzConfig};
 use upsilon_sim::ProcessId;
 
-/// Throughput floor for the clean reference campaign (release build; the
-/// ISSUE's acceptance bar).
-const MIN_EXECS_PER_SEC: f64 = 50_000.0;
+/// Throughput floor for the harness-bound headline campaign (release
+/// build; the ISSUE's acceptance bar).
+const MIN_EXECS_PER_SEC: f64 = 250_000.0;
+
+/// Throughput floor for the algorithm-bound Fig. 1 depth-24 campaign.
+const MIN_DEEP_EXECS_PER_SEC: f64 = 75_000.0;
 
 const USAGE: &str = "usage: bench_fuzz [options]
   --execs N        executions per round for the throughput campaign (default 4096)
   --scenario FILE  resolve the throughput campaign from a kind = \"fuzz\"
-                   scenario file instead of the built-in fig1 target
+                   scenario file instead of the built-in stable-report target
   --out PATH       JSON artifact path (default BENCH_fuzz.json)
   --help           this text";
 
@@ -66,9 +74,33 @@ fn parse_args() -> Result<(u64, Option<String>, String), String> {
     Ok((execs, scenario, out))
 }
 
+/// Times a deterministic campaign three times (every pass produces the
+/// same report) and keeps the fastest pass, rejecting scheduler noise on
+/// loaded machines.
+fn best_timed(
+    mut run: impl FnMut() -> upsilon_fuzz::FuzzReport,
+) -> (upsilon_fuzz::FuzzReport, f64) {
+    let mut best: Option<(upsilon_fuzz::FuzzReport, f64)> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = run();
+        let rate = report.execs as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        if best.as_ref().is_none_or(|(_, b)| rate > *b) {
+            best = Some((report, rate));
+        }
+    }
+    best.expect("three passes ran")
+}
+
+/// [`best_timed`] over a fixed campaign configuration.
+fn best_of_3<D: upsilon_sim::FdValue>(cfg: &FuzzConfig<D>) -> (upsilon_fuzz::FuzzReport, f64) {
+    best_timed(|| fuzz(cfg, &[]))
+}
+
 /// Resolves the throughput campaign from a `kind = "fuzz"` scenario file:
-/// `(label, report)` for the file's first cell under its first seed.
-fn scenario_campaign(path: &str) -> Result<(String, upsilon_fuzz::FuzzReport), String> {
+/// `(label, report, execs/sec)` for the file's first cell under its first
+/// seed, timed best-of-three.
+fn scenario_campaign(path: &str) -> Result<(String, upsilon_fuzz::FuzzReport, f64), String> {
     let doc = upsilon_scenario::load_file(std::path::Path::new(path))?;
     if doc.kind != upsilon_scenario::Kind::Fuzz {
         return Err(format!("{path}: --scenario needs kind = \"fuzz\""));
@@ -81,7 +113,8 @@ fn scenario_campaign(path: &str) -> Result<(String, upsilon_fuzz::FuzzReport), S
     let seed = doc.seeds.first().copied().unwrap_or(0);
     let campaign = upsilon_scenario::resolve_fuzz(&doc, &cell, seed)?;
     let label = format!("{} ({})", doc.name, cell.label());
-    Ok((label, campaign.fuzz(&[])))
+    let (report, rate) = best_timed(|| campaign.fuzz(&[]));
+    Ok((label, report, rate))
 }
 
 /// One seeded-mutant measurement: `(execs spent, exec index of the first
@@ -120,27 +153,34 @@ fn main() -> ExitCode {
         }
     };
 
-    // 1 + 2: throughput and coverage growth on the clean reference
-    // workload — Fig. 1 (n + 1 = 3, one crash allowed) by default, or
-    // whatever campaign the scenario file declares.
-    let start = Instant::now();
-    let (label, report) = match &scenario {
+    // 1 + 3: throughput and coverage growth on the clean reference
+    // workload — stable-report (n + 1 = 2, depth 8) by default, or
+    // whatever campaign the scenario file declares. Campaigns are
+    // deterministic, so repeating one only re-times the identical work;
+    // the best of three rejects scheduler noise on loaded machines.
+    let (label, report, execs_per_sec) = match &scenario {
         Some(path) => match scenario_campaign(path) {
-            Ok(v) => v,
+            Ok((label, report, rate)) => (label, report, rate),
             Err(msg) => {
                 eprintln!("error: {msg}\n{USAGE}");
                 return ExitCode::from(2);
             }
         },
         None => {
-            let cfg = FuzzConfig::new(samples::fig1(3, 24, 1))
+            let cfg = FuzzConfig::new(samples::stable_report(2, 2, 8))
                 .seed(42)
                 .budget(4, execs);
-            ("Fig. 1, n+1 = 3, depth 24".to_string(), fuzz(&cfg, &[]))
+            let (report, rate) = best_of_3(&cfg);
+            ("stable-report, n+1 = 2, depth 8".to_string(), report, rate)
         }
     };
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    let execs_per_sec = report.execs as f64 / secs;
+
+    // 2: the algorithm-bound deep campaign (fixed; unaffected by
+    // --scenario).
+    let deep_cfg = FuzzConfig::new(samples::fig1(3, 24, 1))
+        .seed(42)
+        .budget(4, execs);
+    let (deep, deep_execs_per_sec) = best_of_3(&deep_cfg);
 
     let mut t = Table::new(
         format!("Fuzzer — {label}, {} execs", report.execs),
@@ -157,7 +197,22 @@ fn main() -> ExitCode {
         println!("  growth: execs={} coverage={}", g.execs, g.coverage);
     }
 
-    // 3: time-to-find for the three seeded mutants (same seeds and budgets
+    let mut dt = Table::new(
+        format!(
+            "Fuzzer (deep) — Fig. 1, n+1 = 3, depth 24, {} execs",
+            deep.execs
+        ),
+        &["metric", "value"],
+    );
+    dt.row(["execs/sec".to_string(), format!("{deep_execs_per_sec:.0}")]);
+    dt.row([
+        "coverage".to_string(),
+        deep.coverage_hashes.len().to_string(),
+    ]);
+    dt.row(["corpus".to_string(), deep.corpus.len().to_string()]);
+    println!("{dt}");
+
+    // 4: time-to-find for the three seeded mutants (same seeds and budgets
     // as the fuzz crate's mutation-detection suite).
     let mutants: Vec<(&str, TimeToFind)> = vec![
         (
@@ -202,6 +257,19 @@ fn main() -> ExitCode {
         eprintln!("FAIL: {execs_per_sec:.0} execs/sec below the {MIN_EXECS_PER_SEC:.0} floor");
         failed = true;
     }
+    if !deep.ok() {
+        eprintln!(
+            "FAIL: the deep campaign must be clean, found {:?}",
+            deep.violations[0].spec
+        );
+        failed = true;
+    }
+    if deep_execs_per_sec < MIN_DEEP_EXECS_PER_SEC {
+        eprintln!(
+            "FAIL: deep campaign {deep_execs_per_sec:.0} execs/sec below the {MIN_DEEP_EXECS_PER_SEC:.0} floor"
+        );
+        failed = true;
+    }
     for (name, r) in &mutants {
         if let Err(e) = r {
             eprintln!("FAIL: {name}: {e}");
@@ -227,17 +295,29 @@ fn main() -> ExitCode {
         .collect();
     let workload_label = match &scenario {
         Some(_) => format!("{label} fuzzing"),
-        None => "fig1 fuzzing, n_plus_1 = 3, depth 24".to_string(),
+        None => "stable-report fuzzing, n_plus_1 = 2, depth 8".to_string(),
     };
+    let deep_growth: Vec<String> = deep
+        .growth
+        .iter()
+        .map(|g| format!("{{\"execs\":{},\"coverage\":{}}}", g.execs, g.coverage))
+        .collect();
     let json = format!(
         "{{\n  \"workload\": \"{workload_label}\",\n  \
          \"execs\": {},\n  \"execs_per_sec\": {execs_per_sec:.1},\n  \
          \"coverage\": {},\n  \"corpus\": {},\n  \"growth\": [{}],\n  \
+         \"deep\": {{\n    \"workload\": \"fig1 fuzzing, n_plus_1 = 3, depth 24\",\n    \
+         \"execs\": {},\n    \"execs_per_sec\": {deep_execs_per_sec:.1},\n    \
+         \"coverage\": {},\n    \"corpus\": {},\n    \"growth\": [{}]\n  }},\n  \
          \"time_to_find\": [{}],\n  \"clean\": true\n}}\n",
         report.execs,
         report.coverage_hashes.len(),
         report.corpus.len(),
         growth.join(","),
+        deep.execs,
+        deep.coverage_hashes.len(),
+        deep.corpus.len(),
+        deep_growth.join(","),
         ttf.join(","),
     );
     std::fs::write(&out, &json).expect("write benchmark artifact");

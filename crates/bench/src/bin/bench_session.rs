@@ -1,0 +1,117 @@
+//! Microbenchmark of the snapshot-resume session primitives: step, save,
+//! restore and fingerprint, on a real workload's algorithms.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin bench_session [iters]
+//! ```
+//!
+//! Prints nanoseconds per operation — the cost model behind the turbo
+//! explorer's per-node budget (one step + one save per node, one restore
+//! per backtrack-to-sibling).
+
+use std::sync::Arc;
+use std::time::Instant;
+use upsilon_check::{samples, MenuOracle};
+use upsilon_sim::{FailurePattern, ProcessId, Session, TraceLevel};
+
+fn main() {
+    let iters: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let cfg = samples::stable_report(3, 2, 10);
+    let n = cfg.n_plus_1;
+    let fresh_session = || {
+        let oracle = MenuOracle::new(Arc::clone(&cfg.menu), n, vec![Vec::new(); n]);
+        Session::new(
+            FailurePattern::failure_free(n),
+            Arc::clone(&cfg.algos),
+            Box::new(oracle),
+            TraceLevel::Steps,
+            cfg.use_matrix,
+        )
+    };
+
+    // One full leftmost descent (step only): the floor per node.
+    let start = Instant::now();
+    let mut steps = 0u64;
+    for _ in 0..iters {
+        let mut s = fresh_session();
+        for _ in 0..cfg.depth {
+            let Some(p) = (0..n).map(ProcessId).find(|&p| s.eligible(p)) else {
+                break;
+            };
+            s.step(p);
+            steps += 1;
+        }
+    }
+    println!(
+        "step           {:>7.0} ns/op  ({steps} steps)",
+        start.elapsed().as_secs_f64() * 1e9 / steps as f64
+    );
+
+    // step + save, the explorer's descent cost.
+    let start = Instant::now();
+    let mut saves = 0u64;
+    for _ in 0..iters {
+        let mut s = fresh_session();
+        let mut stack = vec![s.save()];
+        for _ in 0..cfg.depth {
+            let Some(p) = (0..n).map(ProcessId).find(|&p| s.eligible(p)) else {
+                break;
+            };
+            s.step(p);
+            stack.push(s.save());
+            saves += 1;
+        }
+    }
+    println!(
+        "step + save    {:>7.0} ns/op  ({saves} saves)",
+        start.elapsed().as_secs_f64() * 1e9 / saves as f64
+    );
+
+    // Restore to the midpoint of a full descent, repeatedly.
+    let mut s = fresh_session();
+    let mut stack = vec![s.save()];
+    for _ in 0..cfg.depth {
+        let Some(p) = (0..n).map(ProcessId).find(|&p| s.eligible(p)) else {
+            break;
+        };
+        s.step(p);
+        stack.push(s.save());
+    }
+    // Shallower and shallower: restoring truncates the logs, so each target
+    // must be an ancestor of the previous one.
+    for (label, at) in [
+        ("deep", stack.len() - 1),
+        ("mid", stack.len() / 2),
+        ("root", 0),
+    ] {
+        let target = &stack[at];
+        let start = Instant::now();
+        for _ in 0..iters {
+            let oracle = MenuOracle::with_counts(
+                Arc::clone(&cfg.menu),
+                n,
+                vec![Vec::new(); n],
+                &target.query_counts(),
+            );
+            s.restore(target, Box::new(oracle));
+        }
+        println!(
+            "restore({label:<4})  {:>7.0} ns/op  (depth {at})",
+            start.elapsed().as_secs_f64() * 1e9 / f64::from(iters),
+        );
+    }
+
+    // Fingerprint of the mid-depth state.
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc ^= s.fingerprint();
+    }
+    println!(
+        "fingerprint    {:>7.0} ns/op  (acc {acc:x})",
+        start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+    );
+}

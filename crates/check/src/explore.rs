@@ -43,12 +43,15 @@
 //! each candidate), and reported with both raw and shrunk tokens.
 
 use crate::menu::{FdMenu, MenuOracle, QueryRecord};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 use upsilon_analysis::{RunConditionsSpec, RunSpec};
 use upsilon_core::shrink::ddmin_counted;
 use upsilon_sim::{
-    ops_commute, resolve, run_batch, Access, AlgoFn, EngineKind, FdValue, Key, Memory, ProcessId,
-    ReplayToken, ResolvedOp, Run, SimBuilder, StepKind, Time,
+    ops_commute, resolve, run_stealing, trace_fingerprint, Access, AlgoFn, EngineKind,
+    FailurePattern, FdValue, FnvWrite, Key, Memory, OpSig, ProcessId, ReplayToken, ResolvedOp, Run,
+    Session, SessionSave, SessionStep, SimBuilder, StealJob, StealScope, StepKind, Time,
+    TraceLevel,
 };
 
 /// One scheduling decision of the explorer.
@@ -74,8 +77,9 @@ pub enum Footprint {
         /// The op's signature resolved against the generated commutativity
         /// matrix (`upsilon_sim::commute`), when the exploration records
         /// signatures and the object type is analyzed. `None` falls back to
-        /// the `Access` lattice alone.
-        sig: Option<ResolvedOp>,
+        /// the `Access` lattice alone. Shared: resolutions are memoized per
+        /// exploration and footprints are cloned into sleep sets freely.
+        sig: Option<Arc<ResolvedOp>>,
     },
 }
 
@@ -139,6 +143,24 @@ pub struct CheckConfig<D: FdValue> {
     /// Sleep-set partial-order reduction; `false` explores the full tree
     /// (the naive baseline benchmarked against).
     pub reduction: bool,
+    /// Snapshot-resume execution (on by default): nodes run on an
+    /// incremental [`Session`] that saves at every node and rewinds by
+    /// fast-forward replay, instead of re-executing each path from the
+    /// root. Byte-identical reports either way; automatically falls back
+    /// to stateless re-execution under [`EngineKind::Threads`] (thread
+    /// state machines cannot be rewound).
+    pub turbo: bool,
+    /// State-fingerprint deduplication (off by default): prune a node whose
+    /// canonical fingerprint — object states plus per-process trace digests
+    /// plus the unserved pick script, crash context and remaining budgets —
+    /// was already fully explored with an equal-or-looser sleep set and an
+    /// equal-or-deeper remaining depth. Sound for the state-based,
+    /// trace-closed specs this checker is built for (verdicts are functions
+    /// of per-process projections, which equal fingerprints pin down);
+    /// the differential suite locks verdict equality per scenario. Requires
+    /// `turbo` (fingerprints come from the live session) and implies full
+    /// trace detail so op responses enter the digest.
+    pub dedup: bool,
     /// Refine the conflict relation through the generated per-op-pair
     /// commutativity matrix (`upsilon_sim::commute`): op signatures are
     /// recorded on every node and lattice conflicts the matrix proves
@@ -151,7 +173,7 @@ pub struct CheckConfig<D: FdValue> {
     /// Worker threads for the frontier fan-out (`0` = default pool).
     pub workers: usize,
     /// Path length at which subtrees are fanned out over
-    /// [`run_batch`]; `0` explores serially.
+    /// `run_stealing`; `0` explores serially.
     pub split_depth: usize,
     /// Node budget (per frontier job when fanned out).
     pub max_nodes: u64,
@@ -168,6 +190,8 @@ impl<D: FdValue> std::fmt::Debug for CheckConfig<D> {
             .field("depth", &self.depth)
             .field("max_faults", &self.max_faults)
             .field("reduction", &self.reduction)
+            .field("turbo", &self.turbo)
+            .field("dedup", &self.dedup)
             .field("split_depth", &self.split_depth)
             .finish_non_exhaustive()
     }
@@ -190,6 +214,8 @@ impl<D: FdValue> CheckConfig<D> {
             specs: Vec::new(),
             algos,
             reduction: true,
+            turbo: true,
+            dedup: false,
             use_matrix: true,
             engine: EngineKind::Inline,
             workers: 0,
@@ -215,6 +241,19 @@ impl<D: FdValue> CheckConfig<D> {
     /// Enables or disables the sleep-set reduction.
     pub fn reduction(mut self, on: bool) -> Self {
         self.reduction = on;
+        self
+    }
+
+    /// Enables or disables snapshot-resume execution (on by default).
+    pub fn turbo(mut self, on: bool) -> Self {
+        self.turbo = on;
+        self
+    }
+
+    /// Enables or disables state-fingerprint deduplication (off by
+    /// default; effective only with `turbo` on an inline engine).
+    pub fn dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
         self
     }
 
@@ -254,6 +293,9 @@ pub struct CheckStats {
     pub depth_leaves: u64,
     /// Step children that produced no step (the process finished instantly).
     pub no_step_children: u64,
+    /// Nodes pruned because an equal state fingerprint was already fully
+    /// explored (always 0 unless [`CheckConfig::dedup`] is on).
+    pub dedup_pruned: u64,
     /// Whether a node or violation budget cut the search short.
     pub truncated: bool,
 }
@@ -266,6 +308,7 @@ impl CheckStats {
         self.fd_variant_nodes += other.fd_variant_nodes;
         self.depth_leaves += other.depth_leaves;
         self.no_step_children += other.no_step_children;
+        self.dedup_pruned += other.dedup_pruned;
         self.truncated |= other.truncated;
     }
 }
@@ -527,33 +570,322 @@ fn crash_allowed(path: &[Choice], p: ProcessId) -> bool {
     }
 }
 
-fn footprint<D: FdValue>(exec: &Exec<D>) -> Footprint {
-    match &exec
-        .run
-        .events()
-        .last()
-        .expect("step child has an event")
-        .kind
-    {
+/// Memoized signature resolutions: `resolve` re-parses the op's `Debug`
+/// rendering, and the hot loop resolves the same few signatures at every
+/// stepped child.
+type ResolveMemo = BTreeMap<OpSig, Option<Arc<ResolvedOp>>>;
+
+fn footprint_of<D: FdValue>(run: &Run<D>, memory: &Memory, memo: &mut ResolveMemo) -> Footprint {
+    match &run.events().last().expect("step child has an event").kind {
         StepKind::Op {
             object,
             access,
             sig,
             ..
         } => Footprint::Obj {
-            key: exec
-                .memory
+            key: memory
                 .name_of(*object)
                 .expect("every allocated object is named")
                 .clone(),
             access: *access,
-            sig: sig.as_ref().and_then(resolve),
+            sig: sig.as_ref().and_then(|s| {
+                if let Some(cached) = memo.get(s) {
+                    return cached.clone();
+                }
+                let resolved = resolve(s).map(Arc::new);
+                memo.insert(s.clone(), resolved.clone());
+                resolved
+            }),
         },
         _ => Footprint::Local,
     }
 }
 
-/// A deferred subtree, ready to run on a worker.
+/// Whether a configuration runs its nodes on the snapshot-resume session.
+/// The thread engine's state machines live on OS threads and cannot be
+/// rewound, so `turbo` silently degrades to stateless re-execution there.
+fn turbo_active<D: FdValue>(cfg: &CheckConfig<D>) -> bool {
+    cfg.turbo && cfg.engine == EngineKind::Inline
+}
+
+/// The snapshot-resume cursor: one live [`Session`] plus a stack of saves,
+/// one per node on the current path. Stepping descends in place; a save is
+/// taken at every node entered; rewinding is *lazy* — [`TurboCursor::pop`]
+/// only marks the session dirty, and the restore (fast-forward replay into
+/// fresh futures) happens when the next sibling actually needs the parent
+/// state. A leftmost descent therefore never replays at all.
+struct TurboCursor<'a, D: FdValue> {
+    cfg: &'a CheckConfig<D>,
+    session: Session<D>,
+    saves: Vec<SessionSave>,
+    /// The pick script the live oracle was built with; a pushed step whose
+    /// script differs (a detector variant) forces a restore with a fresh
+    /// oracle even when the session is otherwise positioned correctly.
+    cur_picks: Vec<Vec<u32>>,
+    log: Arc<Mutex<Vec<QueryRecord>>>,
+    /// Whether the live session has moved past the top save.
+    dirty: bool,
+}
+
+impl<'a, D: FdValue> TurboCursor<'a, D> {
+    fn new(cfg: &'a CheckConfig<D>) -> Self {
+        let picks = vec![Vec::new(); cfg.n_plus_1];
+        let oracle = MenuOracle::new(Arc::clone(&cfg.menu), cfg.n_plus_1, picks.clone());
+        let log = oracle.log();
+        // Dedup digests must see op responses (two states that answered the
+        // same op differently must hash apart), which only the full trace
+        // records; without dedup the session matches the stateless replay's
+        // trace level byte for byte.
+        let trace_level = if cfg.dedup {
+            TraceLevel::Full
+        } else {
+            TraceLevel::Steps
+        };
+        let session = Session::new(
+            FailurePattern::failure_free(cfg.n_plus_1),
+            Arc::clone(&cfg.algos),
+            Box::new(oracle),
+            trace_level,
+            cfg.use_matrix,
+        );
+        let saves = vec![session.save()];
+        TurboCursor {
+            cfg,
+            session,
+            saves,
+            cur_picks: picks,
+            log,
+            dirty: false,
+        }
+    }
+
+    /// Re-positions the session at the top save if it drifted (or if the
+    /// pick script changed, which requires a freshly positioned oracle).
+    fn ensure_clean(&mut self, picks: &[Vec<u32>]) {
+        if !self.dirty && self.cur_picks == picks {
+            return;
+        }
+        let save = self
+            .saves
+            .last()
+            .expect("cursor always holds the root save");
+        let oracle = MenuOracle::with_counts(
+            Arc::clone(&self.cfg.menu),
+            self.cfg.n_plus_1,
+            picks.to_vec(),
+            &save.query_counts(),
+        );
+        self.log = oracle.log();
+        self.session.restore(save, Box::new(oracle));
+        self.cur_picks = picks.to_vec();
+        self.dirty = false;
+    }
+
+    fn push_step(&mut self, p: ProcessId, picks: &[Vec<u32>]) -> bool {
+        self.ensure_clean(picks);
+        match self.session.step(p) {
+            SessionStep::Stepped => {
+                self.saves.push(self.session.save());
+                self.dirty = false;
+                true
+            }
+            SessionStep::NoStep => {
+                // The grant consumed no step but marked the process known-
+                // finished; the next push's restore erases that.
+                self.dirty = true;
+                false
+            }
+        }
+    }
+
+    fn push_crash(&mut self, p: ProcessId, picks: &[Vec<u32>]) {
+        self.ensure_clean(picks);
+        self.session.crash(p);
+        self.saves.push(self.session.save());
+        self.dirty = false;
+    }
+
+    fn pop(&mut self) {
+        self.saves.pop();
+        self.dirty = true;
+    }
+}
+
+/// The classic stateless cursor: every pushed node re-executes its whole
+/// path from the root through [`SimBuilder`].
+struct StatelessCursor<'a, D: FdValue> {
+    cfg: &'a CheckConfig<D>,
+    path: Vec<Choice>,
+    execs: Vec<Exec<D>>,
+}
+
+impl<'a, D: FdValue> StatelessCursor<'a, D> {
+    fn at_path(cfg: &'a CheckConfig<D>, path: &[Choice], picks: &[Vec<u32>]) -> Self {
+        StatelessCursor {
+            cfg,
+            path: path.to_vec(),
+            execs: vec![execute(cfg, path, picks)],
+        }
+    }
+
+    fn top(&self) -> &Exec<D> {
+        self.execs
+            .last()
+            .expect("cursor always holds the root exec")
+    }
+
+    fn push_step(&mut self, p: ProcessId, picks: &[Vec<u32>]) -> bool {
+        let before = self.top().run.total_steps();
+        self.path.push(Choice::Step(p));
+        let child = execute(self.cfg, &self.path, picks);
+        if child.run.total_steps() == before {
+            // The process finished without taking a step: no new state.
+            self.path.pop();
+            return false;
+        }
+        self.execs.push(child);
+        true
+    }
+
+    fn push_crash(&mut self, p: ProcessId, picks: &[Vec<u32>]) {
+        self.path.push(Choice::Crash(p));
+        self.execs.push(execute(self.cfg, &self.path, picks));
+    }
+
+    fn pop(&mut self) {
+        self.path.pop();
+        self.execs.pop();
+    }
+}
+
+/// Either execution strategy behind one node-navigation interface. Every
+/// observer method assumes the cursor is *clean* (positioned exactly at the
+/// node of the last successful push), which the explorer guarantees by
+/// reading a node before descending into its children.
+// The turbo variant is big (a full session plus its save stack), but a
+// cursor is created once per subtree job, not per node — boxing it would
+// buy nothing on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Cursor<'a, D: FdValue> {
+    Turbo(TurboCursor<'a, D>),
+    Stateless(StatelessCursor<'a, D>),
+}
+
+impl<'a, D: FdValue> Cursor<'a, D> {
+    fn at_path(cfg: &'a CheckConfig<D>, path: &[Choice], picks: &[Vec<u32>]) -> Self {
+        if turbo_active(cfg) {
+            let mut cursor = TurboCursor::new(cfg);
+            for ch in path {
+                match *ch {
+                    Choice::Step(p) => {
+                        let stepped = cursor.push_step(p, picks);
+                        debug_assert!(stepped, "frontier paths replay step for step");
+                    }
+                    Choice::Crash(p) => cursor.push_crash(p, picks),
+                }
+            }
+            Cursor::Turbo(cursor)
+        } else {
+            Cursor::Stateless(StatelessCursor::at_path(cfg, path, picks))
+        }
+    }
+
+    fn push_step(&mut self, p: ProcessId, picks: &[Vec<u32>]) -> bool {
+        match self {
+            Cursor::Turbo(c) => c.push_step(p, picks),
+            Cursor::Stateless(c) => c.push_step(p, picks),
+        }
+    }
+
+    fn push_crash(&mut self, p: ProcessId, picks: &[Vec<u32>]) {
+        match self {
+            Cursor::Turbo(c) => c.push_crash(p, picks),
+            Cursor::Stateless(c) => c.push_crash(p, picks),
+        }
+    }
+
+    fn pop(&mut self) {
+        match self {
+            Cursor::Turbo(c) => c.pop(),
+            Cursor::Stateless(c) => c.pop(),
+        }
+    }
+
+    fn run(&self) -> &Run<D> {
+        match self {
+            Cursor::Turbo(c) => c.session.run(),
+            Cursor::Stateless(c) => &c.top().run,
+        }
+    }
+
+    fn is_turbo(&self) -> bool {
+        matches!(self, Cursor::Turbo(_))
+    }
+
+    /// Footprint of the node's last (just-pushed) step.
+    fn last_footprint(&self, memo: &mut ResolveMemo) -> Footprint {
+        match self {
+            Cursor::Turbo(c) => c
+                .session
+                .with_memory(|m| footprint_of(c.session.run(), m, memo)),
+            Cursor::Stateless(c) => {
+                let exec = c.top();
+                footprint_of(&exec.run, &exec.memory, memo)
+            }
+        }
+    }
+
+    /// The query record of the node's last step, when that step was a
+    /// failure-detector query.
+    fn last_query(&self) -> Option<QueryRecord> {
+        match self {
+            Cursor::Turbo(c) => match &c.session.run().events().last()?.kind {
+                StepKind::Query(_) => c.log.lock().expect("query log lock").last().copied(),
+                _ => None,
+            },
+            Cursor::Stateless(c) => match &c.top().run.events().last()?.kind {
+                StepKind::Query(_) => c.top().queries.last().copied(),
+                _ => None,
+            },
+        }
+    }
+
+    /// The canonical state fingerprint of the current node (see
+    /// [`trace_fingerprint`]).
+    fn fingerprint(&self) -> u64 {
+        match self {
+            Cursor::Turbo(c) => c.session.fingerprint(),
+            Cursor::Stateless(c) => {
+                let exec = c.top();
+                trace_fingerprint(&exec.run, &exec.memory)
+            }
+        }
+    }
+}
+
+/// Which crash children the canonical-representative rule admits below a
+/// node — a property of the path's *shape*, not of the reached state, so it
+/// must join the dedup key (`crash_allowed` consults exactly this).
+fn crash_tag(path: &[Choice]) -> u64 {
+    match path.last() {
+        None => 1,
+        Some(Choice::Step(p)) => 2 + 2 * p.index() as u64,
+        Some(Choice::Crash(q)) if path.iter().all(|c| matches!(c, Choice::Crash(_))) => {
+            3 + 2 * q.index() as u64
+        }
+        Some(Choice::Crash(_)) => 0,
+    }
+}
+
+/// One fully-explored subtree in the dedup table: pruning a revisit is
+/// sound only against an entry whose exploration was at least as deep and
+/// at least as unrestricted.
+struct StoredNode {
+    remaining: usize,
+    sleep: Vec<(ProcessId, Footprint)>,
+}
+
+/// A deferred subtree handed to the work-stealing pool.
 struct FrontierJob {
     path: Vec<Choice>,
     picks: Vec<Vec<u32>>,
@@ -561,32 +893,120 @@ struct FrontierJob {
     steps_used: usize,
 }
 
-struct Explorer<'a, D: FdValue> {
+/// First failing spec on one explored node. Runs driven by the session
+/// satisfy the §3.3 run conditions by construction (the engine enforces
+/// crash and grant semantics), so the validator runs only as a debug
+/// assertion there; the stateless path keeps the full check. They never
+/// differ on explorer-generated runs — the differential suite pins this.
+fn node_violation<D: FdValue>(
+    cfg: &CheckConfig<D>,
+    run: &Run<D>,
+    turbo: bool,
+) -> Option<(String, String)> {
+    if turbo {
+        debug_assert!(
+            RunConditionsSpec.check(run).is_ok(),
+            "session runs satisfy the run conditions by construction"
+        );
+        for spec in &cfg.specs {
+            if let Err(msg) = spec.check(run) {
+                return Some((spec.name().to_string(), msg));
+            }
+        }
+        None
+    } else {
+        violation_of(cfg, run)
+    }
+}
+
+struct Explorer<'a, D: FdValue, F: FnMut(FrontierJob)> {
     cfg: &'a CheckConfig<D>,
     participants: &'a [bool],
     stats: CheckStats,
     violations: Vec<CounterExample>,
-    frontier: Option<Vec<FrontierJob>>,
+    path: Vec<Choice>,
+    cursor: Cursor<'a, D>,
+    /// Fingerprint → fully-explored subtrees, populated post-order (a node
+    /// enters only after its subtree completed un-truncated and violation-
+    /// free, so every prune skips provably clean ground).
+    visited: Option<BTreeMap<u64, Vec<StoredNode>>>,
+    resolve_memo: ResolveMemo,
+    frontier: Option<F>,
 }
 
-impl<D: FdValue> Explorer<'_, D> {
+impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
+    fn at(
+        cfg: &'a CheckConfig<D>,
+        participants: &'a [bool],
+        path: &[Choice],
+        picks: &[Vec<u32>],
+        frontier: Option<F>,
+    ) -> Self {
+        Explorer {
+            cfg,
+            participants,
+            stats: CheckStats::default(),
+            violations: Vec::new(),
+            path: path.to_vec(),
+            cursor: Cursor::at_path(cfg, path, picks),
+            visited: (cfg.dedup && turbo_active(cfg)).then(BTreeMap::new),
+            resolve_memo: ResolveMemo::new(),
+            frontier,
+        }
+    }
+
     fn over_budget(&self) -> bool {
         self.stats.nodes >= self.cfg.max_nodes || self.violations.len() >= self.cfg.max_violations
     }
 
-    /// Executes specs on an already-run node; on violation, records a
-    /// (shrunk) counterexample and prunes the subtree.
-    fn visit(
-        &mut self,
-        path: &mut Vec<Choice>,
-        picks: &[Vec<u32>],
-        exec: &Exec<D>,
-        sleep: Vec<(ProcessId, Footprint)>,
-        steps_used: usize,
-    ) {
+    /// The dedup key: the canonical state fingerprint joined with everything
+    /// *else* that steers the subtree — the unserved pick suffixes (served
+    /// picks are already baked into the state), the spent fault budget, the
+    /// crash times (specs may read them) and the path-shape crash tag.
+    fn dedup_key(&self, picks: &[Vec<u32>]) -> u64 {
+        let run = self.cursor.run();
+        let n = self.cfg.n_plus_1;
+        let mut h = FnvWrite::new();
+        h.write_u64(self.cursor.fingerprint());
+        let mut qcounts = vec![0usize; n];
+        for (_, p, _) in run.fd_samples() {
+            qcounts[p.index()] += 1;
+        }
+        for (i, counted) in qcounts.iter().enumerate() {
+            h.write_u64(0x51);
+            let suffix = picks
+                .get(i)
+                .map(|v| v.get(*counted..).unwrap_or(&[]))
+                .unwrap_or(&[]);
+            // An explicit 0 and a missing entry play the same candidate:
+            // strip trailing zeros so the two key identically.
+            let trimmed = match suffix.iter().rposition(|&x| x != 0) {
+                Some(last) => &suffix[..=last],
+                None => &[],
+            };
+            for &x in trimmed {
+                h.write_u64(u64::from(x) + 1);
+            }
+        }
+        h.write_u64(faults_in(&self.path) as u64);
+        h.write_u64(crash_tag(&self.path));
+        for i in 0..n {
+            h.write_u64(match run.crash_observed(ProcessId(i)) {
+                Some(t) => t.0 + 1,
+                None => 0,
+            });
+        }
+        h.finish()
+    }
+
+    /// Executes specs on the node the cursor sits at; on violation, records
+    /// a (shrunk) counterexample and prunes the subtree.
+    fn visit(&mut self, picks: &[Vec<u32>], sleep: Vec<(ProcessId, Footprint)>, steps_used: usize) {
         self.stats.nodes += 1;
-        if let Some((spec, message)) = violation_of(self.cfg, &exec.run) {
-            self.record(path, picks, spec, message);
+        if let Some((spec, message)) =
+            node_violation(self.cfg, self.cursor.run(), self.cursor.is_turbo())
+        {
+            self.record(picks, spec, message);
             return;
         }
         if self.over_budget() {
@@ -597,52 +1017,93 @@ impl<D: FdValue> Explorer<'_, D> {
             self.stats.depth_leaves += 1;
             return;
         }
-        if let Some(frontier) = &mut self.frontier {
-            if path.len() >= self.cfg.split_depth {
-                frontier.push(FrontierJob {
-                    path: path.clone(),
-                    picks: picks.to_vec(),
-                    sleep,
-                    steps_used,
+        if self.frontier.is_some() && self.path.len() >= self.cfg.split_depth {
+            let job = FrontierJob {
+                path: self.path.clone(),
+                picks: picks.to_vec(),
+                sleep,
+                steps_used,
+            };
+            if let Some(spawn) = self.frontier.as_mut() {
+                spawn(job);
+            }
+            return;
+        }
+        let dedup_key = match &self.visited {
+            Some(visited) => {
+                let key = self.dedup_key(picks);
+                let remaining = self.cfg.depth - steps_used;
+                let seen = visited.get(&key).is_some_and(|stored| {
+                    stored.iter().any(|s| {
+                        s.remaining >= remaining && s.sleep.iter().all(|e| sleep.contains(e))
+                    })
                 });
-                return;
+                if seen {
+                    self.stats.dedup_pruned += 1;
+                    return;
+                }
+                Some(key)
+            }
+            None => None,
+        };
+        let violations_before = self.violations.len();
+        self.expand(picks, sleep.clone(), steps_used);
+        if let Some(key) = dedup_key {
+            if !self.stats.truncated && self.violations.len() == violations_before {
+                self.visited
+                    .as_mut()
+                    .expect("a dedup key implies a visited table")
+                    .entry(key)
+                    .or_default()
+                    .push(StoredNode {
+                        remaining: self.cfg.depth - steps_used,
+                        sleep,
+                    });
             }
         }
-        self.expand(path, picks, exec, sleep, steps_used);
     }
 
-    /// Generates and explores the children of a node: canonical crash
-    /// injections first, then step extensions under the sleep set, with
-    /// failure-detector variants as siblings of query steps.
+    /// Generates and explores the children of the node the cursor sits at:
+    /// canonical crash injections first, then step extensions under the
+    /// sleep set, with failure-detector variants as siblings of query steps.
+    /// On return the cursor is back at the entry node (possibly dirty).
     fn expand(
         &mut self,
-        path: &mut Vec<Choice>,
         picks: &[Vec<u32>],
-        exec: &Exec<D>,
         mut sleep: Vec<(ProcessId, Footprint)>,
         steps_used: usize,
     ) {
-        if faults_in(path) < self.cfg.max_faults {
+        // The parent's run view is read now, while the cursor is clean; it
+        // is not revisited once children start moving the session.
+        let finished: Vec<bool> = {
+            let run = self.cursor.run();
+            (0..self.cfg.n_plus_1)
+                .map(|i| run.finished(ProcessId(i)))
+                .collect()
+        };
+
+        if faults_in(&self.path) < self.cfg.max_faults {
             for i in 0..self.cfg.n_plus_1 {
                 let p = ProcessId(i);
-                if crashed_in(path, p) || !crash_allowed(path, p) {
+                if crashed_in(&self.path, p) || !crash_allowed(&self.path, p) {
                     continue;
                 }
                 if self.over_budget() {
                     self.stats.truncated = true;
                     return;
                 }
-                path.push(Choice::Crash(p));
-                let child = execute(self.cfg, path, picks);
+                self.path.push(Choice::Crash(p));
+                self.cursor.push_crash(p, picks);
                 self.stats.crash_nodes += 1;
-                self.visit(path, picks, &child, sleep.clone(), steps_used);
-                path.pop();
+                self.visit(picks, sleep.clone(), steps_used);
+                self.cursor.pop();
+                self.path.pop();
             }
         }
 
         for i in 0..self.cfg.n_plus_1 {
             let p = ProcessId(i);
-            if !self.participants[i] || crashed_in(path, p) || exec.run.finished(p) {
+            if !self.participants[i] || crashed_in(&self.path, p) || finished[i] {
                 continue;
             }
             if self.cfg.reduction && sleep.iter().any(|(q, _)| *q == p) {
@@ -653,28 +1114,23 @@ impl<D: FdValue> Explorer<'_, D> {
                 self.stats.truncated = true;
                 return;
             }
-            path.push(Choice::Step(p));
-            let child = execute(self.cfg, path, picks);
-            if child.run.total_steps() as usize != steps_used + 1 {
-                // The process finished without taking a step: no new state.
+            self.path.push(Choice::Step(p));
+            if !self.cursor.push_step(p, picks) {
                 self.stats.no_step_children += 1;
-                path.pop();
+                self.path.pop();
                 continue;
             }
-            let fp = footprint(&child);
+            let fp = self.cursor.last_footprint(&mut self.resolve_memo);
+            let query = self.cursor.last_query();
             let child_sleep: Vec<_> = sleep
                 .iter()
                 .filter(|(_, f)| !f.conflicts_with(&fp))
                 .cloned()
                 .collect();
-            self.visit(path, picks, &child, child_sleep.clone(), steps_used + 1);
+            self.visit(picks, child_sleep.clone(), steps_used + 1);
 
             // Sibling branches for the unexplored detector candidates.
-            if matches!(
-                child.run.events().last().map(|e| &e.kind),
-                Some(StepKind::Query(_))
-            ) {
-                let rec = *child.queries.last().expect("query event logs a record");
+            if let Some(rec) = query {
                 debug_assert_eq!(rec.pid, p);
                 for j in 1..rec.candidates {
                     let mut vpicks = picks.to_vec();
@@ -682,24 +1138,29 @@ impl<D: FdValue> Explorer<'_, D> {
                     vpicks[i].push(j);
                     if self.over_budget() {
                         self.stats.truncated = true;
+                        self.cursor.pop();
+                        self.path.pop();
                         return;
                     }
-                    let variant = execute(self.cfg, path, &vpicks);
+                    self.cursor.pop();
+                    let stepped = self.cursor.push_step(p, &vpicks);
+                    debug_assert!(stepped, "a query step steps under every candidate");
                     self.stats.fd_variant_nodes += 1;
-                    self.visit(path, &vpicks, &variant, child_sleep.clone(), steps_used + 1);
+                    self.visit(&vpicks, child_sleep.clone(), steps_used + 1);
                 }
             }
-            path.pop();
+            self.cursor.pop();
+            self.path.pop();
             if self.cfg.reduction {
                 sleep.push((p, fp));
             }
         }
     }
 
-    fn record(&mut self, path: &[Choice], picks: &[Vec<u32>], spec: String, message: String) {
-        let raw_token = token_of(self.cfg.n_plus_1, path, picks);
+    fn record(&mut self, picks: &[Vec<u32>], spec: String, message: String) {
+        let raw_token = token_of(self.cfg.n_plus_1, &self.path, picks);
         let (token, shrink_evals, shrink_removed) = if self.cfg.shrink {
-            shrink_path(self.cfg, path, picks, &spec)
+            shrink_path(self.cfg, &self.path, picks, &spec)
         } else {
             (raw_token.clone(), 0, 0)
         };
@@ -716,8 +1177,9 @@ impl<D: FdValue> Explorer<'_, D> {
 
 /// Runs the exploration a [`CheckConfig`] describes and reports every
 /// counterexample found. Deterministic: the same configuration yields the
-/// same report, including under the parallel frontier (results are merged
-/// in job order).
+/// same report at any worker count — frontier subtrees run on a
+/// work-stealing pool ([`run_stealing`]) and merge by spawn-sequence
+/// coordinate, which reproduces the serial discovery order byte for byte.
 pub fn check<D: FdValue>(cfg: &CheckConfig<D>) -> CheckReport {
     let participants: Vec<bool> = (cfg.algos)().iter().map(Option::is_some).collect();
     assert_eq!(
@@ -729,56 +1191,76 @@ pub fn check<D: FdValue>(cfg: &CheckConfig<D>) -> CheckReport {
         cfg.max_faults < cfg.n_plus_1,
         "at least one process must stay correct"
     );
-
-    let parallel = cfg.split_depth > 0;
-    let mut explorer = Explorer {
-        cfg,
-        participants: &participants,
-        stats: CheckStats::default(),
-        violations: Vec::new(),
-        frontier: parallel.then(Vec::new),
-    };
     let root_picks: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_plus_1];
-    let root = execute(cfg, &[], &root_picks);
-    let mut path = Vec::new();
-    explorer.visit(&mut path, &root_picks, &root, Vec::new(), 0);
 
-    let Explorer {
-        mut stats,
-        mut violations,
-        frontier,
-        ..
-    } = explorer;
-    let frontier = frontier.unwrap_or_default();
-    let frontier_jobs = frontier.len();
-    if !frontier.is_empty() {
-        let jobs: Vec<_> = frontier
-            .into_iter()
-            .map(|job| {
-                let participants = &participants;
-                move || {
-                    let mut sub = Explorer {
-                        cfg,
-                        participants,
-                        stats: CheckStats::default(),
-                        violations: Vec::new(),
-                        frontier: None,
-                    };
-                    let exec = execute(cfg, &job.path, &job.picks);
-                    let mut path = job.path.clone();
-                    sub.expand(&mut path, &job.picks, &exec, job.sleep, job.steps_used);
-                    (sub.stats, sub.violations)
-                }
-            })
-            .collect();
-        for (s, v) in run_batch(jobs, cfg.workers) {
-            stats.absorb(s);
-            violations.extend(v);
-        }
-        if violations.len() > cfg.max_violations {
-            violations.truncate(cfg.max_violations);
-            stats.truncated = true;
-        }
+    if cfg.split_depth == 0 {
+        let mut explorer = Explorer::at(
+            cfg,
+            &participants,
+            &[],
+            &root_picks,
+            None::<fn(FrontierJob)>,
+        );
+        explorer.visit(&root_picks, Vec::new(), 0);
+        let Explorer {
+            stats, violations, ..
+        } = explorer;
+        return CheckReport {
+            stats,
+            violations,
+            frontier_jobs: 0,
+        };
+    }
+
+    // Streaming frontier: the serial prefix walk runs as the pool's first
+    // job and spawns every deferred subtree the moment it is discovered, so
+    // workers descend into subtrees while the prefix is still being carved.
+    type JobResult = (CheckStats, Vec<CounterExample>, usize);
+    let participants_ref: &[bool] = &participants;
+    let root: StealJob<'_, JobResult> = StealJob {
+        coord: vec![0],
+        run: Box::new(move |scope: &mut StealScope<'_, '_, JobResult>| {
+            let mut seq: u32 = 0;
+            let mut spawn = |job: FrontierJob| {
+                seq += 1;
+                scope(StealJob {
+                    coord: vec![seq],
+                    run: Box::new(move |_: &mut StealScope<'_, '_, JobResult>| {
+                        let mut sub = Explorer::at(
+                            cfg,
+                            participants_ref,
+                            &job.path,
+                            &job.picks,
+                            None::<fn(FrontierJob)>,
+                        );
+                        sub.expand(&job.picks, job.sleep, job.steps_used);
+                        (sub.stats, sub.violations, 0)
+                    }),
+                });
+            };
+            let root_picks: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_plus_1];
+            let mut explorer =
+                Explorer::at(cfg, participants_ref, &[], &root_picks, Some(&mut spawn));
+            explorer.visit(&root_picks, Vec::new(), 0);
+            let Explorer {
+                stats, violations, ..
+            } = explorer;
+            (stats, violations, seq as usize)
+        }),
+    };
+    let results = run_stealing(vec![root], cfg.workers);
+
+    let mut stats = CheckStats::default();
+    let mut violations = Vec::new();
+    let mut frontier_jobs = 0;
+    for (s, v, jobs) in results {
+        stats.absorb(s);
+        violations.extend(v);
+        frontier_jobs += jobs;
+    }
+    if violations.len() > cfg.max_violations {
+        violations.truncate(cfg.max_violations);
+        stats.truncated = true;
     }
     CheckReport {
         stats,

@@ -24,6 +24,8 @@ struct Args {
     faults: Option<usize>,
     k: Option<usize>,
     naive: bool,
+    no_turbo: bool,
+    dedup: bool,
     workers: usize,
     split: usize,
     max_violations: usize,
@@ -40,6 +42,8 @@ const USAGE: &str = "usage: upsilon-check [options]
   --faults N           crash-injection budget (default 0; 1 for pinned)
   --k N                agreement parameter for commit configs (default n-1)
   --naive              disable the sleep-set reduction
+  --no-turbo           disable snapshot-resume execution (replay from root)
+  --dedup              prune revisits via canonical state fingerprints
   --split N            fan subtrees out at path length N (default 0 = serial)
   --workers N          worker threads for --split (default 0 = auto)
   --max-violations N   stop after N counterexamples (default 16)
@@ -57,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
         faults: None,
         k: None,
         naive: false,
+        no_turbo: false,
+        dedup: false,
         workers: 0,
         split: 0,
         max_violations: 16,
@@ -85,6 +91,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--k" => args.k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
             "--naive" => args.naive = true,
+            "--no-turbo" => args.no_turbo = true,
+            "--dedup" => args.dedup = true,
             "--workers" => {
                 args.workers = value("--workers")?
                     .parse()
@@ -123,6 +131,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn tune<D: FdValue>(mut cfg: CheckConfig<D>, args: &Args) -> CheckConfig<D> {
     cfg.reduction = !args.naive;
+    cfg.turbo = !args.no_turbo;
+    cfg.dedup = args.dedup;
     cfg.workers = args.workers;
     cfg.split_depth = args.split;
     cfg.max_violations = args.max_violations;

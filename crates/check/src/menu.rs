@@ -120,6 +120,25 @@ impl<D: FdValue> MenuOracle<D> {
         }
     }
 
+    /// An oracle positioned mid-history: like [`MenuOracle::new`] but with
+    /// each process's query counter pre-advanced to `counts[p]` — the
+    /// constructor a snapshot restore uses, so the rebuilt oracle serves the
+    /// (k+1)-th query of a process whose first k queries happened before the
+    /// save point (see [`SessionSave::query_counts`]).
+    ///
+    /// [`SessionSave::query_counts`]: upsilon_sim::SessionSave::query_counts
+    pub fn with_counts(
+        menu: Arc<dyn FdMenu<D>>,
+        n_plus_1: usize,
+        picks: Vec<Vec<u32>>,
+        counts: &[u64],
+    ) -> Self {
+        let mut oracle = Self::new(menu, n_plus_1, picks);
+        assert_eq!(counts.len(), n_plus_1, "one query count per process");
+        oracle.counts = counts.iter().map(|&c| c as u32).collect();
+        oracle
+    }
+
     /// A handle to the query log, readable after the run (the oracle itself
     /// is consumed by the simulator).
     pub fn log(&self) -> Arc<Mutex<Vec<QueryRecord>>> {

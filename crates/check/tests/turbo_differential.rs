@@ -1,0 +1,152 @@
+//! Differential equivalence suite for the turbo explorer: every execution
+//! strategy the checker offers must produce the *same answers*.
+//!
+//! Three axes are swept against each other over a portfolio of clean and
+//! buggy sample configurations:
+//!
+//! * **turbo vs stateless** — snapshot-resume execution against
+//!   replay-from-root; byte-identical `CheckReport`s (stats, verdicts, and
+//!   shrunk `UCHK1` tokens alike), since turbo changes only *how* nodes
+//!   are executed, never which nodes exist;
+//! * **dedup on vs off** — fingerprint pruning may only *remove* explored
+//!   nodes (`nodes` + `dedup_pruned` conserved against the un-deduped
+//!   count on crash-free configs), and must preserve every verdict and
+//!   every minimized counterexample token;
+//! * **worker count 1 vs 2 vs 8** — the work-stealing frontier merges by
+//!   coordinate, so reports are `assert_eq!`-identical whatever the
+//!   parallelism, with and without dedup.
+
+use upsilon_check::{check, samples, CheckConfig, CheckReport};
+
+use upsilon_sim::FdValue;
+
+/// Builds the report for one portfolio entry under a config transform.
+fn run_with<D: FdValue>(
+    cfg: CheckConfig<D>,
+    vary: impl FnOnce(CheckConfig<D>) -> CheckConfig<D>,
+) -> CheckReport {
+    check(&vary(cfg))
+}
+
+macro_rules! for_each_sample {
+    ($name:ident, $cfg:ident, $body:block) => {{
+        let $name = "fig1 n2 d6 clean";
+        let $cfg = samples::fig1(2, 6, 0);
+        $body
+    }
+    {
+        let $name = "fig1 n3 d4 crashes";
+        let $cfg = samples::fig1(3, 4, 1);
+        $body
+    }
+    {
+        let $name = "fig2 n2 d6";
+        let $cfg = samples::fig2(2, 1, 6, 1);
+        $body
+    }
+    {
+        let $name = "commit-buggy n2 d8";
+        let $cfg = samples::snapshot_commit(2, 1, 8, true);
+        $body
+    }
+    {
+        let $name = "commit-sound n2 d8";
+        let $cfg = samples::snapshot_commit(2, 1, 8, false);
+        $body
+    }
+    {
+        let $name = "converge-offby1 n2 d8";
+        let $cfg = samples::converge_offby1(2, 1, 8, 1);
+        $body
+    }
+    {
+        let $name = "stable-report n2 d6";
+        let $cfg = samples::stable_report(2, 2, 6);
+        $body
+    }};
+}
+
+#[test]
+fn turbo_and_stateless_reports_are_identical() {
+    for_each_sample!(name, cfg, {
+        let turbo = run_with(cfg.clone(), |c| c.turbo(true).dedup(false));
+        let stateless = run_with(cfg, |c| c.turbo(false).dedup(false));
+        assert_eq!(turbo, stateless, "{name}: turbo vs stateless diverged");
+    });
+}
+
+#[test]
+fn dedup_preserves_verdicts_and_tokens() {
+    for_each_sample!(name, cfg, {
+        let base = run_with(cfg.clone(), |c| c.turbo(true).dedup(false));
+        let dedup = run_with(cfg, |c| c.turbo(true).dedup(true));
+        assert_eq!(
+            base.violations, dedup.violations,
+            "{name}: dedup changed a verdict or a shrunk token"
+        );
+        assert_eq!(base.ok(), dedup.ok(), "{name}: dedup flipped the verdict");
+        assert!(
+            dedup.stats.nodes <= base.stats.nodes,
+            "{name}: dedup executed more nodes ({} > {})",
+            dedup.stats.nodes,
+            base.stats.nodes
+        );
+    });
+}
+
+#[test]
+fn dedup_actually_prunes_somewhere() {
+    // The guard that dedup is not vacuous: on at least one portfolio
+    // config, fingerprint pruning must fire and shrink the node count.
+    let mut pruned_total = 0;
+    let mut saved_total = 0i64;
+    for_each_sample!(_name, cfg, {
+        let base = run_with(cfg.clone(), |c| c.turbo(true).dedup(false));
+        let dedup = run_with(cfg, |c| c.turbo(true).dedup(true));
+        pruned_total += dedup.stats.dedup_pruned;
+        saved_total += base.stats.nodes as i64 - dedup.stats.nodes as i64;
+    });
+    assert!(pruned_total > 0, "dedup never pruned a single node");
+    assert!(saved_total > 0, "dedup never saved an executed node");
+}
+
+#[test]
+fn worker_sweep_reports_are_assert_eq_identical() {
+    for dedup in [false, true] {
+        for_each_sample!(name, cfg, {
+            let at =
+                |workers: usize| run_with(cfg.clone(), |c| c.dedup(dedup).parallel(2, workers));
+            let one = at(1);
+            assert_eq!(one, at(2), "{name}: workers 1 vs 2 (dedup={dedup})");
+            assert_eq!(one, at(8), "{name}: workers 1 vs 8 (dedup={dedup})");
+        });
+    }
+}
+
+#[test]
+fn split_exploration_matches_serial() {
+    for_each_sample!(name, cfg, {
+        let serial = run_with(cfg.clone(), |c| c);
+        let split = run_with(cfg, |c| c.parallel(2, 8));
+        assert_eq!(
+            serial.stats, split.stats,
+            "{name}: split changed the search counters"
+        );
+        assert_eq!(
+            serial.violations, split.violations,
+            "{name}: split changed a verdict or token"
+        );
+    });
+}
+
+#[test]
+fn portfolio_reports_are_reproducible() {
+    // The harness itself is deterministic: two fresh evaluations of every
+    // entry agree (this is what makes the suite's other comparisons
+    // meaningful rather than flaky).
+    for_each_sample!(name, cfg, {
+        let a = run_with(cfg.clone(), |c| c);
+        let b = run_with(cfg, |c| c);
+        assert_eq!(a, b, "{name}: non-deterministic report");
+    });
+}

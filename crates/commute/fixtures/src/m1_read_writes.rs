@@ -8,7 +8,7 @@
 use upsilon_sim::{Access, ObjectType, ProcessId};
 
 /// A cell that records whether it has ever been probed.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ProbeLatch {
     seen: bool,
 }

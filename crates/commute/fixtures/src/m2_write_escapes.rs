@@ -10,7 +10,7 @@
 use upsilon_sim::{Access, ObjectType, ProcessId};
 
 /// A single storage cell with a state-reading response.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EchoCell {
     value: u64,
 }

@@ -9,7 +9,7 @@
 use upsilon_sim::{Access, ObjectType, ProcessId};
 
 /// An append-only event log.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EventLog {
     entries: Vec<u64>,
 }

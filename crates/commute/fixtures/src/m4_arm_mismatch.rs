@@ -9,7 +9,7 @@
 use upsilon_sim::{Access, ObjectType, ProcessId};
 
 /// A gate with an audited open operation and unaudited extras.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Gate {
     open: bool,
 }

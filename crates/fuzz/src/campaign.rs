@@ -4,8 +4,9 @@
 //! # Determinism
 //!
 //! Each execution's RNG is seeded from `(campaign seed, execution index)`
-//! alone. A round snapshots the corpus, fans its executions out over
-//! [`run_batch`] in fixed-size chunks, and merges chunk results *in chunk
+//! alone. A round snapshots the corpus, fans its executions out over the
+//! work-stealing pool ([`run_stealing`]) in fixed-size chunks keyed by
+//! their position in the round, and merges chunk results *in coordinate
 //! order*; whether one worker or sixteen processed the chunks cannot change
 //! the report. Within a chunk, executions are gated against a chunk-local
 //! coverage set (so most boring runs are dropped on the worker), and the
@@ -26,7 +27,9 @@ use std::collections::BTreeSet;
 use std::ops::Range;
 use std::sync::Arc;
 use upsilon_check::{run_token, shrink_violation, violation_of, CheckConfig, ShrinkResult};
-use upsilon_sim::{conflict_coverage, run_batch, EngineKind, FdValue, Fnv64, ReplayToken};
+use upsilon_sim::{
+    conflict_coverage, run_stealing, EngineKind, FdValue, Fnv64, ReplayToken, RunArena, StealJob,
+};
 
 /// Configuration of one fuzzing campaign.
 #[derive(Clone)]
@@ -52,8 +55,8 @@ pub struct FuzzConfig<D: FdValue> {
     pub mutate_share: u32,
     /// Conflict-pair window length for coverage hashes.
     pub window: usize,
-    /// Executions per [`run_batch`] job (fixed, so chunk boundaries — and
-    /// hence the report — do not depend on worker count).
+    /// Executions per [`run_stealing`] job (fixed, so chunk boundaries —
+    /// and hence the report — do not depend on worker count).
     pub chunk: u64,
     /// Worker threads (`0` = default pool).
     pub workers: usize,
@@ -214,6 +217,9 @@ fn run_chunk<D: FdValue>(
     let mut local: BTreeSet<u64> = BTreeSet::new();
     let mut shipped_specs: Vec<String> = Vec::new();
     let mut out = Vec::new();
+    // One arena per chunk: every execution in the chunk reuses the same
+    // trace-vector allocations (see `RunArena`).
+    let mut arena = RunArena::new();
     for index in range {
         let mut rng = ChaCha8Rng::seed_from_u64(exec_seed(cfg.seed, index));
         let plan = if !snapshot.is_empty() && rng.gen_range(0..100u32) < cfg.mutate_share {
@@ -222,7 +228,7 @@ fn run_chunk<D: FdValue>(
         } else {
             fresh_plan(cfg, &mut rng)
         };
-        let exec = run_plan(&cfg.target, &plan);
+        let exec = run_plan(&cfg.target, plan, &mut arena);
         let coverage = conflict_coverage(&exec.run, &exec.memory, cfg.window);
         let violation = violation_of(&cfg.target, &exec.run);
         let fresh = coverage.iter().any(|h| !local.contains(h));
@@ -248,6 +254,7 @@ fn run_chunk<D: FdValue>(
             }),
             None => {}
         }
+        arena.recycle(exec.run);
     }
     out
 }
@@ -358,15 +365,22 @@ pub fn fuzz<D: FdValue>(cfg: &FuzzConfig<D>, seeds: &[ReplayToken]) -> FuzzRepor
         }
         let snapshot: Arc<[ReplayToken]> = merger.corpus.clone().into();
         let round_end = execs + cfg.execs_per_round;
-        let mut jobs = Vec::new();
+        let mut jobs: Vec<StealJob<'_, Vec<Shipped>>> = Vec::new();
         let mut start = execs;
         while start < round_end {
             let end = (start + cfg.chunk).min(round_end);
             let snap = Arc::clone(&snapshot);
-            jobs.push(move || run_chunk(cfg, &snap, start..end));
+            // The chunk's position in the round is its merge coordinate:
+            // the work-stealing pool returns results in coordinate order,
+            // so the merge below is identical for any worker count.
+            let coord = vec![((start - execs) / cfg.chunk) as u32];
+            jobs.push(StealJob {
+                coord,
+                run: Box::new(move |_spawn| run_chunk(cfg, &snap, start..end)),
+            });
             start = end;
         }
-        for shipped in run_batch(jobs, cfg.workers) {
+        for shipped in run_stealing(jobs, cfg.workers) {
             for ship in shipped {
                 merger.absorb(ship);
             }

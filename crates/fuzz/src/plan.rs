@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use upsilon_check::{CheckConfig, MenuOracle};
 use upsilon_sim::{
     Adversary, FailurePattern, FdValue, Memory, PctScheduler, ProcessId, ReplayToken, Run,
-    Scripted, SeededRandom, SimBuilder, Time,
+    RunArena, Scripted, SeededRandom, SimBuilder, Time,
 };
 
 /// Values drawn for fd pick scripts: menus in practice offer at most a
@@ -165,7 +165,11 @@ pub(crate) fn mutate_plan<D: FdValue>(
 /// events, same `correct(F)`), and pick scripts normalized to the picks the
 /// menu oracle actually served. The token re-executes the run
 /// bit-identically via [`upsilon_check::run_token`] under either engine.
-pub(crate) fn run_plan<D: FdValue>(target: &CheckConfig<D>, plan: &ExecPlan) -> PlanExec<D> {
+pub(crate) fn run_plan<D: FdValue>(
+    target: &CheckConfig<D>,
+    plan: ExecPlan,
+    arena: &mut RunArena<D>,
+) -> PlanExec<D> {
     let n = target.n_plus_1;
     let horizon = target.depth as u64;
     let mut pb = FailurePattern::builder(n);
@@ -174,7 +178,7 @@ pub(crate) fn run_plan<D: FdValue>(target: &CheckConfig<D>, plan: &ExecPlan) -> 
             pb = pb.crash(ProcessId(i), *t);
         }
     }
-    let oracle = MenuOracle::new(std::sync::Arc::clone(&target.menu), n, plan.picks.clone());
+    let oracle = MenuOracle::new(std::sync::Arc::clone(&target.menu), n, plan.picks);
     let log = oracle.log();
     let tail: Box<dyn Adversary> = match plan.pct {
         Some((seed, depth)) => Box::new(PctScheduler::new(seed, depth, horizon.max(1))),
@@ -182,7 +186,7 @@ pub(crate) fn run_plan<D: FdValue>(target: &CheckConfig<D>, plan: &ExecPlan) -> 
     };
     let mut builder = SimBuilder::<D>::new(pb.build())
         .oracle(oracle)
-        .adversary(Scripted::then(plan.prefix.clone(), tail))
+        .adversary(Scripted::then(plan.prefix, tail))
         .engine(target.engine)
         .max_steps(horizon);
     for (i, a) in (target.algos)().into_iter().enumerate() {
@@ -190,7 +194,7 @@ pub(crate) fn run_plan<D: FdValue>(target: &CheckConfig<D>, plan: &ExecPlan) -> 
             builder = builder.spawn(ProcessId(i), a);
         }
     }
-    let outcome = builder.run();
+    let outcome = builder.run_with(arena);
     let schedule = outcome.run.schedule();
     let len = schedule.len() as u64;
     let crashes: Vec<Option<Time>> = plan

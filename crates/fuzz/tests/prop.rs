@@ -44,7 +44,8 @@ proptest! {
     }
 
     /// Same configuration, same report — including when the worker count
-    /// changes, which is the whole point of merging chunks in job order.
+    /// changes, which is the whole point of the stealing pool's
+    /// coordinate-ordered merge.
     #[test]
     fn campaign_is_deterministic_per_seed(seed in 0u64..1_000, workers in 1usize..=4) {
         let target = samples::fig1(3, 16, 1);
@@ -57,6 +58,24 @@ proptest! {
         let a = fuzz(&serial, &[]);
         let b = fuzz(&wide, &[]);
         prop_assert_eq!(a, b);
+    }
+
+    /// The explicit 1/2/8 sweep on a violating target: reports (verdicts,
+    /// shrunk tokens, coverage, corpus) are `assert_eq!`-identical for
+    /// every worker count the stealing pool is given.
+    #[test]
+    fn worker_sweep_1_2_8_is_identical(seed in 0u64..200) {
+        let at = |workers: usize| {
+            let mut cfg = FuzzConfig::new(samples::snapshot_commit(2, 1, 12, true))
+                .seed(seed)
+                .budget(2, 96);
+            cfg.workers = workers;
+            cfg.chunk = 16;
+            fuzz(&cfg, &[])
+        };
+        let one = at(1);
+        prop_assert_eq!(&one, &at(2));
+        prop_assert_eq!(&one, &at(8));
     }
 
     /// Every corpus entry replays to the same coverage fingerprint under

@@ -6,9 +6,9 @@ use std::fmt;
 use upsilon_sim::{Access, Crashed, Ctx, FdValue, Key, ObjectType, ProcessId};
 
 /// Bound alias for values storable in shared memory.
-pub trait Value: Clone + Send + PartialEq + fmt::Debug + 'static {}
+pub trait Value: Clone + Send + Sync + PartialEq + fmt::Debug + 'static {}
 
-impl<T: Clone + Send + PartialEq + fmt::Debug + 'static> Value for T {}
+impl<T: Clone + Send + Sync + PartialEq + fmt::Debug + 'static> Value for T {}
 
 /// The register object state: a single atomically read/written value.
 #[derive(Clone, Debug)]

@@ -20,7 +20,7 @@ use crate::process::{ProcessId, ProcessSet};
 use crate::runtime::{Ctx, World};
 use crate::sched::{Adversary, RoundRobin, SchedView};
 use crate::time::Time;
-use crate::trace::{Event, Run, StepKind, StopReason, TraceLevel};
+use crate::trace::{Event, Run, RunArena, StepKind, StopReason, TraceLevel};
 use std::future::Future;
 use std::marker::PhantomData;
 use std::panic::resume_unwind;
@@ -224,7 +224,20 @@ impl<D: FdValue> SimBuilder<D> {
     /// Re-raises panics from process algorithms (unless
     /// [`propagate_panics`](Self::propagate_panics)`(false)`), and panics if
     /// the adversary schedules an ineligible process.
-    pub fn run(mut self) -> SimOutcome<D> {
+    pub fn run(self) -> SimOutcome<D> {
+        self.run_with(&mut RunArena::new())
+    }
+
+    /// Executes the run to completion, borrowing the trace vectors'
+    /// backing storage from `arena` (see [`RunArena`]). Identical
+    /// observable behaviour to [`run`](Self::run); callers executing many
+    /// runs recycle the finished [`Run`] back into the arena to avoid
+    /// per-run allocation.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_with(mut self, arena: &mut RunArena<D>) -> SimOutcome<D> {
         let world = World {
             memory: Memory::new(),
             oracle: self.oracle,
@@ -245,6 +258,7 @@ impl<D: FdValue> SimBuilder<D> {
             self.stop_when,
             self.max_steps,
             self.propagate_panics,
+            arena,
         )
     }
 }
@@ -253,6 +267,7 @@ impl<D: FdValue> SimBuilder<D> {
 /// produced here, so two engines driving the same deterministic algorithms
 /// cannot diverge.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn drive<D: FdValue>(
     mut engine: Box<dyn Engine<D>>,
     has_algo: &[bool],
@@ -261,16 +276,33 @@ fn drive<D: FdValue>(
     mut stop_when: Option<Box<dyn FnMut(&SchedView<'_>) -> bool>>,
     max_steps: u64,
     propagate_panics: bool,
+    arena: &mut RunArena<D>,
 ) -> SimOutcome<D> {
     let n_plus_1 = pattern.n_plus_1();
-    let mut events: Vec<Event<D>> = Vec::new();
-    let mut outputs = Vec::new();
-    let mut fd_samples = Vec::new();
-    let mut steps_by = vec![0u64; n_plus_1];
-    let mut last_output: Vec<Option<crate::trace::Output>> = vec![None; n_plus_1];
-    let mut known_finished = vec![false; n_plus_1];
-    let mut stopped = vec![false; n_plus_1];
-    let mut crash_observed = vec![None; n_plus_1];
+    // Borrow every accumulator from the arena: clear (capacity kept) and
+    // re-extend to the run's process count. The run-owned vectors move into
+    // the returned `Run`; the caller recycles them back.
+    let mut events: Vec<Event<D>> = std::mem::take(&mut arena.events);
+    events.clear();
+    let mut outputs = std::mem::take(&mut arena.outputs);
+    outputs.clear();
+    let mut fd_samples = std::mem::take(&mut arena.fd_samples);
+    fd_samples.clear();
+    let mut steps_by = std::mem::take(&mut arena.steps_by);
+    steps_by.clear();
+    steps_by.resize(n_plus_1, 0u64);
+    let mut last_output = std::mem::take(&mut arena.last_output);
+    last_output.clear();
+    last_output.resize(n_plus_1, None);
+    let mut known_finished = std::mem::take(&mut arena.known_finished);
+    known_finished.clear();
+    known_finished.resize(n_plus_1, false);
+    let mut stopped = std::mem::take(&mut arena.stopped);
+    stopped.clear();
+    stopped.resize(n_plus_1, false);
+    let mut crash_observed = std::mem::take(&mut arena.crash_observed);
+    crash_observed.clear();
+    crash_observed.resize(n_plus_1, None);
     let mut total_steps = 0u64;
     let mut t = Time::ZERO;
 
@@ -345,6 +377,12 @@ fn drive<D: FdValue>(
             }
         }
     };
+
+    // Hand the scheduler-local accumulators back to the arena (contents are
+    // stale; the next run clears them before use).
+    arena.last_output = last_output;
+    arena.known_finished = known_finished;
+    arena.stopped = stopped;
 
     let shutdown = engine.shutdown();
     if propagate_panics {

@@ -93,17 +93,40 @@ impl ConflictPair {
     /// A stable 64-bit fingerprint of the pair (key name and indices,
     /// both processes, both access kinds).
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv64::new();
-        h.write(self.key.name().as_bytes());
-        for &i in self.key.indices() {
-            h.write_u64(i);
-        }
-        h.write_u64(self.earlier.index() as u64);
-        h.write_u64(access_tag(self.earlier_access));
-        h.write_u64(self.later.index() as u64);
-        h.write_u64(access_tag(self.later_access));
-        h.finish()
+        finish_pair(
+            key_prefix(&self.key),
+            self.earlier,
+            self.earlier_access,
+            self.later,
+            self.later_access,
+        )
     }
+}
+
+/// Hasher state after folding in a key's name and indices — the per-key
+/// part of a pair fingerprint, computed once per key per run.
+fn key_prefix(key: &Key) -> Fnv64 {
+    let mut h = Fnv64::new();
+    h.write(key.name().as_bytes());
+    for &i in key.indices() {
+        h.write_u64(i);
+    }
+    h
+}
+
+fn finish_pair(
+    prefix: Fnv64,
+    earlier: ProcessId,
+    earlier_access: Access,
+    later: ProcessId,
+    later_access: Access,
+) -> u64 {
+    let mut h = prefix;
+    h.write_u64(earlier.index() as u64);
+    h.write_u64(access_tag(earlier_access));
+    h.write_u64(later.index() as u64);
+    h.write_u64(access_tag(later_access));
+    h.finish()
 }
 
 /// Extracts the conflict pairs of a run, in schedule order.
@@ -122,10 +145,32 @@ impl ConflictPair {
 /// the Mazurkiewicz trace under the same relation. Runs without signatures
 /// use the lattice alone, as before.
 pub fn conflict_pairs<D: FdValue>(run: &Run<D>, memory: &Memory) -> Vec<ConflictPair> {
+    let mut pairs = Vec::new();
+    walk_pairs(run, memory, |key, _prefix, earlier, ea, later, la| {
+        pairs.push(ConflictPair {
+            key: key.clone(),
+            earlier,
+            earlier_access: ea,
+            later,
+            later_access: la,
+        });
+    });
+    pairs
+}
+
+/// The shared walk behind [`conflict_pairs`] and [`conflict_coverage`]:
+/// scans the run once and emits each conflict pair by reference, with the
+/// key's fingerprint prefix precomputed, so the coverage path allocates
+/// nothing per event (no `Key` clones, no pair materialization).
+fn walk_pairs<'m, 'r, D: FdValue>(
+    run: &'r Run<D>,
+    memory: &'m Memory,
+    mut emit: impl FnMut(&'m Key, Fnv64, ProcessId, Access, ProcessId, Access),
+) {
     // Latest op per key, replaced as the run walks forward. Keys are few
     // per run, so a linear scan beats a map here.
-    let mut last: Vec<(Key, ProcessId, Access, Option<OpSig>)> = Vec::new();
-    let mut pairs = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut last: Vec<(&'m Key, Fnv64, ProcessId, Access, Option<&'r OpSig>)> = Vec::new();
     for ev in run.events() {
         let StepKind::Op {
             object,
@@ -139,28 +184,21 @@ pub fn conflict_pairs<D: FdValue>(run: &Run<D>, memory: &Memory) -> Vec<Conflict
         let Some(key) = memory.name_of(*object) else {
             continue;
         };
-        match last.iter_mut().find(|(k, ..)| k == key) {
+        match last.iter_mut().find(|(k, ..)| *k == key) {
             Some(entry) => {
-                let conflicts = entry.1 != ev.pid
-                    && entry.2.conflicts_with(*access)
-                    && !opsig::sigs_commute(entry.3.as_ref(), sig.as_ref());
+                let conflicts = entry.2 != ev.pid
+                    && entry.3.conflicts_with(*access)
+                    && !opsig::sigs_commute(entry.4, sig.as_ref());
                 if conflicts {
-                    pairs.push(ConflictPair {
-                        key: key.clone(),
-                        earlier: entry.1,
-                        earlier_access: entry.2,
-                        later: ev.pid,
-                        later_access: *access,
-                    });
+                    emit(key, entry.1, entry.2, entry.3, ev.pid, *access);
                 }
-                entry.1 = ev.pid;
-                entry.2 = *access;
-                entry.3 = sig.clone();
+                entry.2 = ev.pid;
+                entry.3 = *access;
+                entry.4 = sig.as_ref();
             }
-            None => last.push((key.clone(), ev.pid, *access, sig.clone())),
+            None => last.push((key, key_prefix(key), ev.pid, *access, sig.as_ref())),
         }
     }
-    pairs
 }
 
 /// The coverage fingerprint of a run: the set of FNV-1a hashes of every
@@ -176,19 +214,23 @@ pub fn conflict_pairs<D: FdValue>(run: &Run<D>, memory: &Memory) -> Vec<Conflict
 /// Panics if `window` is zero.
 pub fn conflict_coverage<D: FdValue>(run: &Run<D>, memory: &Memory, window: usize) -> Vec<u64> {
     assert!(window >= 1, "coverage window must be at least 1");
-    let prints: Vec<u64> = conflict_pairs(run, memory)
-        .iter()
-        .map(ConflictPair::fingerprint)
-        .collect();
+    // `recent` holds the last `window` pair fingerprints, oldest first; each
+    // emitted pair contributes the hash of the whole buffer — exactly the
+    // overlapping-window scheme, computed streaming in one pass.
+    let mut recent: Vec<u64> = Vec::with_capacity(window);
     let mut cov = Vec::new();
-    for end in 1..=prints.len() {
-        let start = end.saturating_sub(window);
+    walk_pairs(run, memory, |_key, prefix, earlier, ea, later, la| {
+        let p = finish_pair(prefix, earlier, ea, later, la);
+        if recent.len() == window {
+            recent.remove(0);
+        }
+        recent.push(p);
         let mut h = Fnv64::new();
-        for &p in &prints[start..end] {
-            h.write_u64(p);
+        for &q in &recent {
+            h.write_u64(q);
         }
         cov.push(h.finish());
-    }
+    });
     cov.sort_unstable();
     cov.dedup();
     cov
@@ -202,7 +244,7 @@ mod tests {
     use crate::object::ObjectType;
     use crate::sched::Scripted;
 
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Cell(u64);
     #[derive(Debug)]
     enum Op {

@@ -20,7 +20,7 @@ use crate::builder::AlgoFn;
 use crate::error::Crashed;
 use crate::oracle::FdValue;
 use crate::process::ProcessId;
-use crate::runtime::{Ctx, Grant, ProcCell, ProcOutcome, Reply, World};
+use crate::runtime::{AnyReply, Ctx, Grant, ProcCell, ProcOutcome, Reply, World};
 use crate::time::Time;
 use crate::trace::StepKind;
 use std::cell::RefCell;
@@ -324,6 +324,107 @@ impl<D: FdValue> InlineEngine<D> {
         }
         kind
     }
+
+    // --- Session hooks (see `crate::session`) ------------------------------
+
+    pub(crate) fn world(&self) -> &Rc<RefCell<World<D>>> {
+        &self.world
+    }
+
+    /// Swaps the shared memory and oracle in place, keeping the `Rc` that
+    /// every suspended future's [`Ctx`] already points at — the world half
+    /// of a selective restore.
+    pub(crate) fn reset_world(
+        &mut self,
+        memory: crate::object::Memory,
+        oracle: Box<dyn crate::oracle::Oracle<D>>,
+    ) {
+        let mut world = self.world.borrow_mut();
+        world.memory = memory;
+        world.oracle = oracle;
+    }
+
+    /// Replaces `p`'s slot with a fresh algorithm instance (recording on —
+    /// only sessions rebuild processes, and session engines always record).
+    /// The caller fast-forwards it with [`replay_step`](Self::replay_step).
+    pub(crate) fn replace_proc(&mut self, p: ProcessId, algo: AlgoFn<D>) {
+        let n_plus_1 = self.procs.len();
+        let cell = Rc::new(ProcCell::new());
+        cell.record.set(true);
+        let ctx = Ctx::inline(p, n_plus_1, Rc::clone(&cell), Rc::clone(&self.world));
+        self.procs[p.index()] = Some(InlineProc {
+            cell,
+            fut: Some(algo(ctx)),
+            outcome: None,
+        });
+    }
+
+    /// Turns per-step result recording on for every live process: each
+    /// completed step leaves a clone of its result in the process cell for
+    /// the session to harvest (the raw material of fast-forward restore).
+    pub(crate) fn set_recording(&mut self, on: bool) {
+        for proc_ in self.procs.iter().flatten() {
+            proc_.cell.record.set(on);
+        }
+    }
+
+    /// Takes the recorded result clone of the step just granted to `p`.
+    pub(crate) fn take_recorded(&mut self, p: ProcessId) -> Option<Box<dyn AnyReply>> {
+        self.procs[p.index()]
+            .as_ref()
+            .and_then(|pr| pr.cell.recorded.take())
+    }
+
+    /// Replays one already-completed step into `p`'s suspended future: the
+    /// step consumes the recorded result without touching the world. Used to
+    /// rebuild a suspended state machine from a fresh algorithm instance.
+    pub(crate) fn replay_step(&mut self, p: ProcessId, t: Time, value: Box<dyn AnyReply>) {
+        let proc_ = self.procs[p.index()]
+            .as_mut()
+            .expect("replayed process has an algorithm");
+        proc_.cell.replay.set(Some(value));
+        proc_.cell.grant.set(Some(Grant::Step(t)));
+        let stray = Self::poll_proc(proc_);
+        debug_assert!(stray.is_none(), "a replayed step deposited a fresh report");
+    }
+
+    /// The terminal status of `p`, if its future has resolved.
+    pub(crate) fn status_of(&self, p: ProcessId) -> ProcStatus {
+        match self.procs[p.index()]
+            .as_ref()
+            .and_then(|pr| pr.outcome.as_ref())
+        {
+            None => ProcStatus::Running,
+            Some(ProcOutcome::FinishedOk) => ProcStatus::FinishedOk,
+            Some(ProcOutcome::Crashed) => ProcStatus::Crashed,
+            Some(ProcOutcome::Panicked(_)) => ProcStatus::Panicked,
+        }
+    }
+
+    /// Takes the panic payload of `p` (downgrading its outcome to crashed);
+    /// the session re-raises it immediately.
+    pub(crate) fn take_panic(&mut self, p: ProcessId) -> Option<Box<dyn std::any::Any + Send>> {
+        let proc_ = self.procs[p.index()].as_mut()?;
+        match proc_.outcome.take() {
+            Some(ProcOutcome::Panicked(payload)) => {
+                proc_.outcome = Some(ProcOutcome::Crashed);
+                Some(payload)
+            }
+            other => {
+                proc_.outcome = other;
+                None
+            }
+        }
+    }
+}
+
+/// Cloneable projection of [`ProcOutcome`] for session bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ProcStatus {
+    Running,
+    FinishedOk,
+    Crashed,
+    Panicked,
 }
 
 impl<D: FdValue> Engine<D> for InlineEngine<D> {

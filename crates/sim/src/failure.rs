@@ -77,6 +77,32 @@ impl FailurePattern {
         self.crash_at[p.index()]
     }
 
+    /// Records a crash of `p` at `t` in an already-built pattern — the
+    /// in-place equivalent of what a fresh replay token's pattern would
+    /// carry. Used by [`Session::crash`](crate::Session::crash); the
+    /// ≥ 1-correct invariant is the caller's obligation there, exactly as it
+    /// is the explorer's under the `max_faults ≤ n` bound.
+    pub(crate) fn set_crash_at(&mut self, p: ProcessId, t: Time) {
+        debug_assert!(
+            self.crash_at[p.index()].is_none(),
+            "process crashes at most once"
+        );
+        self.crash_at[p.index()] = Some(t);
+    }
+
+    /// The full crash-time vector (one slot per process).
+    pub(crate) fn crash_times(&self) -> &[Option<Time>] {
+        &self.crash_at
+    }
+
+    /// Overwrites the crash-time vector — the restore path of
+    /// [`Session::restore`](crate::Session::restore).
+    pub(crate) fn restore_crash_times(&mut self, times: &[Option<Time>]) {
+        debug_assert_eq!(times.len(), self.crash_at.len());
+        self.crash_at.clear();
+        self.crash_at.extend_from_slice(times);
+    }
+
     /// `F(t)`: the set of processes crashed by time `t`.
     pub fn crashed_by(&self, t: Time) -> ProcessSet {
         self.crash_at

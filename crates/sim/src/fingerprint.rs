@@ -1,0 +1,168 @@
+//! Canonical run fingerprints — the dedup key of the turbo explorer.
+//!
+//! [`trace_fingerprint`] digests a run prefix into 64 bits such that two
+//! Mazurkiewicz-equivalent prefixes (equal up to reordering of commuting
+//! steps) hash identically, while prefixes that differ in any
+//! behaviour-relevant way hash differently (modulo 64-bit collisions):
+//!
+//! * **shared state** enters via [`Memory::fingerprint64`], which combines
+//!   per-object digests of `key:type=Debug-state` with a commutative fold —
+//!   object *ids* are assigned at first touch and therefore vary across
+//!   equivalent interleavings, but key *names* do not;
+//! * **per-process control state** enters as one sequential digest per
+//!   process over that process's own event subsequence — kinds, object key
+//!   names, accesses, op signatures, `Debug`-rendered details and
+//!   failure-detector samples, but **not** times: commuting swaps perturb
+//!   the global ordering (and thus times) while preserving each process's
+//!   subsequence. A deterministic algorithm that has seen the same
+//!   responses is in the same continuation state, so the digest is a sound
+//!   proxy for the suspended state machine — *provided responses are
+//!   captured*, i.e. the run was recorded at [`TraceLevel::Full`]
+//!   (`detail` carries `op -> resp`). The checker forces full tracing
+//!   whenever fingerprint dedup is enabled.
+//! * **crash/finish status** enters as the crashed *set* and finished flags
+//!   (crash delivery times are path-determined and already reflected in the
+//!   per-process subsequences).
+//!
+//! [`TraceLevel::Full`]: crate::TraceLevel::Full
+
+use crate::object::Memory;
+use crate::oracle::FdValue;
+use crate::trace::{Run, StepKind};
+use std::fmt;
+use std::fmt::Write as _;
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// An FNV-1a accumulator that implements [`fmt::Write`], so `Debug`/`Display`
+/// renderings hash without materializing strings.
+#[derive(Clone, Debug)]
+pub struct FnvWrite(u64);
+
+impl Default for FnvWrite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FnvWrite {
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        FnvWrite(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for FnvWrite {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Digest of one process's event subsequence (times excluded — see the
+/// module docs for why that is exactly the Mazurkiewicz-invariant choice).
+fn proc_digest<D: FdValue>(run: &Run<D>, memory: &Memory, p: crate::ProcessId) -> u64 {
+    let mut w = FnvWrite::new();
+    for ev in run.events_of(p) {
+        match &ev.kind {
+            StepKind::Op {
+                object,
+                access,
+                sig,
+                detail,
+            } => {
+                let _ = w.write_str("O/");
+                match memory.name_of(*object) {
+                    Some(key) => {
+                        let _ = write!(w, "{key}");
+                    }
+                    None => {
+                        // An object the final memory no longer knows cannot
+                        // occur (memory only grows); keep the id as a
+                        // defensive fallback rather than panicking mid-hash.
+                        let _ = write!(w, "{object}");
+                    }
+                }
+                let _ = write!(w, "/{access}");
+                if let Some(sig) = sig {
+                    let _ = write!(w, "/{sig:?}");
+                }
+                if let Some(detail) = detail {
+                    let _ = w.write_str("/");
+                    let _ = w.write_str(detail);
+                }
+            }
+            StepKind::Query(d) => {
+                let _ = write!(w, "Q/{d:?}");
+            }
+            StepKind::Output(o) => {
+                let _ = write!(w, "P/{o}");
+            }
+            StepKind::NoOp => {
+                let _ = w.write_str("N");
+            }
+        }
+        let _ = w.write_str(";");
+    }
+    w.finish()
+}
+
+/// The canonical 64-bit fingerprint of a run prefix against its final
+/// shared memory. Equal across Mazurkiewicz-equivalent prefixes; see the
+/// module docs for the soundness contract (full tracing required when used
+/// as a dedup key).
+pub fn trace_fingerprint<D: FdValue>(run: &Run<D>, memory: &Memory) -> u64 {
+    let mut w = FnvWrite::new();
+    w.write_u64(memory.fingerprint64());
+    w.write_u64(run.n_plus_1() as u64);
+    for i in 0..run.n_plus_1() {
+        let p = crate::ProcessId(i);
+        w.write_u64(i as u64);
+        w.write_u64(proc_digest(run, memory, p));
+        let crashed = run.crash_observed(p).is_some();
+        let finished = run.finished(p);
+        w.write_bytes(&[u8::from(crashed), u8::from(finished)]);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_write_matches_reference_vector() {
+        // Same constants as `coverage::Fnv64`; pin the byte-for-byte
+        // behaviour so the two accumulators cannot drift apart silently.
+        let mut w = FnvWrite::new();
+        w.write_bytes(b"upsilon");
+        assert_eq!(w.finish(), 0xd837_5cb5_5d00_468d);
+    }
+
+    #[test]
+    fn fmt_write_is_byte_equivalent() {
+        let mut a = FnvWrite::new();
+        a.write_bytes(b"k[3]=7");
+        let mut b = FnvWrite::new();
+        let _ = write!(b, "k[{}]={}", 3, 7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

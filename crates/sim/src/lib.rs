@@ -38,7 +38,7 @@
 //! // value first decides it.
 //! use upsilon_sim::{Key, ObjectType, ProcessId};
 //!
-//! #[derive(Debug, Default)]
+//! #[derive(Clone, Debug, Default)]
 //! struct Cell(Option<u64>);
 //! #[derive(Debug)]
 //! enum Op { Write(u64), Read }
@@ -85,6 +85,7 @@ mod coverage;
 mod engine;
 mod error;
 mod failure;
+mod fingerprint;
 mod object;
 mod opsig;
 mod oracle;
@@ -93,6 +94,8 @@ mod process;
 mod replay;
 mod runtime;
 mod sched;
+mod session;
+mod steal;
 mod time;
 mod trace;
 
@@ -102,6 +105,7 @@ pub use coverage::{conflict_coverage, conflict_pairs, ConflictPair, Fnv64};
 pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};
 pub use failure::{Environment, FailurePattern, FailurePatternBuilder};
+pub use fingerprint::{trace_fingerprint, FnvWrite};
 pub use object::{Access, Key, Memory, ObjectId, ObjectType};
 pub use opsig::{base_type_name, ops_commute, resolve, sigs_commute, OpSig, ResolvedOp};
 pub use oracle::{DummyOracle, FdValue, MappedOracle, NullOracle, Oracle};
@@ -113,5 +117,7 @@ pub use sched::{
     Adversary, FnAdversary, PctScheduler, RoundRobin, SchedView, Scripted, SeededRandom,
     WeightedRandom,
 };
+pub use session::{Session, SessionAlgos, SessionSave, SessionStep};
+pub use steal::{run_stealing, StealJob, StealScope};
 pub use time::Time;
-pub use trace::{Event, InducedTrace, Output, Run, StepKind, StopReason, TraceLevel};
+pub use trace::{Event, InducedTrace, Output, Run, RunArena, StepKind, StopReason, TraceLevel};

@@ -18,6 +18,8 @@ use std::any::{Any, TypeId};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// How an operation touches its object, for independence analysis.
 ///
@@ -74,11 +76,18 @@ impl fmt::Display for Access {
 /// [`Memory::state_fingerprint`], the whole-memory equality witness the
 /// dynamic reorder cross-check (`upsilon-commute`) compares after swapping
 /// provably-commuting adjacent steps.
-pub trait ObjectType: Send + fmt::Debug + 'static {
+///
+/// The `Clone` bound (on the object and on `Resp`) backs the turbo
+/// exploration path: [`Memory`] is copy-on-write (an object is cloned the
+/// first time it is mutated after a snapshot), and responses are recorded so
+/// a suspended state machine can be rebuilt by replaying its completed steps
+/// without re-touching shared memory. `Sync` lets snapshots cross worker
+/// threads; shared objects are plain data, so both derive mechanically.
+pub trait ObjectType: Clone + Send + Sync + fmt::Debug + 'static {
     /// The operations the object accepts.
     type Op: Send + fmt::Debug + 'static;
     /// The responses the object returns.
-    type Resp: Send + fmt::Debug + 'static;
+    type Resp: Clone + Send + fmt::Debug + 'static;
 
     /// Applies `op` on behalf of `caller`, mutating the object and returning
     /// the response, atomically.
@@ -160,23 +169,26 @@ impl fmt::Display for ObjectId {
 }
 
 /// Object-erased storage: every [`ObjectType`] is stored behind this trait.
-trait AnyObject: Send {
-    fn invoke_any(&mut self, caller: ProcessId, op: Box<dyn Any + Send>) -> Box<dyn Any + Send>;
+trait AnyObject: Send + Sync {
     fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn clone_arc(&self) -> Arc<dyn AnyObject>;
     fn type_name(&self) -> &'static str;
     fn debug_state(&self) -> String;
+    fn write_state(&self, out: &mut dyn fmt::Write) -> fmt::Result;
 }
 
 impl<O: ObjectType> AnyObject for O {
-    fn invoke_any(&mut self, caller: ProcessId, op: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
-        let op = op
-            .downcast::<O::Op>()
-            .unwrap_or_else(|_| panic!("operation type mismatch for {}", self.type_name()));
-        Box::new(self.invoke(caller, *op))
-    }
-
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_arc(&self) -> Arc<dyn AnyObject> {
+        Arc::new(self.clone())
     }
 
     fn type_name(&self) -> &'static str {
@@ -186,26 +198,47 @@ impl<O: ObjectType> AnyObject for O {
     fn debug_state(&self) -> String {
         format!("{self:?}")
     }
+
+    fn write_state(&self, out: &mut dyn fmt::Write) -> fmt::Result {
+        write!(out, "{self:?}")
+    }
 }
 
 /// The shared memory of a run: the collection of all allocated objects.
 ///
 /// Only one process executes a step at a time (lockstep), so interior
 /// operations need no further synchronization beyond the owning mutex.
+///
+/// Storage is copy-on-write: objects sit behind [`Arc`]s, so [`Clone`]
+/// (taken once per snapshot by the turbo explorer) is a handful of
+/// reference-count bumps, and an object's state is physically duplicated
+/// only the first time it is mutated while a snapshot still shares it.
 pub struct Memory {
     // BTreeMap, not HashMap: iteration order must not depend on the hasher —
     // the determinism lint (`upsilon-analysis`) enforces this workspace-wide.
-    by_key: BTreeMap<(TypeId, Key), ObjectId>,
-    objects: Vec<Box<dyn AnyObject>>,
-    names: Vec<Key>,
+    // Nested by TypeId so the hot per-step lookup borrows the `Key` instead
+    // of cloning it into a composite tuple key.
+    by_key: Arc<BTreeMap<TypeId, BTreeMap<Key, ObjectId>>>,
+    objects: Vec<Arc<dyn AnyObject>>,
+    names: Arc<Vec<Key>>,
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        Memory {
+            by_key: Arc::clone(&self.by_key),
+            objects: self.objects.clone(),
+            names: Arc::clone(&self.names),
+        }
+    }
 }
 
 impl Memory {
     pub(crate) fn new() -> Self {
         Memory {
-            by_key: BTreeMap::new(),
+            by_key: Arc::new(BTreeMap::new()),
             objects: Vec::new(),
-            names: Vec::new(),
+            names: Arc::new(Vec::new()),
         }
     }
 
@@ -216,14 +249,28 @@ impl Memory {
         init: impl FnOnce() -> O,
     ) -> ObjectId {
         let tid = TypeId::of::<O>();
-        if let Some(&id) = self.by_key.get(&(tid, key.clone())) {
+        if let Some(&id) = self.by_key.get(&tid).and_then(|m| m.get(key)) {
             return id;
         }
         let id = ObjectId(self.objects.len() as u32);
-        self.objects.push(Box::new(init()));
-        self.names.push(key.clone());
-        self.by_key.insert((tid, key.clone()), id);
+        self.objects.push(Arc::new(init()));
+        Arc::make_mut(&mut self.names).push(key.clone());
+        Arc::make_mut(&mut self.by_key)
+            .entry(tid)
+            .or_default()
+            .insert(key.clone(), id);
         id
+    }
+
+    /// Unique access to an object's erased state, cloning it first if a
+    /// snapshot still shares it (the copy-on-write step).
+    fn obj_mut(&mut self, id: ObjectId) -> &mut dyn AnyObject {
+        let slot = &mut self.objects[id.0 as usize];
+        if Arc::get_mut(slot).is_none() {
+            let fresh = slot.clone_arc();
+            *slot = fresh;
+        }
+        Arc::get_mut(slot).expect("freshly cloned object is uniquely owned")
     }
 
     /// Applies an operation to an allocated object.
@@ -233,14 +280,18 @@ impl Memory {
         caller: ProcessId,
         op: O::Op,
     ) -> O::Resp {
-        let resp = self.objects[id.0 as usize].invoke_any(caller, Box::new(op));
-        *resp.downcast::<O::Resp>().expect("response type mismatch")
+        let obj = self
+            .obj_mut(id)
+            .as_any_mut()
+            .downcast_mut::<O>()
+            .expect("operation type mismatch");
+        obj.invoke(caller, op)
     }
 
     /// Post-run inspection: a typed view of the object named `key`, if it was
     /// ever created.
     pub fn get<O: ObjectType>(&self, key: &Key) -> Option<&O> {
-        let id = *self.by_key.get(&(TypeId::of::<O>(), key.clone()))?;
+        let id = *self.by_key.get(&TypeId::of::<O>())?.get(key)?;
         self.objects[id.0 as usize].as_any().downcast_ref::<O>()
     }
 
@@ -276,6 +327,24 @@ impl Memory {
         lines.join("\n")
     }
 
+    /// A 64-bit digest of [`Memory::state_fingerprint`] that never builds the
+    /// rendered string: each object hashes `key:type=state` through an FNV
+    /// accumulator, and the per-object digests are combined with a
+    /// commutative fold so the result is independent of allocation order
+    /// (object ids are assigned at first touch, which varies across
+    /// equivalent interleavings; key names do not).
+    pub fn fingerprint64(&self) -> u64 {
+        let mut acc = 0u64;
+        for (i, o) in self.objects.iter().enumerate() {
+            let mut w = crate::fingerprint::FnvWrite::new();
+            let _ = write!(w, "{}:{}=", self.names[i], o.type_name());
+            let _ = o.write_state(&mut w);
+            let h = w.finish();
+            acc = acc.wrapping_add(h ^ h.rotate_left(31));
+        }
+        acc
+    }
+
     /// Iterates over `(id, key, type name)` for every allocated object.
     pub fn inventory(&self) -> impl Iterator<Item = (ObjectId, &Key, &'static str)> + '_ {
         self.objects
@@ -298,7 +367,7 @@ mod tests {
     use super::*;
 
     /// A toy fetch-and-add object for exercising the framework.
-    #[derive(Debug, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Counter {
         value: u64,
         last_caller: Option<ProcessId>,
@@ -369,7 +438,7 @@ mod tests {
 
     #[test]
     fn distinct_types_under_same_key_are_distinct_objects() {
-        #[derive(Debug, Default)]
+        #[derive(Clone, Debug, Default)]
         struct Other;
         impl ObjectType for Other {
             type Op = ();

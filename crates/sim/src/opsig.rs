@@ -32,7 +32,7 @@
 use crate::commute::{self, ObjKind, Verdict};
 
 /// The recorded signature of one shared-object operation.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct OpSig {
     /// `std::any::type_name` of the [`ObjectType`](crate::ObjectType)
     /// implementation the operation was applied to.

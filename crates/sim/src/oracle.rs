@@ -19,9 +19,9 @@ use std::fmt;
 /// This is a blanket-implemented alias for the bounds the simulator needs:
 /// histories are recorded into the run trace, compared by spec checkers and
 /// handed across the lockstep channel.
-pub trait FdValue: Clone + Send + PartialEq + fmt::Debug + 'static {}
+pub trait FdValue: Clone + Send + Sync + PartialEq + fmt::Debug + 'static {}
 
-impl<T: Clone + Send + PartialEq + fmt::Debug + 'static> FdValue for T {}
+impl<T: Clone + Send + Sync + PartialEq + fmt::Debug + 'static> FdValue for T {}
 
 /// A failure-detector history generator: `H(p, t)`.
 ///

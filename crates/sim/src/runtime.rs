@@ -60,12 +60,41 @@ pub(crate) struct World<D: FdValue> {
     pub(crate) record_sigs: bool,
 }
 
+/// A type-erased clone of one step's result value, recorded so a suspended
+/// state machine can later be rebuilt by replaying its completed steps
+/// (see [`Session`](crate::Session)): the replayed step returns the recorded
+/// value directly instead of re-running its closure against the world.
+pub(crate) trait AnyReply: Send {
+    fn clone_box(&self) -> Box<dyn AnyReply>;
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<T: Clone + Send + 'static> AnyReply for T {
+    fn clone_box(&self) -> Box<dyn AnyReply> {
+        Box::new(self.clone())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// Per-process mailbox of the inline engine: the scheduler deposits a grant,
 /// the step future consumes it, performs its operation and deposits the
 /// step report back.
+///
+/// The three extra slots drive session recording and fast-forward replay:
+/// with `record` set, each completed step leaves a clone of its result in
+/// `recorded` for the session to harvest; a value deposited in `replay`
+/// makes the *next* step consume it as its result without touching the
+/// world (and without depositing a step report — the caller already knows
+/// what the step did).
 pub(crate) struct ProcCell<D: FdValue> {
     pub(crate) grant: Cell<Option<Grant>>,
     pub(crate) reply: RefCell<Option<StepKind<D>>>,
+    pub(crate) record: Cell<bool>,
+    pub(crate) recorded: Cell<Option<Box<dyn AnyReply>>>,
+    pub(crate) replay: Cell<Option<Box<dyn AnyReply>>>,
 }
 
 impl<D: FdValue> ProcCell<D> {
@@ -73,6 +102,9 @@ impl<D: FdValue> ProcCell<D> {
         ProcCell {
             grant: Cell::new(None),
             reply: RefCell::new(None),
+            record: Cell::new(false),
+            recorded: Cell::new(None),
+            replay: Cell::new(None),
         }
     }
 }
@@ -189,7 +221,7 @@ impl<D: FdValue> Ctx<D> {
     /// `poll` (the future never yields `Pending`); under the inline engine
     /// the wait *is* `Pending`, and the scheduler's next `poll` of this
     /// process delivers the grant through its [`ProcCell`].
-    async fn step<R>(
+    async fn step<R: Clone + Send + 'static>(
         &self,
         f: impl FnOnce(&mut World<D>, ProcessId, Time) -> (StepKind<D>, R),
     ) -> Result<R, Crashed> {
@@ -224,7 +256,20 @@ impl<D: FdValue> Ctx<D> {
                 .await;
                 let t = granted?;
                 self.now.set(t);
+                if let Some(prev) = cell.replay.take() {
+                    // Fast-forward replay: this step already happened in the
+                    // run being restored. Return its recorded result without
+                    // re-running `f` (no world mutation, no step report).
+                    let out = prev
+                        .into_any()
+                        .downcast::<R>()
+                        .expect("replayed step result has the recorded type");
+                    return Ok(*out);
+                }
                 let (kind, out) = f(&mut world.borrow_mut(), self.pid, t);
+                if cell.record.get() {
+                    cell.recorded.set(Some(Box::new(out.clone())));
+                }
                 *cell.reply.borrow_mut() = Some(kind);
                 Ok(out)
             }

@@ -1,0 +1,255 @@
+//! A work-stealing job pool with a coordinate-keyed deterministic merge.
+//!
+//! [`run_batch`](crate::run_batch) fans a *fixed* job list over workers;
+//! [`run_stealing`] additionally lets a running job **spawn** further jobs
+//! into the pool (the DPOR explorer discovers its frontier while exploring,
+//! and fuzz campaigns split chunks), with per-worker deques — a worker pops
+//! its own newest job (LIFO, cache-warm depth-first descent) and steals the
+//! *oldest* job of a victim (FIFO, the biggest pending subtree).
+//!
+//! Scheduling is nondeterministic; results are not: every job carries a
+//! caller-chosen `coord`, results are merged by lexicographic coordinate
+//! order after the pool drains, and jobs are pure functions of their inputs
+//! — so the returned vector is byte-identical for any worker count,
+//! including the threadless `workers <= 1` path. Panics follow the
+//! [`run_batch`](crate::run_batch) contract: the pool drains the remaining
+//! jobs, then re-raises the first payload.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+
+/// The spawner handed to every job: feed it further [`StealJob`]s to put
+/// them up for stealing. `'s` is the spawner's own borrow; `'a` bounds the
+/// jobs it accepts.
+pub type StealScope<'s, 'a, R> = dyn FnMut(StealJob<'a, R>) + 's;
+
+/// One unit of work: a coordinate (its position in the deterministic merge
+/// order) and the closure that produces its result. Coordinates must be
+/// unique across the whole pool run; lexicographic order of coordinates
+/// defines the order of the returned results.
+pub struct StealJob<'a, R> {
+    /// Merge coordinate — e.g. `[seq]` for top-level jobs, `[seq, sub]` for
+    /// jobs a job spawned.
+    pub coord: Vec<u32>,
+    /// The work. Receives the spawner for dynamic sub-jobs.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn FnOnce(&mut StealScope<'_, 'a, R>) -> R + Send + 'a>,
+}
+
+impl<R> std::fmt::Debug for StealJob<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealJob")
+            .field("coord", &self.coord)
+            .finish_non_exhaustive()
+    }
+}
+
+struct Pool<'a, R> {
+    queues: Vec<Mutex<VecDeque<StealJob<'a, R>>>>,
+    /// Jobs enqueued or running, not yet completed. A worker may retire only
+    /// when this reaches zero: running jobs are the only spawners, so zero
+    /// means no job exists and none can appear.
+    pending: AtomicUsize,
+    first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'a, R> Pool<'a, R> {
+    fn push(&self, worker: usize, job: StealJob<'a, R>) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queues[worker]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(job);
+    }
+
+    fn pop(&self, worker: usize) -> Option<StealJob<'a, R>> {
+        // Own queue from the back: depth-first, cache-warm.
+        if let Some(job) = self.queues[worker]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+        {
+            return Some(job);
+        }
+        // Steal from the front of the others: the oldest (largest) job.
+        let n = self.queues.len();
+        for d in 1..n {
+            let victim = (worker + d) % n;
+            if let Some(job) = self.queues[victim]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn work(&self, worker: usize) -> Vec<(Vec<u32>, R)> {
+        let mut local = Vec::new();
+        loop {
+            match self.pop(worker) {
+                Some(job) => {
+                    let StealJob { coord, run } = job;
+                    let mut spawner = move |j: StealJob<'a, R>| self.push(worker, j);
+                    match catch_unwind(AssertUnwindSafe(|| run(&mut spawner))) {
+                        Ok(r) => local.push((coord, r)),
+                        Err(payload) => {
+                            let mut slot = self
+                                .first_panic
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                        }
+                    }
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    thread::yield_now();
+                }
+            }
+        }
+        local
+    }
+}
+
+/// Runs `initial` (plus everything the jobs spawn) across `workers` threads
+/// and returns the results sorted by job coordinate. `workers == 0` uses
+/// [`default_workers`](crate::default_workers); `workers <= 1` runs
+/// threadless on the caller's thread. If any job panicked, the pool drains
+/// the rest, then re-raises the first payload.
+pub fn run_stealing<'a, R: Send + 'a>(initial: Vec<StealJob<'a, R>>, workers: usize) -> Vec<R> {
+    if initial.is_empty() {
+        return Vec::new();
+    }
+    let workers = match workers {
+        0 => crate::batch::default_workers(),
+        w => w,
+    }
+    .max(1);
+    let pool = Pool {
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(0),
+        first_panic: Mutex::new(None),
+    };
+    // Deal the initial jobs round-robin so stealing starts balanced.
+    for (i, job) in initial.into_iter().enumerate() {
+        pool.push(i % workers, job);
+    }
+    let mut results: Vec<(Vec<u32>, R)> = if workers == 1 {
+        pool.work(0)
+    } else {
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let pool = &pool;
+                    scope.spawn(move || pool.work(w))
+                })
+                .collect();
+            let mut all = Vec::new();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => all.extend(local),
+                    Err(payload) => {
+                        let mut slot = pool
+                            .first_panic
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
+            }
+            all
+        })
+    };
+    if let Some(payload) = pool
+        .first_panic
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    debug_assert!(
+        results.windows(2).all(|w| w[0].0 != w[1].0),
+        "steal-job coordinates must be unique"
+    );
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job<'a>(coord: Vec<u32>, value: u64) -> StealJob<'a, u64> {
+        StealJob {
+            coord,
+            run: Box::new(move |_scope| value),
+        }
+    }
+
+    #[test]
+    fn results_follow_coordinate_order_not_schedule_order() {
+        for workers in [1, 2, 8] {
+            let jobs = (0..32u32)
+                .rev()
+                .map(|i| job(vec![i], u64::from(i) * 7))
+                .collect();
+            let out = run_stealing(jobs, workers as usize);
+            assert_eq!(
+                out,
+                (0..32u32).map(|i| u64::from(i) * 7).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn spawned_jobs_merge_by_coordinate() {
+        for workers in [1, 3] {
+            let root = StealJob {
+                coord: vec![0],
+                run: Box::new(|scope: &mut StealScope<'_, '_, u64>| {
+                    for i in 1..=4u32 {
+                        scope(StealJob {
+                            coord: vec![i],
+                            run: Box::new(move |inner: &mut StealScope<'_, '_, u64>| {
+                                if i == 2 {
+                                    inner(job(vec![i, 0], 100 + u64::from(i)));
+                                }
+                                u64::from(i)
+                            }),
+                        });
+                    }
+                    0
+                }),
+            };
+            let out = run_stealing(vec![root], workers);
+            // coords: [0], [1], [2], [2,0], [3], [4]
+            assert_eq!(out, vec![0, 1, 2, 102, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn panicking_job_drains_then_propagates() {
+        let mut jobs: Vec<StealJob<'_, u64>> = (0..8).map(|i| job(vec![i], 1)).collect();
+        jobs.push(StealJob {
+            coord: vec![99],
+            run: Box::new(|_| panic!("boom in steal job")),
+        });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| run_stealing(jobs, 4))).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom in steal job"), "{msg}");
+    }
+}

@@ -145,6 +145,58 @@ pub enum StopReason {
     AdversaryStopped,
 }
 
+/// Reusable backing storage for the vectors a run accumulates (events,
+/// outputs, failure-detector samples, per-process bookkeeping).
+///
+/// A one-shot [`SimBuilder::run`](crate::SimBuilder::run) allocates these
+/// afresh every execution; a campaign running hundreds of thousands of short
+/// executions (`upsilon-fuzz`) pays that malloc traffic per run. Passing an
+/// arena to [`SimBuilder::run_with`](crate::SimBuilder::run_with) lends the
+/// arena's capacity to the run, and [`recycle`](RunArena::recycle) takes the
+/// finished [`Run`]'s vectors back, so steady-state executions reuse the
+/// same few allocations over and over.
+///
+/// An arena is plain data tied to no particular configuration: reusing one
+/// across different targets, process counts or engines is fine.
+#[derive(Debug, Default)]
+pub struct RunArena<D> {
+    pub(crate) events: Vec<Event<D>>,
+    pub(crate) outputs: Vec<(Time, ProcessId, Output)>,
+    pub(crate) fd_samples: Vec<(Time, ProcessId, D)>,
+    pub(crate) steps_by: Vec<u64>,
+    pub(crate) crash_observed: Vec<Option<Time>>,
+    pub(crate) last_output: Vec<Option<Output>>,
+    pub(crate) known_finished: Vec<bool>,
+    pub(crate) stopped: Vec<bool>,
+}
+
+impl<D> RunArena<D> {
+    /// An empty arena; capacity grows to the working set of the first runs.
+    pub fn new() -> Self {
+        RunArena {
+            events: Vec::new(),
+            outputs: Vec::new(),
+            fd_samples: Vec::new(),
+            steps_by: Vec::new(),
+            crash_observed: Vec::new(),
+            last_output: Vec::new(),
+            known_finished: Vec::new(),
+            stopped: Vec::new(),
+        }
+    }
+
+    /// Takes a finished run's vectors back into the arena so the next
+    /// [`run_with`](crate::SimBuilder::run_with) reuses their capacity.
+    /// The run's contents are discarded.
+    pub fn recycle(&mut self, run: Run<D>) {
+        self.events = run.events;
+        self.outputs = run.outputs;
+        self.fd_samples = run.fd_samples;
+        self.steps_by = run.steps_by;
+        self.crash_observed = run.crash_observed;
+    }
+}
+
 /// The completed run: pattern, trace, failure-detector samples and outputs.
 ///
 /// `Run` is the interface between the simulator and every checker in the

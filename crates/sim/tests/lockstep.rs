@@ -8,7 +8,7 @@ use upsilon_sim::{
 
 /// A shared counter used to detect atomicity violations: `IncrTwoPhase`
 /// would misbehave if two processes could interleave inside one step.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct Counter(u64);
 
 #[derive(Debug)]
