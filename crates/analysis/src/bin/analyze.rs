@@ -5,15 +5,17 @@
 //! cargo run -p upsilon-analysis --bin analyze -- lint [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- conform [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- commute [--json]
+//! cargo run -p upsilon-analysis --bin analyze -- symmetry [--json]
 //! cargo run -p upsilon-analysis --bin analyze -- run-conditions [--json] \
 //!     [--seeds <count>] [--procs <n+1>]
 //! cargo run -p upsilon-analysis --bin analyze -- scenario [--json]
 //! ```
 //!
-//! `lint`, `conform` and `commute` are the static passes (determinism lint
-//! over the simulator crates, §3.1 conformance over the algorithm crates,
-//! DPOR-soundness audit of the shared objects' `access()` classifications);
-//! all also exist as standalone bins. `run-conditions` is the dynamic pass: it
+//! `lint`, `conform`, `commute` and `symmetry` are the static passes
+//! (determinism lint over the simulator crates, §3.1 conformance over the
+//! algorithm crates, DPOR-soundness audit of the shared objects' `access()`
+//! classifications, and pid-parametricity audit plus orbit derivation over
+//! the protocol crates); all also exist as standalone bins. `run-conditions` is the dynamic pass: it
 //! drives a built-in leader workload over a seed sweep and validates every
 //! recorded run against the §3.3 run conditions with
 //! [`upsilon_analysis::check_run_for`]. `scenario` is the declarative-layer
@@ -32,13 +34,13 @@ use upsilon_sim::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: analyze <lint|conform|commute|run-conditions|scenario> [options]\n\
+        "usage: analyze <lint|conform|commute|symmetry|run-conditions|scenario> [options]\n\
          \n\
          common options:\n\
          \x20 --root <dir>        workspace root (default .)\n\
          \x20 --json              machine-readable output\n\
          \n\
-         lint / conform / commute options:\n\
+         lint / conform / commute / symmetry options:\n\
          \x20 --allowlist <file>  audited-exception file (default under crates/analysis/)\n\
          \n\
          run-conditions options:\n\
@@ -100,6 +102,7 @@ fn main() -> ExitCode {
         "lint" => lint(&opts),
         "conform" => conform(&opts),
         "commute" => commute(&opts),
+        "symmetry" => symmetry(&opts),
         "run-conditions" => run_conditions(&opts),
         "scenario" => scenario(&opts),
         "--help" | "-h" => usage(),
@@ -202,6 +205,45 @@ fn commute(opts: &Opts) -> ExitCode {
             "commute: {} files scanned, {} impls analyzed, {} findings, {} allowlisted",
             report.files.len(),
             report.impls.len(),
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+    pass_fail(report.is_clean())
+}
+
+fn symmetry(opts: &Opts) -> ExitCode {
+    let path = opts
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| opts.root.join("crates/analysis/symmetry-allowlist.txt"));
+    let allow = match load_or_empty(&path, upsilon_symmetry::load_allowlist) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match upsilon_symmetry::scan_workspace(&opts.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze symmetry: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        for orbit in &report.orbits {
+            println!("orbit: {} -> {}", orbit.sample, orbit.orbit.label());
+        }
+        println!(
+            "symmetry: {} files scanned, {} routines ({} symmetric), {} orbits, \
+             {} findings, {} allowlisted",
+            report.files.len(),
+            report.routines.len(),
+            report.routines.iter().filter(|v| v.symmetric).count(),
+            report.orbits.len(),
             report.findings.len(),
             report.suppressed.len()
         );

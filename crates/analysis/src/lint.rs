@@ -45,6 +45,7 @@ pub const SCANNED_CRATES: &[&str] = &[
     "fuzz",
     "analysis",
     "commute",
+    "symmetry",
     "scenario",
 ];
 

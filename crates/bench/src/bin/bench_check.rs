@@ -23,13 +23,19 @@
 //!
 //! Reported per entry: node counts for all three modes, the reduction
 //! ratio `naive / matrix`, the matrix's own gain `lattice / matrix`, and
-//! the sustained states/second of the matrix search. Every workload must
-//! come back clean in all modes with naive and matrix agreeing on
-//! violations (soundness spot-check); acceptance further requires each
-//! entry to clear its reduction floor, the best entry to beat the
-//! pre-matrix 18.72× baseline strictly, and the matrix to strictly improve
-//! on the lattice somewhere. The JSON artifact is only written when every
-//! check passes, so a failing run can never overwrite a good baseline.
+//! the sustained states/second of the matrix search. Two further modes
+//! measure the orthogonal reducers on top of the matrix search:
+//! **dedup** (fingerprint dedup, orbit-blind) and **sym** (dedup plus the
+//! process-symmetry reduction over the statically certified orbit), whose
+//! `dedup / sym` node ratio is the symmetry reduction factor. Every
+//! workload must come back clean in all modes with naive and matrix
+//! agreeing on violations (soundness spot-check); acceptance further
+//! requires each entry to clear its reduction floor, the best entry to
+//! beat the pre-matrix 18.72× baseline strictly, the matrix to strictly
+//! improve on the lattice somewhere, and the symmetry reduction to reach
+//! 2× on at least one certified-symmetric workload. The JSON artifact is
+//! only written when every check passes, so a failing run can never
+//! overwrite a good baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -50,6 +56,10 @@ const MIN_TURBO_SPEEDUP: f64 = 2.5;
 const BASELINE_RATIO: f64 = 18.72;
 /// At least one entry must show the matrix strictly refining the lattice.
 const MIN_BEST_MATRIX_GAIN: f64 = 1.0;
+/// The symmetry reduction (`dedup / sym` nodes) must reach this factor on
+/// at least one certified-symmetric workload (stable-report's full orbit
+/// measures ~3× at the default recipe).
+const MIN_SYMMETRY_REDUCTION: f64 = 2.0;
 
 const USAGE: &str = "usage: bench_check [depth] | bench_check [options]
   --workloads LIST comma-separated entries to run (default
@@ -155,8 +165,11 @@ struct Entry {
     /// The matrix search re-executed stateless (turbo off) — the replay
     /// baseline the snapshot-resume cursor is measured against.
     stateless: Sample,
-    /// The matrix search with fingerprint dedup on.
+    /// The matrix search with fingerprint dedup on (symmetry off).
     dedup: Sample,
+    /// The dedup search with the process-symmetry reduction on top —
+    /// orbit-canonical fingerprints plus crash/menu collapse.
+    sym: Sample,
 }
 
 impl Entry {
@@ -177,6 +190,12 @@ impl Entry {
     fn turbo_speedup(&self) -> f64 {
         self.stateless.secs / self.matrix.secs
     }
+
+    /// States-explored factor the symmetry reduction buys on top of
+    /// orbit-blind dedup (1.0 on trivial orbits).
+    fn symmetry_reduction(&self) -> f64 {
+        self.dedup.report.stats.nodes as f64 / self.sym.report.stats.nodes as f64
+    }
 }
 
 fn explore<D: FdValue>(
@@ -185,13 +204,15 @@ fn explore<D: FdValue>(
     use_matrix: bool,
     turbo: bool,
     dedup: bool,
+    symmetry: bool,
 ) -> Sample {
     let cfg = base
         .clone()
         .reduction(reduction)
         .matrix(use_matrix)
         .turbo(turbo)
-        .dedup(dedup);
+        .dedup(dedup)
+        .symmetry(symmetry);
     let start = Instant::now();
     let report = check(&cfg);
     Sample {
@@ -214,11 +235,12 @@ fn measure<D: FdValue>(
         depth,
         faults,
         floor,
-        naive: explore(base, false, false, true, false),
-        lattice: explore(base, true, false, true, false),
-        matrix: explore(base, true, true, true, false),
-        stateless: explore(base, true, true, false, false),
-        dedup: explore(base, true, true, true, true),
+        naive: explore(base, false, false, true, false, false),
+        lattice: explore(base, true, false, true, false, false),
+        matrix: explore(base, true, true, true, false, false),
+        stateless: explore(base, true, true, false, false, false),
+        dedup: explore(base, true, true, true, true, false),
+        sym: explore(base, true, true, true, true, true),
     }
 }
 
@@ -323,9 +345,11 @@ fn json_entry(e: &Entry) -> String {
     format!(
         "    {{\n      \"workload\": \"{}\",\n      \"n_plus_1\": {},\n      \"depth\": {},\n      \
          \"faults\": {},\n      \"nodes_naive\": {},\n      \"nodes_lattice\": {},\n      \
-         \"nodes_matrix\": {},\n      \"nodes_dedup\": {},\n      \"dedup_pruned\": {},\n      \
+         \"nodes_matrix\": {},\n      \"nodes_dedup\": {},\n      \"nodes_symmetry\": {},\n      \
+         \"dedup_pruned\": {},\n      \"symmetry_pruned\": {},\n      \
          \"sleep_pruned\": {},\n      \"reduction_ratio\": {:.2},\n      \
-         \"matrix_gain\": {:.2},\n      \"turbo_speedup\": {:.2},\n      \
+         \"matrix_gain\": {:.2},\n      \"symmetry_reduction\": {:.2},\n      \
+         \"turbo_speedup\": {:.2},\n      \
          \"states_per_sec\": {:.1},\n      \"states_per_sec_naive\": {:.1},\n      \
          \"states_per_sec_stateless\": {:.1}\n    }}",
         e.name,
@@ -336,10 +360,13 @@ fn json_entry(e: &Entry) -> String {
         e.lattice.report.stats.nodes,
         e.matrix.report.stats.nodes,
         e.dedup.report.stats.nodes,
+        e.sym.report.stats.nodes,
         e.dedup.report.stats.dedup_pruned,
+        e.sym.report.stats.symmetry_pruned,
         e.matrix.report.stats.sleep_pruned,
         e.ratio(),
         e.matrix_gain(),
+        e.symmetry_reduction(),
         e.turbo_speedup(),
         e.states_per_sec(),
         e.naive.states_per_sec(),
@@ -394,6 +421,7 @@ fn main() -> ExitCode {
             ("matrix", &e.matrix),
             ("stateless", &e.stateless),
             ("dedup", &e.dedup),
+            ("sym", &e.sym),
         ] {
             t.row([
                 mode.to_string(),
@@ -406,13 +434,14 @@ fn main() -> ExitCode {
         println!("{t}");
         println!(
             "{}: reduction {:.1}x (floor {:.0}x), matrix gain {:.2}x, turbo speedup {:.2}x, \
-             dedup pruned {}",
+             dedup pruned {}, symmetry reduction {:.2}x",
             e.name,
             e.ratio(),
             e.floor,
             e.matrix_gain(),
             e.turbo_speedup(),
             e.dedup.report.stats.dedup_pruned,
+            e.symmetry_reduction(),
         );
 
         for (mode, s) in [
@@ -421,6 +450,7 @@ fn main() -> ExitCode {
             ("matrix", &e.matrix),
             ("stateless", &e.stateless),
             ("dedup", &e.dedup),
+            ("sym", &e.sym),
         ] {
             if !s.report.ok() {
                 eprintln!("FAIL: {} must explore clean in {mode} mode", e.name);
@@ -453,6 +483,17 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+        if e.sym.report.violations != e.matrix.report.violations {
+            eprintln!("FAIL: {}: symmetry reduction changed the verdict", e.name);
+            failed = true;
+        }
+        if e.sym.report.stats.nodes > e.dedup.report.stats.nodes {
+            eprintln!(
+                "FAIL: {}: symmetry explored more nodes than orbit-blind dedup",
+                e.name
+            );
+            failed = true;
+        }
         if e.matrix_gain() < 1.0 {
             eprintln!(
                 "FAIL: {}: matrix mode explored more nodes than the lattice — the refinement \
@@ -475,6 +516,10 @@ fn main() -> ExitCode {
     let best = entries.iter().map(Entry::ratio).fold(0.0, f64::max);
     let best_gain = entries.iter().map(Entry::matrix_gain).fold(0.0, f64::max);
     let best_turbo = entries.iter().map(Entry::turbo_speedup).fold(0.0, f64::max);
+    let best_sym = entries
+        .iter()
+        .map(Entry::symmetry_reduction)
+        .fold(0.0, f64::max);
     // The headline is the entry where the matrix refinement earns the
     // most — the number the artifact exists to defend — not a fixed
     // workload that may show a 1.00x gain.
@@ -486,7 +531,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     println!(
-        "best reduction: {best:.1}x (baseline {BASELINE_RATIO}x), best matrix gain: {best_gain:.2}x"
+        "best reduction: {best:.1}x (baseline {BASELINE_RATIO}x), best matrix gain: \
+         {best_gain:.2}x, best symmetry reduction: {best_sym:.2}x"
     );
 
     if !args.single {
@@ -508,6 +554,13 @@ fn main() -> ExitCode {
             eprintln!(
                 "FAIL: best snapshot-resume speedup {best_turbo:.2}x below the \
                  {MIN_TURBO_SPEEDUP}x floor"
+            );
+            failed = true;
+        }
+        if best_sym < MIN_SYMMETRY_REDUCTION {
+            eprintln!(
+                "FAIL: best symmetry reduction {best_sym:.2}x below the \
+                 {MIN_SYMMETRY_REDUCTION}x floor"
             );
             failed = true;
         }
@@ -533,6 +586,7 @@ fn main() -> ExitCode {
          \"reduction_ratio\": {:.2},\n  \"matrix_gain\": {:.2},\n  \"states_per_sec\": {:.1},\n  \
          \"best_reduction_ratio\": {best:.2},\n  \"best_matrix_gain\": {best_gain:.2},\n  \
          \"best_turbo_speedup\": {best_turbo:.2},\n  \
+         \"best_symmetry_reduction\": {best_sym:.2},\n  \
          \"clean\": true,\n  \"entries\": [\n{}\n  ]\n}}\n",
         headline.name,
         headline.n,

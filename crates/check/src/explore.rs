@@ -47,11 +47,12 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use upsilon_analysis::{RunConditionsSpec, RunSpec};
 use upsilon_core::shrink::ddmin_counted;
+use upsilon_sim::symmetry::Orbit;
 use upsilon_sim::{
-    ops_commute, resolve, run_stealing, trace_fingerprint, Access, AlgoFn, EngineKind,
-    FailurePattern, FdValue, FnvWrite, Key, Memory, OpSig, ProcessId, ReplayToken, ResolvedOp, Run,
-    Session, SessionSave, SessionStep, SimBuilder, StealJob, StealScope, StepKind, Time,
-    TraceLevel,
+    ops_commute, orbit_trace_fingerprint, resolve, run_stealing, trace_fingerprint, Access, AlgoFn,
+    EngineKind, FailurePattern, FdValue, FnvWrite, Key, Memory, OpSig, OrbitFingerprint, ProcessId,
+    ReplayToken, ResolvedOp, Run, Session, SessionSave, SessionStep, SimBuilder, StealJob,
+    StealScope, StepKind, Time, TraceLevel,
 };
 
 /// One scheduling decision of the explorer.
@@ -150,17 +151,33 @@ pub struct CheckConfig<D: FdValue> {
     /// to stateless re-execution under [`EngineKind::Threads`] (thread
     /// state machines cannot be rewound).
     pub turbo: bool,
-    /// State-fingerprint deduplication (off by default): prune a node whose
-    /// canonical fingerprint — object states plus per-process trace digests
-    /// plus the unserved pick script, crash context and remaining budgets —
-    /// was already fully explored with an equal-or-looser sleep set and an
-    /// equal-or-deeper remaining depth. Sound for the state-based,
-    /// trace-closed specs this checker is built for (verdicts are functions
-    /// of per-process projections, which equal fingerprints pin down);
-    /// the differential suite locks verdict equality per scenario. Requires
-    /// `turbo` (fingerprints come from the live session) and implies full
-    /// trace detail so op responses enter the digest.
+    /// State-fingerprint deduplication (on by default since the PR 8
+    /// differential suite proved verdict/token preservation): prune a node
+    /// whose canonical fingerprint — object states plus per-process trace
+    /// digests plus the unserved pick script, crash context and remaining
+    /// budgets — was already fully explored with an equal-or-looser sleep
+    /// set and an equal-or-deeper remaining depth. Sound for the
+    /// state-based, trace-closed specs this checker is built for (verdicts
+    /// are functions of per-process projections, which equal fingerprints
+    /// pin down); the differential suite locks verdict equality per
+    /// scenario. Requires `turbo` (fingerprints come from the live session)
+    /// and implies full trace detail so op responses enter the digest.
     pub dedup: bool,
+    /// Process-symmetry reduction (on by default; the identity unless
+    /// [`CheckConfig::orbit`] is non-trivial): collapse crash injections to
+    /// one representative per orbit class, skip duplicate failure-detector
+    /// candidates, and canonicalize dedup fingerprints up to within-class
+    /// process renaming. Sound only for configurations whose orbit the
+    /// static audit (`upsilon-symmetry`) certifies; the differential suite
+    /// locks verdict and token equality against the unreduced search.
+    pub symmetry: bool,
+    /// The certified orbit classes of this configuration's processes
+    /// (default [`Orbit::Trivial`], under which the symmetry reduction is
+    /// the identity). Samples set this from the generated
+    /// `upsilon_sim::symmetry::sample_orbit` table; hand-built configs must
+    /// only claim a non-trivial orbit when algorithms, inputs, specs and
+    /// menu really are invariant under class-preserving permutations.
+    pub orbit: Orbit,
     /// Refine the conflict relation through the generated per-op-pair
     /// commutativity matrix (`upsilon_sim::commute`): op signatures are
     /// recorded on every node and lattice conflicts the matrix proves
@@ -192,6 +209,8 @@ impl<D: FdValue> std::fmt::Debug for CheckConfig<D> {
             .field("reduction", &self.reduction)
             .field("turbo", &self.turbo)
             .field("dedup", &self.dedup)
+            .field("symmetry", &self.symmetry)
+            .field("orbit", &self.orbit)
             .field("split_depth", &self.split_depth)
             .finish_non_exhaustive()
     }
@@ -215,7 +234,9 @@ impl<D: FdValue> CheckConfig<D> {
             algos,
             reduction: true,
             turbo: true,
-            dedup: false,
+            dedup: true,
+            symmetry: true,
+            orbit: Orbit::Trivial,
             use_matrix: true,
             engine: EngineKind::Inline,
             workers: 0,
@@ -250,10 +271,24 @@ impl<D: FdValue> CheckConfig<D> {
         self
     }
 
-    /// Enables or disables state-fingerprint deduplication (off by
+    /// Enables or disables state-fingerprint deduplication (on by
     /// default; effective only with `turbo` on an inline engine).
     pub fn dedup(mut self, on: bool) -> Self {
         self.dedup = on;
+        self
+    }
+
+    /// Enables or disables the process-symmetry reduction (on by default;
+    /// the identity unless a non-trivial [`CheckConfig::orbit`] is set).
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// Declares the certified orbit classes of this configuration's
+    /// processes (default [`Orbit::Trivial`]).
+    pub fn orbit(mut self, orbit: Orbit) -> Self {
+        self.orbit = orbit;
         self
     }
 
@@ -296,6 +331,11 @@ pub struct CheckStats {
     /// Nodes pruned because an equal state fingerprint was already fully
     /// explored (always 0 unless [`CheckConfig::dedup`] is on).
     pub dedup_pruned: u64,
+    /// Children skipped by the process-symmetry reduction: crash injections
+    /// collapsed to one representative per orbit class and duplicate
+    /// failure-detector candidates (always 0 unless
+    /// [`CheckConfig::symmetry`] is on).
+    pub symmetry_pruned: u64,
     /// Whether a node or violation budget cut the search short.
     pub truncated: bool,
 }
@@ -309,6 +349,7 @@ impl CheckStats {
         self.depth_leaves += other.depth_leaves;
         self.no_step_children += other.no_step_children;
         self.dedup_pruned += other.dedup_pruned;
+        self.symmetry_pruned += other.symmetry_pruned;
         self.truncated |= other.truncated;
     }
 }
@@ -861,6 +902,18 @@ impl<'a, D: FdValue> Cursor<'a, D> {
             }
         }
     }
+
+    /// The orbit-canonical state fingerprint of the current node (see
+    /// [`orbit_trace_fingerprint`]).
+    fn orbit_fingerprint(&self, class_of: &[u32], extra: &[u64]) -> OrbitFingerprint {
+        match self {
+            Cursor::Turbo(c) => c.session.orbit_fingerprint(class_of, extra),
+            Cursor::Stateless(c) => {
+                let exec = c.top();
+                orbit_trace_fingerprint(&exec.run, &exec.memory, class_of, extra)
+            }
+        }
+    }
 }
 
 /// Which crash children the canonical-representative rule admits below a
@@ -872,6 +925,23 @@ fn crash_tag(path: &[Choice]) -> u64 {
         Some(Choice::Step(p)) => 2 + 2 * p.index() as u64,
         Some(Choice::Crash(q)) if path.iter().all(|c| matches!(c, Choice::Crash(_))) => {
             3 + 2 * q.index() as u64
+        }
+        Some(Choice::Crash(_)) => 0,
+    }
+}
+
+/// [`crash_tag`] with the distinguishing pid mapped through the canonical
+/// permutation of an orbit fingerprint, so two nodes that are images of
+/// each other under a class-preserving renaming carry equal tags. Sound
+/// because position-equal entries of two equal canonical fingerprints have
+/// equal (class, digest, extra) triples — the renaming that witnesses the
+/// fingerprint match can always be chosen to align the tagged pids.
+fn canon_crash_tag(path: &[Choice], canon_of: &[usize]) -> u64 {
+    match path.last() {
+        None => 1,
+        Some(Choice::Step(p)) => 2 + 2 * canon_of[p.index()] as u64,
+        Some(Choice::Crash(q)) if path.iter().all(|c| matches!(c, Choice::Crash(_))) => {
+            3 + 2 * canon_of[q.index()] as u64
         }
         Some(Choice::Crash(_)) => 0,
     }
@@ -932,6 +1002,12 @@ struct Explorer<'a, D: FdValue, F: FnMut(FrontierJob)> {
     visited: Option<BTreeMap<u64, Vec<StoredNode>>>,
     resolve_memo: ResolveMemo,
     frontier: Option<F>,
+    /// The orbit class of every process (identity classes when symmetry is
+    /// off or the orbit is trivial).
+    class_of: Vec<u32>,
+    /// Whether the symmetry reduction can do anything here: `cfg.symmetry`
+    /// with a non-trivial certified orbit.
+    sym_active: bool,
 }
 
 impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
@@ -952,6 +1028,8 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
             visited: (cfg.dedup && turbo_active(cfg)).then(BTreeMap::new),
             resolve_memo: ResolveMemo::new(),
             frontier,
+            class_of: cfg.orbit.class_of(cfg.n_plus_1),
+            sym_active: cfg.symmetry && !cfg.orbit.is_trivial(),
         }
     }
 
@@ -963,40 +1041,72 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
     /// *else* that steers the subtree — the unserved pick suffixes (served
     /// picks are already baked into the state), the spent fault budget, the
     /// crash times (specs may read them) and the path-shape crash tag.
-    fn dedup_key(&self, picks: &[Vec<u32>]) -> u64 {
+    ///
+    /// With the symmetry reduction active the key is computed up to
+    /// within-class process renaming: the per-process extras (pick suffix
+    /// plus crash time) ride inside the orbit-canonical fingerprint instead
+    /// of being hashed in pid order, the crash tag's pid is mapped through
+    /// the canonicalizing permutation, and that permutation is returned so
+    /// [`Explorer::visit`] can canonicalize the sleep set the same way.
+    fn dedup_key(&self, picks: &[Vec<u32>]) -> (u64, Option<Vec<usize>>) {
         let run = self.cursor.run();
         let n = self.cfg.n_plus_1;
-        let mut h = FnvWrite::new();
-        h.write_u64(self.cursor.fingerprint());
         let mut qcounts = vec![0usize; n];
         for (_, p, _) in run.fd_samples() {
             qcounts[p.index()] += 1;
         }
-        for (i, counted) in qcounts.iter().enumerate() {
-            h.write_u64(0x51);
+        // An explicit 0 and a missing entry play the same candidate:
+        // strip trailing zeros so the two key identically.
+        let suffix_of = |i: usize| -> &[u32] {
             let suffix = picks
                 .get(i)
-                .map(|v| v.get(*counted..).unwrap_or(&[]))
+                .map(|v| v.get(qcounts[i]..).unwrap_or(&[]))
                 .unwrap_or(&[]);
-            // An explicit 0 and a missing entry play the same candidate:
-            // strip trailing zeros so the two key identically.
-            let trimmed = match suffix.iter().rposition(|&x| x != 0) {
+            match suffix.iter().rposition(|&x| x != 0) {
                 Some(last) => &suffix[..=last],
                 None => &[],
-            };
-            for &x in trimmed {
-                h.write_u64(u64::from(x) + 1);
             }
+        };
+        if self.sym_active {
+            let extra: Vec<u64> = (0..n)
+                .map(|i| {
+                    let mut e = FnvWrite::new();
+                    e.write_u64(0x51);
+                    for &x in suffix_of(i) {
+                        e.write_u64(u64::from(x) + 1);
+                    }
+                    e.write_u64(match run.crash_observed(ProcessId(i)) {
+                        Some(t) => t.0 + 1,
+                        None => 0,
+                    });
+                    e.finish()
+                })
+                .collect();
+            let ofp = self.cursor.orbit_fingerprint(&self.class_of, &extra);
+            let mut h = FnvWrite::new();
+            h.write_u64(ofp.fingerprint);
+            h.write_u64(faults_in(&self.path) as u64);
+            h.write_u64(canon_crash_tag(&self.path, &ofp.canon_of));
+            (h.finish(), Some(ofp.canon_of))
+        } else {
+            let mut h = FnvWrite::new();
+            h.write_u64(self.cursor.fingerprint());
+            for i in 0..n {
+                h.write_u64(0x51);
+                for &x in suffix_of(i) {
+                    h.write_u64(u64::from(x) + 1);
+                }
+            }
+            h.write_u64(faults_in(&self.path) as u64);
+            h.write_u64(crash_tag(&self.path));
+            for i in 0..n {
+                h.write_u64(match run.crash_observed(ProcessId(i)) {
+                    Some(t) => t.0 + 1,
+                    None => 0,
+                });
+            }
+            (h.finish(), None)
         }
-        h.write_u64(faults_in(&self.path) as u64);
-        h.write_u64(crash_tag(&self.path));
-        for i in 0..n {
-            h.write_u64(match run.crash_observed(ProcessId(i)) {
-                Some(t) => t.0 + 1,
-                None => 0,
-            });
-        }
-        h.finish()
     }
 
     /// Executes specs on the node the cursor sits at; on violation, records
@@ -1031,24 +1141,34 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
         }
         let dedup_key = match &self.visited {
             Some(visited) => {
-                let key = self.dedup_key(picks);
+                let (key, canon) = self.dedup_key(picks);
+                // Sleep entries are compared (and stored) with their pids
+                // mapped through the canonical permutation, so symmetric
+                // nodes agree on the comparison as well as the key.
+                let canon_sleep: Vec<(ProcessId, Footprint)> = match &canon {
+                    Some(canon_of) => sleep
+                        .iter()
+                        .map(|(q, f)| (ProcessId(canon_of[q.index()]), f.clone()))
+                        .collect(),
+                    None => sleep.clone(),
+                };
                 let remaining = self.cfg.depth - steps_used;
                 let seen = visited.get(&key).is_some_and(|stored| {
                     stored.iter().any(|s| {
-                        s.remaining >= remaining && s.sleep.iter().all(|e| sleep.contains(e))
+                        s.remaining >= remaining && s.sleep.iter().all(|e| canon_sleep.contains(e))
                     })
                 });
                 if seen {
                     self.stats.dedup_pruned += 1;
                     return;
                 }
-                Some(key)
+                Some((key, canon_sleep))
             }
             None => None,
         };
         let violations_before = self.violations.len();
-        self.expand(picks, sleep.clone(), steps_used);
-        if let Some(key) = dedup_key {
+        self.expand(picks, sleep, steps_used);
+        if let Some((key, canon_sleep)) = dedup_key {
             if !self.stats.truncated && self.violations.len() == violations_before {
                 self.visited
                     .as_mut()
@@ -1057,7 +1177,7 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
                     .or_default()
                     .push(StoredNode {
                         remaining: self.cfg.depth - steps_used,
-                        sleep,
+                        sleep: canon_sleep,
                     });
             }
         }
@@ -1083,10 +1203,26 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
         };
 
         if faults_in(&self.path) < self.cfg.max_faults {
+            // Symmetry reduction: when several crash candidates are admitted
+            // at this node, processes of one orbit class are interchangeable
+            // — nobody has stepped yet wherever multiple candidates exist
+            // (the canonical-representative rule admits more than one crash
+            // only at the empty path or after an all-crash prefix), so
+            // crashing any of them yields π-isomorphic subtrees. Keep one
+            // representative per class.
+            let mut crash_classes_seen: Vec<u32> = Vec::new();
             for i in 0..self.cfg.n_plus_1 {
                 let p = ProcessId(i);
                 if crashed_in(&self.path, p) || !crash_allowed(&self.path, p) {
                     continue;
+                }
+                if self.sym_active {
+                    let class = self.class_of[i];
+                    if crash_classes_seen.contains(&class) {
+                        self.stats.symmetry_pruned += 1;
+                        continue;
+                    }
+                    crash_classes_seen.push(class);
                 }
                 if self.over_budget() {
                     self.stats.truncated = true;
@@ -1132,7 +1268,23 @@ impl<'a, D: FdValue, F: FnMut(FrontierJob)> Explorer<'a, D, F> {
             // Sibling branches for the unexplored detector candidates.
             if let Some(rec) = query {
                 debug_assert_eq!(rec.pid, p);
+                // Symmetry reduction: a menu may offer the same candidate
+                // value more than once (e.g. `{p} ∪ Π` when `p ∈ Π`); equal
+                // values produce value-identical runs, so explore the first
+                // occurrence only. The menu contract (deterministic,
+                // schedule-independent) makes this re-fetch safe.
+                let menu_cands = self
+                    .cfg
+                    .symmetry
+                    .then(|| self.cfg.menu.candidates(p, rec.k as usize));
                 for j in 1..rec.candidates {
+                    if let Some(cands) = &menu_cands {
+                        let ju = j as usize;
+                        if ju < cands.len() && cands[..ju].iter().any(|c| *c == cands[ju]) {
+                            self.stats.symmetry_pruned += 1;
+                            continue;
+                        }
+                    }
                     let mut vpicks = picks.to_vec();
                     vpicks[i].resize(rec.k as usize, 0);
                     vpicks[i].push(j);

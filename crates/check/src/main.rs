@@ -25,7 +25,8 @@ struct Args {
     k: Option<usize>,
     naive: bool,
     no_turbo: bool,
-    dedup: bool,
+    no_dedup: bool,
+    no_symmetry: bool,
     workers: usize,
     split: usize,
     max_violations: usize,
@@ -43,7 +44,8 @@ const USAGE: &str = "usage: upsilon-check [options]
   --k N                agreement parameter for commit configs (default n-1)
   --naive              disable the sleep-set reduction
   --no-turbo           disable snapshot-resume execution (replay from root)
-  --dedup              prune revisits via canonical state fingerprints
+  --no-dedup           keep revisits (fingerprint dedup is on by default)
+  --no-symmetry        disable the process-symmetry reduction
   --split N            fan subtrees out at path length N (default 0 = serial)
   --workers N          worker threads for --split (default 0 = auto)
   --max-violations N   stop after N counterexamples (default 16)
@@ -62,7 +64,8 @@ fn parse_args() -> Result<Args, String> {
         k: None,
         naive: false,
         no_turbo: false,
-        dedup: false,
+        no_dedup: false,
+        no_symmetry: false,
         workers: 0,
         split: 0,
         max_violations: 16,
@@ -92,7 +95,8 @@ fn parse_args() -> Result<Args, String> {
             "--k" => args.k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
             "--naive" => args.naive = true,
             "--no-turbo" => args.no_turbo = true,
-            "--dedup" => args.dedup = true,
+            "--no-dedup" => args.no_dedup = true,
+            "--no-symmetry" => args.no_symmetry = true,
             "--workers" => {
                 args.workers = value("--workers")?
                     .parse()
@@ -132,7 +136,8 @@ fn parse_args() -> Result<Args, String> {
 fn tune<D: FdValue>(mut cfg: CheckConfig<D>, args: &Args) -> CheckConfig<D> {
     cfg.reduction = !args.naive;
     cfg.turbo = !args.no_turbo;
-    cfg.dedup = args.dedup;
+    cfg.dedup = !args.no_dedup;
+    cfg.symmetry = !args.no_symmetry;
     cfg.workers = args.workers;
     cfg.split_depth = args.split;
     cfg.max_violations = args.max_violations;
@@ -187,12 +192,14 @@ fn json_report(report: &CheckReport, states_per_sec: f64) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"nodes\": {},\n  \"sleep_pruned\": {},\n  \"crash_nodes\": {},\n  \"fd_variant_nodes\": {},\n  \"depth_leaves\": {},\n  \"truncated\": {},\n  \"frontier_jobs\": {},\n  \"states_per_sec\": {:.1},\n  \"violations\": [{}]\n}}\n",
+        "{{\n  \"nodes\": {},\n  \"sleep_pruned\": {},\n  \"crash_nodes\": {},\n  \"fd_variant_nodes\": {},\n  \"depth_leaves\": {},\n  \"dedup_pruned\": {},\n  \"symmetry_pruned\": {},\n  \"truncated\": {},\n  \"frontier_jobs\": {},\n  \"states_per_sec\": {:.1},\n  \"violations\": [{}]\n}}\n",
         report.stats.nodes,
         report.stats.sleep_pruned,
         report.stats.crash_nodes,
         report.stats.fd_variant_nodes,
         report.stats.depth_leaves,
+        report.stats.dedup_pruned,
+        report.stats.symmetry_pruned,
         report.stats.truncated,
         report.frontier_jobs,
         states_per_sec,
@@ -229,13 +236,15 @@ fn main() -> ExitCode {
         args.config, args.n, args.depth, !args.naive
     );
     println!(
-        "nodes={} sleep_pruned={} crash_nodes={} fd_variants={} depth_leaves={} truncated={} \
-         frontier_jobs={} states/sec={:.0}",
+        "nodes={} sleep_pruned={} crash_nodes={} fd_variants={} depth_leaves={} dedup_pruned={} \
+         symmetry_pruned={} truncated={} frontier_jobs={} states/sec={:.0}",
         report.stats.nodes,
         report.stats.sleep_pruned,
         report.stats.crash_nodes,
         report.stats.fd_variant_nodes,
         report.stats.depth_leaves,
+        report.stats.dedup_pruned,
+        report.stats.symmetry_pruned,
         report.stats.truncated,
         report.frontier_jobs,
         states_per_sec

@@ -41,6 +41,7 @@ use upsilon_agreement::KSetAgreementSpec;
 use upsilon_converge::{ConvergeFaults, ConvergeInstance};
 use upsilon_extract::{pinned_history, UpsilonFaithfulSpec};
 use upsilon_mem::{distinct_values, NativeSnapshot, Register, Snapshot};
+use upsilon_sim::symmetry::sample_orbit;
 use upsilon_sim::{algo, AlgoFn, Key, Output, ProcessId, ProcessSet};
 
 /// Distinct proposals `0, 1, …, n` — the hard case for set agreement.
@@ -66,6 +67,7 @@ pub fn fig1(n_plus_1: usize, depth: usize, max_faults: usize) -> CheckConfig<Pro
     let menu = Arc::new(ConstantMenu(pinned_history(n_plus_1)));
     CheckConfig::new(n_plus_1, depth, fig1_factory(n_plus_1), menu)
         .max_faults(max_faults)
+        .orbit(sample_orbit("fig1"))
         .spec(KSetAgreementSpec {
             k: n_plus_1 - 1,
             proposals: proposals(n_plus_1),
@@ -88,6 +90,7 @@ pub fn fig1_mutating(
     });
     CheckConfig::new(n_plus_1, depth, fig1_factory(n_plus_1), menu)
         .max_faults(max_faults)
+        .orbit(sample_orbit("fig1_mutating"))
         .spec(KSetAgreementSpec {
             k: n_plus_1 - 1,
             proposals: proposals(n_plus_1),
@@ -111,6 +114,7 @@ pub fn fig2(n_plus_1: usize, f: usize, depth: usize, max_faults: usize) -> Check
     });
     CheckConfig::new(n_plus_1, depth, factory, menu)
         .max_faults(max_faults)
+        .orbit(sample_orbit("fig2"))
         .spec(KSetAgreementSpec {
             k: f,
             proposals: proposals(n_plus_1),
@@ -137,6 +141,7 @@ pub fn pinned_upsilon(n_plus_1: usize, f: usize, depth: usize) -> CheckConfig<Pr
     });
     CheckConfig::new(n_plus_1, depth, factory, menu)
         .max_faults(f)
+        .orbit(sample_orbit("pinned_upsilon"))
         .spec(UpsilonFaithfulSpec::constant(f))
 }
 
@@ -187,10 +192,12 @@ pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> 
             .collect()
     });
     let menu = Arc::new(ConstantMenu(()));
-    CheckConfig::new(n_plus_1, depth, factory, menu).spec(KSetAgreementSpec {
-        k,
-        proposals: proposals(n_plus_1),
-    })
+    CheckConfig::new(n_plus_1, depth, factory, menu)
+        .orbit(sample_orbit("snapshot_commit"))
+        .spec(KSetAgreementSpec {
+            k,
+            proposals: proposals(n_plus_1),
+        })
 }
 
 /// The Fig. 1 **instability-reporting fragment** in isolation (protocol
@@ -223,7 +230,7 @@ pub fn stable_report(n_plus_1: usize, reports: usize, depth: usize) -> CheckConf
             .collect()
     });
     let menu = Arc::new(ConstantMenu(()));
-    CheckConfig::new(n_plus_1, depth, factory, menu)
+    CheckConfig::new(n_plus_1, depth, factory, menu).orbit(sample_orbit("stable_report"))
 }
 
 /// The **off-by-one mutant** of the k-converge commit check: each process
@@ -267,10 +274,12 @@ pub fn converge_offby1(n_plus_1: usize, k: usize, depth: usize, slack: usize) ->
             .collect()
     });
     let menu = Arc::new(ConstantMenu(()));
-    CheckConfig::new(n_plus_1, depth, factory, menu).spec(KSetAgreementSpec {
-        k,
-        proposals: proposals(n_plus_1),
-    })
+    CheckConfig::new(n_plus_1, depth, factory, menu)
+        .orbit(sample_orbit("converge_offby1"))
+        .spec(KSetAgreementSpec {
+            k,
+            proposals: proposals(n_plus_1),
+        })
 }
 
 /// The **dropped-write mutant of Fig. 2**: the full Fig. 2 protocol under a
@@ -307,6 +316,7 @@ pub fn fig2_dropped_write(
     });
     CheckConfig::new(n_plus_1, depth, factory, menu)
         .max_faults(max_faults)
+        .orbit(sample_orbit("fig2_dropped_write"))
         .spec(KSetAgreementSpec {
             k: f,
             proposals: proposals(n_plus_1),

@@ -144,6 +144,85 @@ pub fn trace_fingerprint<D: FdValue>(run: &Run<D>, memory: &Memory) -> u64 {
     w.finish()
 }
 
+/// An orbit-canonical fingerprint: the digest of a run prefix *up to
+/// within-class process renaming*, plus the canonicalizing permutation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OrbitFingerprint {
+    /// The canonical 64-bit digest (pid-order independent within classes).
+    pub fingerprint: u64,
+    /// `canon_of[p]` is the canonical position assigned to process `p`.
+    pub canon_of: Vec<usize>,
+}
+
+/// The orbit-canonical fingerprint of a run prefix.
+///
+/// Like [`trace_fingerprint`], but instead of hashing per-process digests
+/// in pid order, processes are sorted into a canonical order — by orbit
+/// class (`class_of`), then per-process digest (including crash/finish
+/// status), then the caller-supplied `extra` word (explorer-side state
+/// such as unserved FD picks and crash timing that lives outside the
+/// [`Run`]) — and their pids are *excluded* from the hash. Two prefixes
+/// that differ only by a permutation of same-class processes therefore
+/// hash identically, provided the permuted processes really are
+/// behaviourally interchangeable:
+///
+/// * equal `class_of` entries must be certified by the static symmetry
+///   audit (`upsilon-symmetry`): identical pid-parametric code, uniform
+///   inputs, spec and FD menu;
+/// * anything pid-*keyed* in shared memory still enters via
+///   [`Memory::fingerprint64`] uncanonicalized, so such states simply
+///   never collide — a missed reduction, never an unsound merge (and the
+///   audit's S3 rule downgrades those protocols to the trivial orbit
+///   anyway).
+///
+/// With `class_of = [0, 1, …, n-1]` (the trivial orbit) the canonical
+/// order is pid order and this degenerates to [`trace_fingerprint`]
+/// plus the `extra` words.
+pub fn orbit_trace_fingerprint<D: FdValue>(
+    run: &Run<D>,
+    memory: &Memory,
+    class_of: &[u32],
+    extra: &[u64],
+) -> OrbitFingerprint {
+    let n = run.n_plus_1();
+    debug_assert_eq!(class_of.len(), n);
+    debug_assert_eq!(extra.len(), n);
+    let mut keyed: Vec<(u32, u64, u64, usize)> = (0..n)
+        .map(|i| {
+            let p = crate::ProcessId(i);
+            let mut w = FnvWrite::new();
+            w.write_u64(proc_digest(run, memory, p));
+            let crashed = run.crash_observed(p).is_some();
+            let finished = run.finished(p);
+            w.write_bytes(&[u8::from(crashed), u8::from(finished)]);
+            (
+                class_of.get(i).copied().unwrap_or(i as u32),
+                w.finish(),
+                extra.get(i).copied().unwrap_or(0),
+                i,
+            )
+        })
+        .collect();
+    // The pid is the last sort key purely for determinism: processes tied
+    // on (class, digest, extra) contribute identical triples to the hash,
+    // so their relative order cannot affect the fingerprint.
+    keyed.sort_unstable();
+    let mut canon_of = vec![0usize; n];
+    let mut w = FnvWrite::new();
+    w.write_u64(memory.fingerprint64());
+    w.write_u64(n as u64);
+    for (pos, (class, digest, ex, pid)) in keyed.iter().enumerate() {
+        canon_of[*pid] = pos;
+        w.write_u64(u64::from(*class));
+        w.write_u64(*digest);
+        w.write_u64(*ex);
+    }
+    OrbitFingerprint {
+        fingerprint: w.finish(),
+        canon_of,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -223,6 +223,14 @@ impl<D: FdValue> Session<D> {
         self.with_memory(|memory| trace_fingerprint(&self.run, memory))
     }
 
+    /// The orbit-canonical fingerprint of the current run prefix (see
+    /// [`orbit_trace_fingerprint`](crate::orbit_trace_fingerprint)).
+    pub fn orbit_fingerprint(&self, class_of: &[u32], extra: &[u64]) -> crate::OrbitFingerprint {
+        self.with_memory(|memory| {
+            crate::fingerprint::orbit_trace_fingerprint(&self.run, memory, class_of, extra)
+        })
+    }
+
     /// Grants one step to `p` (which must be [`eligible`](Session::eligible))
     /// and performs the same bookkeeping as the one-shot drive loop. Panics
     /// raised inside the algorithm are re-raised here.

@@ -1,0 +1,21 @@
+//! Deliberately **symmetry-breaking** algorithm routines.
+//!
+//! Each module holds a ctx-taking routine that violates exactly one
+//! `upsilon-symmetry` pid-parametricity rule. The analyzer's negative
+//! golden tests (`crates/symmetry/tests/fixtures.rs`) scan these sources
+//! and assert that every file trips its intended rule — and *only* that
+//! rule. The code compiles (breaking symmetry is perfectly legal Rust;
+//! it only forfeits the explorer's symmetry reduction) but none of it is
+//! ever executed under the explorer.
+//!
+//! This crate is intentionally **not** in the analyzer's
+//! [`SCANNED_CRATES`](../upsilon_symmetry/constant.SCANNED_CRATES.html)
+//! set, so the workspace-wide audit gate stays meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod s1_concrete_pid;
+pub mod s2_role_split;
+pub mod s3_pid_keyed_object;
+pub mod s4_pid_valued_data;

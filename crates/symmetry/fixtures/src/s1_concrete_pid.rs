@@ -1,0 +1,22 @@
+//! **S1**: a branch taken only by one concrete process id.
+//!
+//! Process 0 takes an extra step nobody else takes, so swapping process 0
+//! with any other process changes the schedule's behaviour: the processes
+//! are not interchangeable and collapsing their crash injections or
+//! canonicalizing their digests would lose (or invent) the extra step.
+
+use upsilon_sim::{Crashed, Ctx};
+
+/// Takes one extra step if — and only if — running as process 0.
+///
+/// # Errors
+///
+/// Returns [`Crashed`] if the calling process crashes mid-routine.
+pub async fn zero_takes_extra_step(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    let me = ctx.pid();
+    // WRONG for symmetry: only the concrete pid 0 enters this branch.
+    if me.index() == 0 {
+        ctx.yield_step().await?;
+    }
+    ctx.yield_step().await
+}

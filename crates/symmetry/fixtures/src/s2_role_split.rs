@@ -1,0 +1,24 @@
+//! **S2**: roles split by pid *ordering* rather than a concrete literal.
+//!
+//! The routine defers to any process with a smaller index, so the
+//! behaviour of a pair of processes flips when they are swapped: the
+//! system has a pid-defined hierarchy and no two processes are
+//! interchangeable, even though no concrete pid is ever named.
+
+use upsilon_sim::{Crashed, Ctx, ProcessId};
+
+/// Yields an extra step when the peer outranks (has a smaller index than)
+/// the caller.
+///
+/// # Errors
+///
+/// Returns [`Crashed`] if the calling process crashes mid-routine.
+pub async fn defer_to_smaller_ids(ctx: &Ctx<()>, peer: ProcessId) -> Result<(), Crashed> {
+    let me = ctx.pid();
+    // WRONG for symmetry: pid order picks out a specific process pair
+    // orientation; permuting pids changes who defers to whom.
+    if peer.index() < me.index() {
+        ctx.yield_step().await?;
+    }
+    ctx.yield_step().await
+}

@@ -1,0 +1,23 @@
+//! **S3**: a shared-object key derived from the pid.
+//!
+//! Each process touches its own private cell, so the memory footprint of
+//! a run is pid-dependent: permuting processes permutes the touched keys,
+//! and two runs that differ only by a renaming reach *different* memory
+//! states. The fingerprint canonicalization has no model of which cells
+//! correspond under the permutation, so such routines must stay out of
+//! certified orbits.
+
+use upsilon_sim::{Crashed, Ctx, Key};
+
+/// Builds a per-process key and takes a step.
+///
+/// # Errors
+///
+/// Returns [`Crashed`] if the calling process crashes mid-routine.
+pub async fn write_private_slot(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    let me = ctx.pid();
+    // WRONG for symmetry: the key names the process, so the footprint
+    // distinguishes processes.
+    let _slot = Key::new("slot").at(me.index() as u64);
+    ctx.yield_step().await
+}

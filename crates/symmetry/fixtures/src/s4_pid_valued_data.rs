@@ -1,0 +1,20 @@
+//! **S4**: the pid index used as a data value.
+//!
+//! The routine decides its own index, so outputs distinguish processes:
+//! a permuted run decides different values and spec verdicts over decided
+//! values are not permutation-invariant. (This is the closure-level
+//! analogue of distinct per-process proposals, which the orbit derivation
+//! flags at the constructor level.)
+
+use upsilon_sim::{Crashed, Ctx};
+
+/// Decides the caller's own pid index.
+///
+/// # Errors
+///
+/// Returns [`Crashed`] if the calling process crashes mid-routine.
+pub async fn decide_own_index(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    // WRONG for symmetry: the decided value is the process identity.
+    let v = ctx.pid().index() as u64;
+    ctx.decide(v).await
+}

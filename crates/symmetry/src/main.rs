@@ -1,0 +1,114 @@
+//! CLI for the process-symmetry analyzer.
+//!
+//! ```text
+//! cargo run -p upsilon-symmetry                 # audit, human-readable
+//! cargo run -p upsilon-symmetry -- --json       # audit, machine-readable
+//! cargo run -p upsilon-symmetry -- --emit       # print the generated orbit table
+//! ```
+//!
+//! Exit status: 0 when the audit is clean (or `--emit` succeeds), 1 on
+//! findings, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: upsilon-symmetry [options]\n\
+         \x20 --root <dir>        workspace root (default .)\n\
+         \x20 --allowlist <file>  documented-break file \n\
+         \x20                     (default crates/analysis/symmetry-allowlist.txt)\n\
+         \x20 --json              machine-readable report\n\
+         \x20 --emit              print the generated crates/sim/src/symmetry.rs"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
+    let mut emit = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--allowlist" => {
+                allowlist = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--json" => json = true,
+            "--emit" => emit = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let allow_path =
+        allowlist.unwrap_or_else(|| root.join("crates/analysis/symmetry-allowlist.txt"));
+    let allow = if allow_path.exists() {
+        match upsilon_symmetry::load_allowlist(&allow_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "upsilon-symmetry: bad allowlist {}: {e}",
+                    allow_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        upsilon_symmetry::Allowlist::empty()
+    };
+
+    let report = match upsilon_symmetry::scan_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("upsilon-symmetry: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit {
+        // The orbit table is only ever produced from a clean audit: an
+        // undocumented symmetry break could otherwise be reclassified as a
+        // certified orbit by a later edit without anyone noticing. (The
+        // verdicts feeding the table ignore the allowlist regardless; this
+        // gate keeps the diagnostics honest too.)
+        if !report.is_clean() {
+            for f in &report.findings {
+                eprintln!("{f}");
+            }
+            eprintln!("upsilon-symmetry: refusing to emit from a failing audit");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", upsilon_symmetry::emit::render(&report.orbits));
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        let symmetric = report.routines.iter().filter(|r| r.symmetric).count();
+        println!(
+            "symmetry: {} files scanned, {} routines ({} symmetric), {} orbits, \
+             {} findings, {} allowlisted",
+            report.files.len(),
+            report.routines.len(),
+            symmetric,
+            report.orbits.len(),
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

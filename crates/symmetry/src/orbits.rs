@@ -1,0 +1,155 @@
+//! Orbit derivation for the sample constructors in
+//! `crates/check/src/samples.rs`.
+//!
+//! An orbit class is a *certificate to the explorer*: declaring two
+//! processes interchangeable asserts that the `CheckConfig` the constructor
+//! builds — algorithms, initial inputs, specification **and** FD menu — is
+//! invariant under every permutation that preserves the classes. The
+//! derivation is deliberately mechanical and conservative; every rule that
+//! cannot be discharged locally falls back to [`OrbitKind::Trivial`], under
+//! which the explorer's symmetry reduction is the identity.
+//!
+//! Rules, in order (first match wins):
+//!
+//! 1. Any `algo(...)` closure built *inside* the constructor is asymmetric
+//!    (its routine verdict is false) → `Trivial`.
+//! 2. The body mentions `proposals` → `Trivial`: distinct per-process
+//!    proposals are asymmetric initial values (S4 at the harness level).
+//! 3. The body builds *no* closures of its own → `Trivial`: the algorithms
+//!    come from a factory elsewhere and the constructor is not locally
+//!    certifiable.
+//! 4. The body mentions `pinned_history` → `PinnedLast`: the menu pins the
+//!    last process's FD history, distinguishing exactly it.
+//! 5. Otherwise → `Full`: identical pid-parametric closures, uniform
+//!    inputs, uniform menu.
+
+use crate::report::{OrbitKind, RoutineVerdict, SampleOrbit};
+use upsilon_conform::model::FileModel;
+use upsilon_conform::tree::{Spanned, Tok};
+
+/// Derives the orbit of every sample constructor (a non-ctx function whose
+/// body mentions `CheckConfig`) in the given file model.
+///
+/// `verdicts` is the full per-routine verdict list; closures built inside a
+/// constructor appear there attributed to the constructor's name.
+pub fn derive_orbits(
+    model: &FileModel,
+    file: &str,
+    verdicts: &[RoutineVerdict],
+) -> Vec<SampleOrbit> {
+    let mut orbits = Vec::new();
+    for f in &model.fns {
+        if f.takes_ctx || f.body.is_empty() || !mentions_ident(&f.body, "CheckConfig") {
+            continue;
+        }
+        let closures: Vec<&RoutineVerdict> = verdicts
+            .iter()
+            .filter(|v| v.file == file && v.name == f.name)
+            .collect();
+        let (orbit, reason) = if closures.iter().any(|v| !v.symmetric) {
+            (
+                OrbitKind::Trivial,
+                "an algorithm closure in the constructor breaks symmetry (see the \
+                 routine verdicts)",
+            )
+        } else if mentions_ident(&f.body, "proposals") {
+            (
+                OrbitKind::Trivial,
+                "distinct per-process proposals are asymmetric initial values",
+            )
+        } else if closures.is_empty() {
+            (
+                OrbitKind::Trivial,
+                "the algorithms come from a factory elsewhere; the constructor is \
+                 not locally certifiable",
+            )
+        } else if mentions_ident(&f.body, "pinned_history") {
+            (
+                OrbitKind::PinnedLast,
+                "the menu pins the last process's FD history, distinguishing \
+                 exactly it",
+            )
+        } else {
+            (
+                OrbitKind::Full,
+                "identical pid-parametric algorithm closures, uniform inputs and \
+                 menu",
+            )
+        };
+        orbits.push(SampleOrbit {
+            sample: f.name.clone(),
+            orbit,
+            reason: reason.to_string(),
+        });
+    }
+    orbits.sort_by(|a, b| a.sample.cmp(&b.sample));
+    orbits
+}
+
+/// Whether the token tree mentions the identifier, at any depth.
+fn mentions_ident(toks: &[Spanned], name: &str) -> bool {
+    toks.iter().any(|t| match &t.tok {
+        Tok::Ident(s) => s == name,
+        Tok::Group(_, children, _) => mentions_ident(children, name),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upsilon_conform::model::model_file;
+
+    const SAMPLES: &str = "
+pub fn with_proposals(n: usize) -> CheckConfig<u64, ()> {
+    CheckConfig::new(factory(n), proposals(n), spec())
+}
+pub fn factory_only(n: usize) -> CheckConfig<u64, ()> {
+    CheckConfig::new(factory(n), vec![], spec())
+}
+pub fn pinned(n: usize) -> CheckConfig<u64, ()> {
+    let menu = pinned_history(n);
+    CheckConfig::new(vec![algo(move |ctx| async move { ctx.yield_step().await })], vec![], spec())
+}
+pub fn uniform(n: usize) -> CheckConfig<u64, ()> {
+    CheckConfig::new(vec![algo(move |ctx| async move { ctx.yield_step().await })], vec![], spec())
+}
+pub fn seeded(n: usize) -> CheckConfig<u64, ()> {
+    CheckConfig::new(vec![algo(move |ctx| async move {
+        if ctx.pid().index() == 0 { ctx.yield_step().await?; }
+        ctx.yield_step().await
+    })], vec![], spec())
+}
+";
+
+    fn orbit_of(name: &str) -> OrbitKind {
+        let file = "crates/check/src/samples.rs";
+        let m = model_file(file, SAMPLES);
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
+        let mut verdicts = Vec::new();
+        for r in crate::routines::routines_of(&m, file) {
+            let findings = crate::rules::scan_body(&r.body, &r.name, file);
+            verdicts.push(RoutineVerdict {
+                file: file.to_string(),
+                name: r.name,
+                line: r.line,
+                symmetric: findings.is_empty(),
+            });
+        }
+        let orbits = derive_orbits(&m, file, &verdicts);
+        orbits
+            .iter()
+            .find(|o| o.sample == name)
+            .unwrap_or_else(|| panic!("{name} not detected as a sample: {orbits:?}"))
+            .orbit
+    }
+
+    #[test]
+    fn derivation_rules_fire_in_order() {
+        assert_eq!(orbit_of("with_proposals"), OrbitKind::Trivial);
+        assert_eq!(orbit_of("factory_only"), OrbitKind::Trivial);
+        assert_eq!(orbit_of("pinned"), OrbitKind::PinnedLast);
+        assert_eq!(orbit_of("uniform"), OrbitKind::Full);
+        assert_eq!(orbit_of("seeded"), OrbitKind::Trivial);
+    }
+}

@@ -1,0 +1,325 @@
+//! Findings, routine verdicts, orbit classes and the machine-readable
+//! report, mirroring the `upsilon-conform`/`upsilon-commute` diagnostics
+//! shape (deterministic ordering, hand-rolled JSON suitable for golden-file
+//! tests).
+//!
+//! Two layers with deliberately different allowlist semantics:
+//!
+//! * **Findings** are diagnostics: each symmetry-breaking construct is
+//!   reported with file, line, rule id and a fix. The allowlist documents
+//!   *intentional* breaks (fault-injection knobs, smallest-id tie-breaks)
+//!   and moves them to `suppressed`.
+//! * **Verdicts and orbits** are soundness inputs to the explorer: a
+//!   routine is `symmetric` only if its body (and every same-file helper it
+//!   reaches) has *no* finding at all — suppressed or not. Allowlisting a
+//!   finding silences the diagnostic but never restores the verdict, so the
+//!   emitted orbit table cannot be made unsound by allowlist edits.
+
+use std::fmt;
+use upsilon_conform::diag::json_string;
+
+/// A process-symmetry rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RuleId {
+    /// The body compares a pid (or its index) against a concrete process
+    /// id literal.
+    S1,
+    /// The body splits roles on pid in some other way: pid ordering
+    /// comparisons, pids conjured from data, pid comparisons against
+    /// configuration values.
+    S2,
+    /// A pid-derived value flows into a shared-object key, so the memory
+    /// footprint is pid-dependent.
+    S3,
+    /// A pid-derived value is used as data (a proposal, a decision, an
+    /// initial value), so outputs distinguish processes.
+    S4,
+    /// The file could not be analyzed.
+    Parse,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::S1,
+        RuleId::S2,
+        RuleId::S3,
+        RuleId::S4,
+        RuleId::Parse,
+    ];
+
+    /// The stable identifier used in reports and allowlists.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::S1 => "S1",
+            RuleId::S2 => "S2",
+            RuleId::S3 => "S3",
+            RuleId::S4 => "S4",
+            RuleId::Parse => "parse",
+        }
+    }
+
+    /// Why the rule exists, phrased against the explorer's symmetry
+    /// reduction.
+    pub fn why(self) -> &'static str {
+        match self {
+            RuleId::S1 => {
+                "a branch taken only by one fixed pid makes that process \
+                 non-interchangeable; collapsing its schedules onto another \
+                 process's would lose the branch"
+            }
+            RuleId::S2 => {
+                "pid ordering and pids computed from data pick out specific \
+                 processes, so permuting processes changes behaviour and \
+                 permutation classes may not be collapsed"
+            }
+            RuleId::S3 => {
+                "pid-keyed object names give each process a distinct memory \
+                 footprint; permuted runs write different cells and their \
+                 states must not be identified"
+            }
+            RuleId::S4 => {
+                "pid-derived data makes outputs (and hence spec verdicts) \
+                 distinguish processes; a permuted run is not equivalent"
+            }
+            RuleId::Parse => "an unparsable file cannot be certified",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Repository-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} (fix: {})",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.suggestion
+        )
+    }
+}
+
+/// The symmetry verdict for one analyzed routine (a ctx-taking routine or
+/// an `algo(...)` closure, named after its enclosing function).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutineVerdict {
+    /// Repository-relative file path.
+    pub file: String,
+    /// The routine (or enclosing function) name.
+    pub name: String,
+    /// Line of the routine.
+    pub line: u32,
+    /// Whether the body — including every same-file helper it reaches — is
+    /// free of symmetry findings, **ignoring the allowlist**.
+    pub symmetric: bool,
+}
+
+/// The orbit structure of one sample's process set.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum OrbitKind {
+    /// All `n + 1` processes are interchangeable.
+    Full,
+    /// Processes `p_1 … p_n` are interchangeable; `p_{n+1}` is pinned
+    /// (the menu's constant history distinguishes exactly it).
+    PinnedLast,
+    /// No two processes may be identified.
+    Trivial,
+}
+
+impl OrbitKind {
+    /// The label used in reports and the generated table.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrbitKind::Full => "full",
+            OrbitKind::PinnedLast => "pinned-last",
+            OrbitKind::Trivial => "trivial",
+        }
+    }
+
+    /// The generated `upsilon_sim::symmetry::Orbit` variant name.
+    pub fn variant(self) -> &'static str {
+        match self {
+            OrbitKind::Full => "Full",
+            OrbitKind::PinnedLast => "PinnedLast",
+            OrbitKind::Trivial => "Trivial",
+        }
+    }
+}
+
+/// The derived orbit of one sample constructor in
+/// `crates/check/src/samples.rs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SampleOrbit {
+    /// The sample constructor's function name.
+    pub sample: String,
+    /// The derived orbit.
+    pub orbit: OrbitKind,
+    /// The mechanical justification recorded next to the table entry.
+    pub reason: String,
+}
+
+/// The complete analyzer output.
+#[derive(Clone, Default, Debug)]
+pub struct SymmetryReport {
+    /// Violations not covered by the allowlist.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by the allowlist.
+    pub suppressed: Vec<Finding>,
+    /// Per-routine symmetry verdicts (allowlist-independent).
+    pub routines: Vec<RoutineVerdict>,
+    /// Per-sample orbit classes, sorted by sample name.
+    pub orbits: Vec<SampleOrbit>,
+    /// Files scanned, sorted.
+    pub files: Vec<String>,
+}
+
+impl SymmetryReport {
+    /// Sorts all sections into report order.
+    pub fn normalize(&mut self) {
+        let key = |f: &Finding| (f.file.clone(), f.line, f.rule, f.message.clone());
+        self.findings.sort_by_key(key);
+        self.findings.dedup();
+        self.suppressed.sort_by_key(key);
+        self.suppressed.dedup();
+        self.routines
+            .sort_by(|a, b| (&a.file, a.line, &a.name).cmp(&(&b.file, b.line, &b.name)));
+        self.orbits.sort_by(|a, b| a.sample.cmp(&b.sample));
+        self.files.sort();
+    }
+
+    /// Whether the audit is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        push_findings(&mut out, &self.findings);
+        out.push_str("],\n  \"suppressed\": [");
+        push_findings(&mut out, &self.suppressed);
+        out.push_str("],\n  \"routines\": [");
+        for (i, r) in self.routines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"name\": {}, \"line\": {}, \"symmetric\": {}}}",
+                json_string(&r.file),
+                json_string(&r.name),
+                r.line,
+                r.symmetric
+            ));
+        }
+        if !self.routines.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"orbits\": [");
+        for (i, o) in self.orbits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"sample\": {}, \"orbit\": {}, \"reason\": {}}}",
+                json_string(&o.sample),
+                json_string(o.orbit.label()),
+                json_string(&o.reason)
+            ));
+        }
+        if !self.orbits.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"files_scanned\": ");
+        out.push_str(&self.files.len().to_string());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"suggestion\": {}",
+            json_string(f.rule.id()),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            json_string(&f.suggestion)
+        ));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable() {
+        let ids: Vec<&str> = RuleId::ALL.iter().map(|r| r.id()).collect();
+        assert_eq!(ids, vec!["S1", "S2", "S3", "S4", "parse"]);
+        for r in RuleId::ALL {
+            assert!(!r.why().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let mut report = SymmetryReport {
+            findings: vec![Finding {
+                rule: RuleId::S1,
+                file: "b.rs".into(),
+                line: 3,
+                message: "compares \"me\" against pid 0".into(),
+                suggestion: "derive behaviour from the pid parameter".into(),
+            }],
+            routines: vec![RoutineVerdict {
+                file: "b.rs".into(),
+                name: "f".into(),
+                line: 2,
+                symmetric: false,
+            }],
+            orbits: vec![SampleOrbit {
+                sample: "stable_report".into(),
+                orbit: OrbitKind::Full,
+                reason: "identical bodies".into(),
+            }],
+            ..SymmetryReport::default()
+        };
+        report.normalize();
+        let json = report.to_json();
+        assert!(json.contains("\\\"me\\\""), "{json}");
+        assert!(json.contains("\"orbit\": \"full\""), "{json}");
+        assert_eq!(json, report.clone().to_json());
+    }
+}

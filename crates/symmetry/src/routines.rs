@@ -1,0 +1,159 @@
+//! Routine discovery and the same-file call graph.
+//!
+//! A *routine* — the unit the symmetry verdict is about — is either a
+//! ctx-taking function with a body (the helper routines algorithms compose
+//! from) or an `algo(|ctx| async move { ... })` closure, attributed to its
+//! enclosing function so findings and verdicts name the factory that built
+//! it (`snapshot_commit`, `algorithms`, ...).
+//!
+//! Verdicts must cover helpers a routine *calls*: `extraction_loop` is
+//! pid-free itself but reaches `least_active_member`'s smaller-id
+//! tie-break. The call graph is name-based and same-file only — an
+//! over-approximation in both directions that can only make verdicts more
+//! conservative (a cross-file callee with pid logic lives in a scanned
+//! crate and is a ctx routine there itself, or is harness code outside the
+//! model contract).
+
+use std::collections::BTreeSet;
+use upsilon_conform::model::{FileModel, FnDef};
+use upsilon_conform::tree::{Delim, Spanned, Tok};
+
+/// One analyzed routine.
+#[derive(Clone, Debug)]
+pub struct Routine {
+    /// The routine (or enclosing function) name.
+    pub name: String,
+    /// Repository-relative file path.
+    pub file: String,
+    /// Line of the routine.
+    pub line: u32,
+    /// Body tokens.
+    pub body: Vec<Spanned>,
+}
+
+/// Extracts the routines of one file model: ctx-taking functions with
+/// bodies, plus `algo` closures attributed to their innermost enclosing
+/// function (or `"algo"` at top level).
+pub fn routines_of(model: &FileModel, file: &str) -> Vec<Routine> {
+    let mut routines = Vec::new();
+    for f in &model.fns {
+        if f.takes_ctx && !f.body.is_empty() {
+            routines.push(Routine {
+                name: f.name.clone(),
+                file: file.to_string(),
+                line: f.line,
+                body: f.body.clone(),
+            });
+        }
+    }
+    for a in &model.algos {
+        let owner = enclosing_fn(&model.fns, a.line);
+        // A ctx-taking owner is already a routine whose body contains this
+        // closure; skip the duplicate so findings are not double-counted.
+        if owner.is_some_and(|f| f.takes_ctx && !f.body.is_empty()) {
+            continue;
+        }
+        routines.push(Routine {
+            name: owner.map_or_else(|| "algo".to_string(), |f| f.name.clone()),
+            file: file.to_string(),
+            line: a.line,
+            body: a.body.clone(),
+        });
+    }
+    routines.sort_by(|a, b| (a.line, &a.name).cmp(&(b.line, &b.name)));
+    routines
+}
+
+/// The innermost function whose body spans `line`.
+fn enclosing_fn(fns: &[FnDef], line: u32) -> Option<&FnDef> {
+    fns.iter()
+        .filter(|f| {
+            f.line <= line && f.body.iter().map(Spanned::end_line).max().unwrap_or(f.line) >= line
+        })
+        .max_by_key(|f| f.line)
+}
+
+/// Keywords that can syntactically precede a parenthesized expression
+/// without being a call.
+const NON_CALLS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "in", "move", "async", "await", "fn",
+    "let", "mut", "as", "impl", "pub", "use", "where",
+];
+
+/// Collects every name that looks like a call target (`name(...)` or
+/// `.name(...)`) anywhere in `toks`, recursively.
+pub fn called_names(toks: &[Spanned], out: &mut BTreeSet<String>) {
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(name) => {
+                let is_call = matches!(
+                    toks.get(i + 1),
+                    Some(Spanned {
+                        tok: Tok::Group(Delim::Paren, ..),
+                        ..
+                    })
+                );
+                let is_def = i > 0 && toks[i - 1].ident() == Some("fn");
+                if is_call && !is_def && !NON_CALLS.contains(&name.as_str()) {
+                    out.insert(name.clone());
+                }
+            }
+            Tok::Group(_, children, _) => called_names(children, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upsilon_conform::model::model_file;
+
+    #[test]
+    fn ctx_fns_and_attributed_closures_are_routines() {
+        let src = "
+pub async fn helper(ctx: &Ctx<()>, v: u64) -> Result<u64, Crashed> { ctx.decide(v).await }
+pub fn factory(n: usize) -> Vec<AlgoFn<()>> {
+    (0..n).map(|_| algo(move |ctx| async move { ctx.yield_step().await })).collect()
+}
+";
+        let m = model_file("crates/x/src/l.rs", src);
+        let rs = routines_of(&m, "crates/x/src/l.rs");
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        assert_eq!(rs[0].name, "helper");
+        assert_eq!(rs[1].name, "factory");
+    }
+
+    #[test]
+    fn closure_inside_ctx_routine_is_not_double_counted() {
+        let src = "
+pub async fn outer(ctx: &Ctx<()>) -> Result<(), Crashed> {
+    let _inner = algo(move |ctx| async move { ctx.yield_step().await });
+    ctx.yield_step().await
+}
+";
+        let m = model_file("crates/x/src/l.rs", src);
+        let rs = routines_of(&m, "crates/x/src/l.rs");
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].name, "outer");
+    }
+
+    #[test]
+    fn called_names_sees_methods_and_frees_not_defs() {
+        let src = "
+fn caller() {
+    let x = elector.step(ctx);
+    least_active_member(u, &stamps);
+    if cond { nested_call() }
+}
+";
+        let m = model_file("crates/x/src/l.rs", src);
+        let mut names = BTreeSet::new();
+        called_names(&m.fns[0].body, &mut names);
+        assert!(names.contains("step"));
+        assert!(names.contains("least_active_member"));
+        assert!(names.contains("nested_call"));
+        assert!(!names.contains("caller"));
+        assert!(!names.contains("if"));
+    }
+}

@@ -1,0 +1,547 @@
+//! The S1–S4 pid-parametricity rules over a routine body.
+//!
+//! A body is *pid-parametric* (symmetric) when its behaviour is the same
+//! function of the execution for every process identity: the pid may flow
+//! into equivariant operations (`u.contains(me)`, equality against another
+//! dynamically obtained pid, `write_mine`), but must not select branches,
+//! keys or values that distinguish concrete processes.
+//!
+//! What counts as a *pid expression* here: a `ctx.pid()` call, a local
+//! `let me = ctx.pid();` alias, any `.index()` projection (in the scanned
+//! crates only `ProcessId` has an `index()` method), and any `ProcessId`
+//! constructor mention. Everything is tokens — no types — so the scan
+//! over-approximates: an unrecognized construct can cost a spurious finding
+//! (diagnosed, allowlistable), never a missed one of the recognized shapes.
+//!
+//! The rules, with their canonical instances from this workspace:
+//!
+//! * **S1** — comparison against a concrete pid: `me.index() == 0`
+//!   (`snapshot_commit`'s seeded bug), `leader == ProcessId(1)`.
+//! * **S2** — other pid-dependent role splits: pid ordering
+//!   (`a.index().cmp(&b.index())`, the anti-Ω tie-break), pids conjured
+//!   from data (`ProcessId(*ids.iter().min()…)`, the Ω election), pid
+//!   equality against configuration (`drop_announce != Some(ctx.pid())`,
+//!   the converge fault knob).
+//! * **S3** — pid-keyed object names: `Key::new("slot").at(me.index() as
+//!   u64)` gives each process a distinct footprint.
+//! * **S4** — pid-derived values used as data: `me.index() as u64` as a
+//!   proposal or decision (asymmetric initial values).
+//!
+//! Comparing a pid against a single bare identifier (`leader == me`) is
+//! *not* flagged: the identifier names a value obtained within the body
+//! (an FD output, a register read), and such comparisons are equivariant.
+
+use crate::report::{Finding, RuleId};
+use std::collections::BTreeSet;
+use upsilon_conform::tree::{Delim, Spanned, Tok};
+
+/// Scans one routine body; returns its findings (at most one per rule and
+/// line), ordered by line.
+pub fn scan_body(body: &[Spanned], routine: &str, file: &str) -> Vec<Finding> {
+    let mut aliases = BTreeSet::new();
+    collect_aliases(body, &mut aliases);
+    let mut findings = Vec::new();
+    scan_level(body, &aliases, false, routine, file, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+/// Collects `let <name> = … ctx.pid() …;` pid aliases, recursively.
+fn collect_aliases(toks: &[Spanned], out: &mut BTreeSet<String>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if let Tok::Group(_, children, _) = &toks[i].tok {
+            collect_aliases(children, out);
+            i += 1;
+            continue;
+        }
+        if toks[i].ident() == Some("let") {
+            let mut j = i + 1;
+            if toks.get(j).and_then(Spanned::ident) == Some("mut") {
+                j += 1;
+            }
+            if let (Some(name), Some(eq)) = (toks.get(j).and_then(Spanned::ident), toks.get(j + 1))
+            {
+                if eq.is_punct('=') {
+                    let end = toks[j + 2..]
+                        .iter()
+                        .position(|t| t.is_punct(';'))
+                        .map_or(toks.len(), |p| j + 2 + p);
+                    if contains_ctx_pid(&toks[j + 2..end]) {
+                        out.insert(name.to_string());
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether the slice contains a `ctx.pid()` call (at any nesting depth).
+fn contains_ctx_pid(toks: &[Spanned]) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(s) if s == "pid" => {
+                let dotted = i > 0 && toks[i - 1].is_punct('.');
+                let called = matches!(
+                    toks.get(i + 1),
+                    Some(Spanned {
+                        tok: Tok::Group(Delim::Paren, args, _),
+                        ..
+                    }) if args.is_empty()
+                );
+                if dotted && called {
+                    return true;
+                }
+            }
+            Tok::Group(_, children, _) if contains_ctx_pid(children) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether the slice mentions a pid expression: an alias, `ctx.pid()`,
+/// `.index()`, or the `ProcessId` constructor.
+fn mentions_pid(toks: &[Spanned], aliases: &BTreeSet<String>) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Ident(s) if aliases.contains(s) || s == "ProcessId" => return true,
+            Tok::Ident(s) if (s == "pid" || s == "index") && i > 0 && toks[i - 1].is_punct('.') => {
+                if matches!(
+                    toks.get(i + 1),
+                    Some(Spanned {
+                        tok: Tok::Group(Delim::Paren, args, _),
+                        ..
+                    }) if args.is_empty()
+                ) {
+                    return true;
+                }
+            }
+            Tok::Group(_, children, _) if mentions_pid(children, aliases) => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Tokens that terminate an operand when walking outward from a comparison.
+fn is_operand_boundary(t: &Spanned) -> bool {
+    match &t.tok {
+        Tok::Punct(c) => matches!(c, ';' | ',' | '&' | '|' | '=' | '!' | '<' | '>' | '?'),
+        Tok::Group(Delim::Brace, ..) => true,
+        Tok::Ident(s) => matches!(
+            s.as_str(),
+            "if" | "else"
+                | "while"
+                | "let"
+                | "match"
+                | "return"
+                | "in"
+                | "for"
+                | "loop"
+                | "move"
+                | "async"
+                | "await"
+                | "mut"
+                | "assert"
+        ),
+        _ => false,
+    }
+}
+
+/// The operand slice ending just before index `op` (exclusive).
+fn operand_left(toks: &[Spanned], op: usize) -> &[Spanned] {
+    let mut j = op;
+    while j > 0 && !is_operand_boundary(&toks[j - 1]) {
+        j -= 1;
+    }
+    &toks[j..op]
+}
+
+/// The operand slice starting at index `from`.
+fn operand_right(toks: &[Spanned], from: usize) -> &[Spanned] {
+    let mut j = from;
+    while j < toks.len() && !is_operand_boundary(&toks[j]) {
+        j += 1;
+    }
+    &toks[from..j]
+}
+
+/// Whether the operand is a concrete pid: a literal, `ProcessId(<lit>)` or
+/// `Some(<lit>)` / `Some(ProcessId(<lit>))`.
+fn is_concrete(toks: &[Spanned]) -> bool {
+    match toks {
+        [Spanned {
+            tok: Tok::Literal, ..
+        }] => true,
+        [Spanned {
+            tok: Tok::Ident(name),
+            ..
+        }, Spanned {
+            tok: Tok::Group(Delim::Paren, args, _),
+            ..
+        }] if name == "ProcessId" || name == "Some" => is_concrete(args),
+        _ => false,
+    }
+}
+
+/// Whether the operand is a single bare identifier (a locally obtained
+/// value; comparing a pid against it is equivariant).
+fn is_bare_ident(toks: &[Spanned]) -> bool {
+    matches!(
+        toks,
+        [Spanned {
+            tok: Tok::Ident(_),
+            ..
+        }]
+    )
+}
+
+/// Whether `toks[i..]` starts the `.index()` postfix.
+fn at_index_call(toks: &[Spanned], i: usize) -> bool {
+    toks[i].is_punct('.')
+        && toks.get(i + 1).and_then(Spanned::ident) == Some("index")
+        && matches!(
+            toks.get(i + 2),
+            Some(Spanned {
+                tok: Tok::Group(Delim::Paren, args, _),
+                ..
+            }) if args.is_empty()
+        )
+}
+
+struct Ctx<'a> {
+    routine: &'a str,
+    file: &'a str,
+}
+
+/// One scanning pass over a sibling level; recurses into groups.
+fn scan_level(
+    toks: &[Spanned],
+    aliases: &BTreeSet<String>,
+    in_key: bool,
+    routine: &str,
+    file: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let cx = Ctx { routine, file };
+    let mut i = 0;
+    while i < toks.len() {
+        // `Key::new(args)` and `.at(args)`: pid flow into an object name.
+        if let Some((args, line, skip)) = key_args(toks, i) {
+            if mentions_pid(args, aliases) {
+                push(
+                    findings,
+                    RuleId::S3,
+                    line,
+                    &cx,
+                    "a pid-derived value flows into a shared-object key, giving each \
+                     process a distinct memory footprint",
+                    "key shared cells by round/phase counters, not by process id",
+                );
+            }
+            scan_level(args, aliases, true, routine, file, findings);
+            i += skip;
+            continue;
+        }
+        // `ProcessId(args)`: a concrete pid (S1) or a pid from data (S2).
+        if toks[i].ident() == Some("ProcessId") {
+            if let Some(Spanned {
+                tok: Tok::Group(Delim::Paren, args, _),
+                line,
+                ..
+            }) = toks.get(i + 1)
+            {
+                if !in_key {
+                    if matches!(
+                        args.as_slice(),
+                        [Spanned {
+                            tok: Tok::Literal,
+                            ..
+                        }]
+                    ) {
+                        push(
+                            findings,
+                            RuleId::S1,
+                            *line,
+                            &cx,
+                            "names a concrete process id",
+                            "derive behaviour from the routine's own pid parameter",
+                        );
+                    } else {
+                        push(
+                            findings,
+                            RuleId::S2,
+                            *line,
+                            &cx,
+                            "constructs a process id from data, electing a specific process",
+                            "treat pids as opaque: compare only against dynamically \
+                             obtained pid values",
+                        );
+                    }
+                }
+                scan_level(args, aliases, in_key, routine, file, findings);
+                i += 2;
+                continue;
+            }
+        }
+        // `.index()` postfix: ordering (S2) or data flow (S4).
+        if at_index_call(toks, i) {
+            let after = i + 3;
+            if !in_key {
+                let ordered = toks
+                    .get(after)
+                    .is_some_and(|t| t.is_punct('<') || t.is_punct('>'))
+                    || (toks.get(after).is_some_and(|t| t.is_punct('.'))
+                        && toks.get(after + 1).and_then(Spanned::ident) == Some("cmp"));
+                if ordered {
+                    push(
+                        findings,
+                        RuleId::S2,
+                        toks[i + 1].line,
+                        &cx,
+                        "orders processes by pid, splitting roles by identity",
+                        "break ties with data the processes wrote, or allowlist the \
+                         documented tie-break",
+                    );
+                } else if toks.get(after).and_then(Spanned::ident) == Some("as") {
+                    push(
+                        findings,
+                        RuleId::S4,
+                        toks[i + 1].line,
+                        &cx,
+                        "uses the pid index as a data value, so outputs distinguish \
+                         processes",
+                        "take the value as an input parameter instead of deriving it \
+                         from the pid",
+                    );
+                }
+            }
+            i = after;
+            continue;
+        }
+        // Equality comparisons: `==` / `!=`.
+        let eq_op = (toks[i].is_punct('=') || toks[i].is_punct('!'))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && (i == 0
+                || !(toks[i - 1].is_punct('=')
+                    || toks[i - 1].is_punct('!')
+                    || toks[i - 1].is_punct('<')
+                    || toks[i - 1].is_punct('>')));
+        if eq_op && !in_key {
+            let l = operand_left(toks, i);
+            let r = operand_right(toks, i + 2);
+            let lm = mentions_pid(l, aliases);
+            let rm = mentions_pid(r, aliases);
+            if lm || rm {
+                if is_concrete(l) || is_concrete(r) {
+                    push(
+                        findings,
+                        RuleId::S1,
+                        toks[i].line,
+                        &cx,
+                        "compares a pid against a concrete process id, taking a branch \
+                         only one fixed process takes",
+                        "make the branch a function of data, or allowlist the seeded \
+                         fault",
+                    );
+                } else if !is_bare_ident(l) && !is_bare_ident(r) {
+                    push(
+                        findings,
+                        RuleId::S2,
+                        toks[i].line,
+                        &cx,
+                        "compares a pid against a configured or computed process \
+                         identity, splitting roles by pid",
+                        "compare pids only against values obtained within the body \
+                         (FD outputs, register reads), or allowlist the fault knob",
+                    );
+                }
+            }
+            i += 2;
+            continue;
+        }
+        if let Tok::Group(_, children, _) = &toks[i].tok {
+            scan_level(children, aliases, in_key, routine, file, findings);
+        }
+        i += 1;
+    }
+}
+
+/// Matches `Key::new(args)` (skip 5) or `.at(args)` (skip 3) starting at
+/// `i`; returns the argument group, its line and the token count.
+fn key_args(toks: &[Spanned], i: usize) -> Option<(&[Spanned], u32, usize)> {
+    if toks[i].ident() == Some("Key")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).and_then(Spanned::ident) == Some("new")
+    {
+        if let Some(Spanned {
+            tok: Tok::Group(Delim::Paren, args, _),
+            line,
+            ..
+        }) = toks.get(i + 4)
+        {
+            return Some((args, *line, 5));
+        }
+    }
+    if toks[i].is_punct('.') && toks.get(i + 1).and_then(Spanned::ident) == Some("at") {
+        if let Some(Spanned {
+            tok: Tok::Group(Delim::Paren, args, _),
+            line,
+            ..
+        }) = toks.get(i + 2)
+        {
+            return Some((args, *line, 3));
+        }
+    }
+    None
+}
+
+fn push(findings: &mut Vec<Finding>, rule: RuleId, line: u32, cx: &Ctx<'_>, what: &str, fix: &str) {
+    findings.push(Finding {
+        rule,
+        file: cx.file.to_string(),
+        line,
+        message: format!("`{}` {what}", cx.routine),
+        suggestion: fix.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upsilon_conform::model::model_file;
+
+    fn scan(src: &str) -> Vec<Finding> {
+        let m = model_file("crates/x/src/l.rs", src);
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
+        let mut out = Vec::new();
+        for f in &m.fns {
+            if f.takes_ctx && !f.body.is_empty() {
+                out.extend(scan_body(&f.body, &f.name, "crates/x/src/l.rs"));
+            }
+        }
+        for a in &m.algos {
+            out.extend(scan_body(&a.body, "algo", "crates/x/src/l.rs"));
+        }
+        out
+    }
+
+    #[test]
+    fn equivariant_pid_uses_are_clean() {
+        let found = scan(
+            "
+async fn clean(ctx: &Ctx<ProcessSet>) -> Result<(), Crashed> {
+    let me = ctx.pid();
+    let u = ctx.query_fd().await?;
+    if u.contains(me) { ctx.yield_step().await?; }
+    let leader = ctx.query_fd().await?;
+    if leader == me { ctx.decide(1).await?; }
+    Ok(())
+}
+",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn concrete_pid_comparison_is_s1() {
+        let found = scan(
+            "
+async fn skewed(ctx: &Ctx<()>, me: ProcessId) -> Result<(), Crashed> {
+    if me.index() == 0 { ctx.yield_step().await?; }
+    Ok(())
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S1);
+    }
+
+    #[test]
+    fn pid_ordering_and_conjuring_are_s2() {
+        let found = scan(
+            "
+async fn ordered(ctx: &Ctx<()>, a: ProcessId, b: ProcessId) -> Result<(), Crashed> {
+    let _c = a.index().cmp(&b.index());
+    ctx.yield_step().await
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S2);
+
+        let found = scan(
+            "
+async fn conjured(ctx: &Ctx<()>, next: usize) -> Result<(), Crashed> {
+    let _p = ProcessId(next);
+    ctx.yield_step().await
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S2);
+    }
+
+    #[test]
+    fn config_pid_comparison_is_s2() {
+        let found = scan(
+            "
+async fn knob(ctx: &Ctx<()>, cfg: &Faults) -> Result<(), Crashed> {
+    if cfg.drop_announce != Some(ctx.pid()) { ctx.yield_step().await?; }
+    Ok(())
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S2);
+    }
+
+    #[test]
+    fn pid_keyed_object_is_s3_only() {
+        let found = scan(
+            "
+async fn keyed(ctx: &Ctx<()>, me: ProcessId) -> Result<(), Crashed> {
+    let r = Register::new(Key::new(\"slot\").at(me.index() as u64), 0u64);
+    r.write(ctx, 1).await
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S3);
+    }
+
+    #[test]
+    fn pid_as_data_is_s4() {
+        let found = scan(
+            "
+async fn valued(ctx: &Ctx<()>, me: ProcessId) -> Result<(), Crashed> {
+    let v = me.index() as u64;
+    ctx.decide(v).await
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S4);
+    }
+
+    #[test]
+    fn alias_tracking_sees_ctx_pid_lets() {
+        let found = scan(
+            "
+async fn aliased(ctx: &Ctx<()>, cfg: &Faults) -> Result<(), Crashed> {
+    let me = ctx.pid();
+    if cfg.target != Some(me) { ctx.yield_step().await?; }
+    Ok(())
+}
+",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::S2);
+    }
+}
