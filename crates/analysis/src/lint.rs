@@ -47,6 +47,7 @@ pub const SCANNED_CRATES: &[&str] = &[
     "commute",
     "symmetry",
     "scenario",
+    "swarm",
 ];
 
 /// Files exempt from the whole scan because they *name* the banned

@@ -1,0 +1,261 @@
+//! Swarm executor scale and throughput, emitting `BENCH_swarm.json`.
+//!
+//! ```text
+//! cargo run --release -p upsilon-bench --bin bench_swarm [--instances N] [--out PATH]
+//! ```
+//!
+//! Two headline measurements over the packed executor:
+//!
+//! 1. **Pack** — one million converge-pair instances resident in a single
+//!    process at once (full-pack mode: every cell admitted before the
+//!    first sweep), reporting arena occupancy per instance. The floor is
+//!    a 4096-byte ceiling per instance — the "millions of tenants in one
+//!    loop" claim with the memory bill attached.
+//! 2. **Throughput** — one million echo instances streamed through a
+//!    4096-cell window at workers 1, 2 and 8, reporting aggregate
+//!    decisions/second. Echo tenants decide in one step each, so this is
+//!    the executor's own overhead per decision; the floor is one million
+//!    decisions/second for the best worker count. The converge-pair mix
+//!    is re-measured the same way as the algorithm-bound reference (no
+//!    floor — its cost is the protocol, not the executor).
+//!
+//! Counters are identical across worker counts and window modes (the
+//! determinism contract, locked by `crates/swarm/tests/`), so repeating a
+//! campaign only re-times identical work; throughput keeps the best of
+//! two passes per configuration to reject scheduler noise. Like the other
+//! bench binaries, the JSON artifact is only written when every
+//! acceptance check passes — a failing run never overwrites a good
+//! baseline.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use upsilon_core::table::Table;
+use upsilon_swarm::{run_swarm, SwarmConfig, SwarmReport};
+
+/// Instances each headline campaign runs (both measurements).
+const DEFAULT_INSTANCES: u64 = 1_000_000;
+
+/// The pack measurement must keep at least this many instances resident.
+const MIN_PACK_INSTANCES: u64 = 1_000_000;
+
+/// Arena-occupancy ceiling per packed instance (release build).
+const MAX_BYTES_PER_INSTANCE: u64 = 4096;
+
+/// Aggregate decisions/second floor for the best echo configuration.
+const MIN_DECISIONS_PER_SEC: f64 = 1_000_000.0;
+
+/// Live-cell window for the streaming throughput runs: big enough to
+/// amortize refill bookkeeping, small enough to stay cache-resident.
+const WINDOW: usize = 4096;
+
+const WORKERS: &[usize] = &[1, 2, 8];
+
+const USAGE: &str = "usage: bench_swarm [options]
+  --instances N  instances per campaign (default 1000000; the pack floor
+                 still demands 1000000, so smaller runs report but fail)
+  --out PATH     JSON artifact path (default BENCH_swarm.json)
+  --help         this text";
+
+fn parse_args() -> Result<(u64, String), String> {
+    let mut instances = DEFAULT_INSTANCES;
+    let mut out = "BENCH_swarm.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--instances" => {
+                instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
+            }
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if instances == 0 {
+        return Err("--instances must be positive".into());
+    }
+    Ok((instances, out))
+}
+
+/// One timed throughput row: the campaign, its decisions/second (best of
+/// two passes — reports are deterministic, timing is not) and the report.
+struct Throughput {
+    mix: &'static str,
+    workers: usize,
+    report: SwarmReport,
+    decisions_per_sec: f64,
+}
+
+fn timed(mix: &'static str, instances: u64, workers: usize) -> Throughput {
+    let mut cfg = SwarmConfig::new(vec![(mix.to_string(), 1)], instances);
+    cfg.workers = workers;
+    cfg.window = Some(WINDOW);
+    let mut best: Option<(SwarmReport, f64)> = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let report = run_swarm(&cfg);
+        let rate = report.decisions as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        if best.as_ref().is_none_or(|(_, b)| rate > *b) {
+            best = Some((report, rate));
+        }
+    }
+    let (report, decisions_per_sec) = best.expect("two passes ran");
+    Throughput {
+        mix,
+        workers,
+        report,
+        decisions_per_sec,
+    }
+}
+
+fn main() -> ExitCode {
+    let (instances, out) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // 1: the pack measurement — every cell resident before the first
+    // sweep. One pass: the byte counters are exact sums over instances,
+    // not timings.
+    let mut pack_cfg = SwarmConfig::new(vec![("converge-pair".to_string(), 1)], instances);
+    pack_cfg.window = None;
+    let pack_start = Instant::now();
+    let pack = run_swarm(&pack_cfg);
+    let pack_secs = pack_start.elapsed().as_secs_f64();
+
+    let mut pt = Table::new(
+        format!("Swarm pack — converge-pair, {instances} instances resident"),
+        &["metric", "value"],
+    );
+    pt.row(["instances".to_string(), pack.instances.to_string()]);
+    pt.row(["packed bytes".to_string(), pack.packed_bytes.to_string()]);
+    pt.row(["arena bytes".to_string(), pack.arena_bytes.to_string()]);
+    pt.row([
+        "bytes/instance".to_string(),
+        pack.bytes_per_instance().to_string(),
+    ]);
+    pt.row(["decisions".to_string(), pack.decisions.to_string()]);
+    pt.row(["total steps".to_string(), pack.total_steps.to_string()]);
+    println!("{pt}");
+
+    // 2: streaming throughput at workers 1/2/8 — echo (executor-bound,
+    // gated) and converge-pair (algorithm-bound, informational).
+    let mut rows: Vec<Throughput> = Vec::new();
+    for &mix in &["echo", "converge-pair"] {
+        for &workers in WORKERS {
+            rows.push(timed(mix, instances, workers));
+        }
+    }
+    let mut tt = Table::new(
+        format!("Swarm throughput — window {WINDOW}, {instances} instances"),
+        &["mix", "workers", "decisions", "decisions/sec"],
+    );
+    for r in &rows {
+        tt.row([
+            r.mix.to_string(),
+            r.workers.to_string(),
+            r.report.decisions.to_string(),
+            format!("{:.0}", r.decisions_per_sec),
+        ]);
+    }
+    println!("{tt}");
+
+    let best_echo = rows
+        .iter()
+        .filter(|r| r.mix == "echo")
+        .map(|r| r.decisions_per_sec)
+        .fold(0.0f64, f64::max);
+
+    let mut failed = false;
+    if !pack.all_ok() {
+        eprintln!(
+            "FAIL: pack campaign not clean: {}/{} spec_ok, {}/{} run_cond_ok, {}/{} finished",
+            pack.spec_ok,
+            pack.instances,
+            pack.run_cond_ok,
+            pack.instances,
+            pack.finished,
+            pack.instances
+        );
+        failed = true;
+    }
+    if pack.instances < MIN_PACK_INSTANCES {
+        eprintln!(
+            "FAIL: {} instances packed, below the {MIN_PACK_INSTANCES} floor",
+            pack.instances
+        );
+        failed = true;
+    }
+    if pack.bytes_per_instance() > MAX_BYTES_PER_INSTANCE {
+        eprintln!(
+            "FAIL: {} bytes/instance above the {MAX_BYTES_PER_INSTANCE} ceiling",
+            pack.bytes_per_instance()
+        );
+        failed = true;
+    }
+    for r in &rows {
+        if !r.report.all_ok() {
+            eprintln!("FAIL: {} campaign (workers {}) not clean", r.mix, r.workers);
+            failed = true;
+        }
+        let reference = rows.iter().find(|q| q.mix == r.mix).expect("first of mix");
+        if r.report != reference.report {
+            eprintln!(
+                "FAIL: {} report at workers {} differs from workers {} — \
+                 the determinism contract broke",
+                r.mix, r.workers, reference.workers
+            );
+            failed = true;
+        }
+    }
+    if best_echo < MIN_DECISIONS_PER_SEC {
+        eprintln!(
+            "FAIL: best echo rate {best_echo:.0} decisions/sec below the \
+             {MIN_DECISIONS_PER_SEC:.0} floor"
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!("not writing {out}: acceptance checks failed");
+        return ExitCode::FAILURE;
+    }
+
+    let throughput: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"mix\":{:?},\"workers\":{},\"window\":{WINDOW},\"instances\":{},\
+                 \"decisions\":{},\"decisions_per_sec\":{:.1}}}",
+                r.mix, r.workers, r.report.instances, r.report.decisions, r.decisions_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"pack\": {{\n    \"mix\": \"converge-pair\",\n    \
+         \"instances\": {},\n    \"packed_bytes\": {},\n    \
+         \"arena_bytes\": {},\n    \"bytes_per_instance\": {},\n    \
+         \"decisions\": {},\n    \"total_steps\": {},\n    \
+         \"seconds\": {pack_secs:.1}\n  }},\n  \
+         \"throughput\": [\n    {}\n  ],\n  \
+         \"best_decisions_per_sec\": {best_echo:.1},\n  \"clean\": true\n}}\n",
+        pack.instances,
+        pack.packed_bytes,
+        pack.arena_bytes,
+        pack.bytes_per_instance(),
+        pack.decisions,
+        pack.total_steps,
+        throughput.join(",\n    "),
+    );
+    std::fs::write(&out, &json).expect("write benchmark artifact");
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -1,14 +1,16 @@
 //! Ready-made exploration configurations over the paper's artifacts.
 //!
-//! **Deprecation note.** Direct use of these constructors is the legacy
-//! entry path. The canonical way to select and parameterize a workload is
-//! now a scenario file: the checked-in `scenarios/*.toml` documents bind
-//! each of these samples by protocol name through the `upsilon-scenario`
-//! registry, which calls back into this module — so the constructors stay
-//! the single source of truth for what each workload *is*, while axis
-//! choices (n, depth, fault budgets, A/B arms) live in the declarative
-//! layer. New workloads should be added here **and** given a scenario
-//! file; new call sites should go through `upsilon-scenario`.
+//! **Entry path.** Direct use of these constructors is reserved for the
+//! `upsilon-scenario` registry (which calls back into this module) and
+//! its no-drift lock. Everything else — the checked-in `scenarios/*.toml`
+//! documents and the test suites in `crates/check` / `crates/fuzz` —
+//! selects workloads by protocol name through that registry, either via
+//! scenario files or the typed `upsilon_scenario::testkit` accessors. The
+//! constructors stay the single source of truth for what each workload
+//! *is*, while axis choices (n, depth, fault budgets, A/B arms) live in
+//! the declarative layer; the `testkit_drift` suite asserts the two paths
+//! never diverge. New workloads are added here **and** given a scenario
+//! file plus a `testkit` accessor.
 //!
 //! Three families:
 //!

@@ -36,7 +36,10 @@ pub enum Sched {
 }
 
 impl Sched {
-    fn build(self, seed: u64, n_plus_1: usize) -> Box<dyn Adversary> {
+    /// Builds the adversary this policy denotes for a `n_plus_1`-process
+    /// run seeded with `seed` — public so alternative executors construct
+    /// schedules identical to the runners in this module.
+    pub fn build(self, seed: u64, n_plus_1: usize) -> Box<dyn Adversary> {
         match self {
             Sched::RoundRobin => Box::new(RoundRobin::new()),
             Sched::Random => Box::new(SeededRandom::new(seed)),
@@ -132,7 +135,10 @@ impl AgreementConfig {
 }
 
 /// What an agreement run produced, plus its specification verdict.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field — the swarm differential suite uses it
+/// to assert packed executions byte-identical to standalone ones.
+#[derive(Clone, PartialEq, Debug)]
 pub struct AgreementOutcome {
     /// The agreement parameter `k` the run was checked against.
     pub k: usize,
@@ -159,7 +165,12 @@ pub struct AgreementOutcome {
 }
 
 impl AgreementOutcome {
-    fn from_run<D: FdValue>(
+    /// Folds a completed run into its outcome: decisions, k-set-agreement
+    /// spec verdict, §3.3 run-condition verdict and step metrics. This is
+    /// the single fold every runner in this module applies, public so
+    /// alternative executors (the `upsilon-swarm` multi-tenant loop) can
+    /// produce outcomes guaranteed field-identical to the standalone path.
+    pub fn from_run<D: FdValue>(
         run: &Run<D>,
         memory: &upsilon_sim::Memory,
         k: usize,
@@ -219,12 +230,10 @@ impl AgreementOutcome {
     }
 }
 
-fn run_with_oracle<D, O, A>(
-    cfg: &AgreementConfig,
-    oracle: O,
-    algos: A,
-    k: usize,
-) -> AgreementOutcome
+/// Assembles the [`SimBuilder`] every runner here drives: oracle, the
+/// configured scheduling adversary, step budget and one algorithm per
+/// participating process.
+fn builder_with_oracle<D, O, A>(cfg: &AgreementConfig, oracle: O, algos: A) -> SimBuilder<D>
 where
     D: FdValue,
     O: upsilon_sim::Oracle<D> + 'static,
@@ -237,21 +246,54 @@ where
     for (pid, algo) in algos {
         builder = builder.spawn(pid, algo);
     }
-    let outcome = builder.run();
+    builder
+}
+
+fn run_with_oracle<D, O, A>(
+    cfg: &AgreementConfig,
+    oracle: O,
+    algos: A,
+    k: usize,
+) -> AgreementOutcome
+where
+    D: FdValue,
+    O: upsilon_sim::Oracle<D> + 'static,
+    A: IntoIterator<Item = (ProcessId, upsilon_sim::AlgoFn<D>)>,
+{
+    let outcome = builder_with_oracle(cfg, oracle, algos).run();
     AgreementOutcome::from_run(&outcome.run, &outcome.memory, k, &cfg.proposals)
 }
 
-/// E1: the Fig. 1 protocol — Υ-based wait-free n-set-agreement.
-pub fn run_fig1(cfg: &AgreementConfig, choice: UpsilonChoice) -> AgreementOutcome {
+/// The configured [`SimBuilder`] behind [`run_fig1`], plus the `k` its
+/// outcome is checked against. Exposed so alternative executors (the
+/// `upsilon-swarm` packed loop) construct instances through the *same*
+/// code path as the standalone runner — byte-identical outcomes by
+/// construction, not by careful duplication.
+pub fn fig1_builder(
+    cfg: &AgreementConfig,
+    choice: UpsilonChoice,
+) -> (SimBuilder<ProcessSet>, usize) {
     let n = cfg.pattern.n();
     let oracle = UpsilonOracle::wait_free(&cfg.pattern, choice, cfg.stabilize_at, cfg.seed)
         .with_noise(cfg.noise);
     let algos = fig1::algorithms(Fig1Config { flavor: cfg.flavor }, &cfg.proposals);
-    run_with_oracle(cfg, oracle, algos, n)
+    (builder_with_oracle(cfg, oracle, algos), n)
 }
 
-/// E2: the Fig. 2 protocol — Υ^f-based f-resilient f-set-agreement.
-pub fn run_fig2(cfg: &AgreementConfig, f: usize, choice: UpsilonChoice) -> AgreementOutcome {
+/// E1: the Fig. 1 protocol — Υ-based wait-free n-set-agreement.
+pub fn run_fig1(cfg: &AgreementConfig, choice: UpsilonChoice) -> AgreementOutcome {
+    let (builder, k) = fig1_builder(cfg, choice);
+    let outcome = builder.run();
+    AgreementOutcome::from_run(&outcome.run, &outcome.memory, k, &cfg.proposals)
+}
+
+/// The configured [`SimBuilder`] behind [`run_fig2`], plus the `k` its
+/// outcome is checked against (see [`fig1_builder`] for why this exists).
+pub fn fig2_builder(
+    cfg: &AgreementConfig,
+    f: usize,
+    choice: UpsilonChoice,
+) -> (SimBuilder<ProcessSet>, usize) {
     let oracle = UpsilonOracle::new(&cfg.pattern, f, choice, cfg.stabilize_at, cfg.seed)
         .with_noise(cfg.noise);
     let algos = fig2::algorithms(
@@ -261,7 +303,14 @@ pub fn run_fig2(cfg: &AgreementConfig, f: usize, choice: UpsilonChoice) -> Agree
         },
         &cfg.proposals,
     );
-    run_with_oracle(cfg, oracle, algos, f)
+    (builder_with_oracle(cfg, oracle, algos), f)
+}
+
+/// E2: the Fig. 2 protocol — Υ^f-based f-resilient f-set-agreement.
+pub fn run_fig2(cfg: &AgreementConfig, f: usize, choice: UpsilonChoice) -> AgreementOutcome {
+    let (builder, k) = fig2_builder(cfg, f, choice);
+    let outcome = builder.run();
+    AgreementOutcome::from_run(&outcome.run, &outcome.memory, k, &cfg.proposals)
 }
 
 /// E14 ablation: Fig. 2 with an explicit configuration (e.g. the line 25

@@ -65,6 +65,7 @@ pub const KNOWN_PROTOCOLS: &[&str] = &[
     "e10-converge",
     "e11-snapshots",
     "bench-suite",
+    "swarm",
 ];
 
 /// The check samples that must always have a checked-in scenario file;
@@ -89,6 +90,8 @@ pub enum Kind {
     Experiment,
     /// The bench-bin suites (`bench_check` / `bench_fuzz`).
     Bench,
+    /// Packed multi-tenant campaigns (`upsilon-swarm`).
+    Swarm,
 }
 
 impl Kind {
@@ -99,6 +102,7 @@ impl Kind {
             Kind::Fuzz => "fuzz",
             Kind::Experiment => "experiment",
             Kind::Bench => "bench",
+            Kind::Swarm => "swarm",
         }
     }
 
@@ -108,6 +112,7 @@ impl Kind {
             "fuzz" => Some(Kind::Fuzz),
             "experiment" => Some(Kind::Experiment),
             "bench" => Some(Kind::Bench),
+            "swarm" => Some(Kind::Swarm),
             _ => None,
         }
     }
@@ -225,6 +230,27 @@ impl FuzzBlock {
     }
 }
 
+/// The `[swarm]` block: packed-campaign knobs, single-valued (the
+/// `instances`, `batch` and `window` knobs may instead appear as `[params]`
+/// axes when a scenario sweeps them).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SwarmBlock {
+    /// `key = scalar` entries in declaration order.
+    pub entries: Vec<(String, Scalar)>,
+}
+
+impl SwarmBlock {
+    /// Looks up a swarm knob by key.
+    pub fn get(&self, key: &str) -> Option<&Scalar> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Keys admitted in the `[swarm]` block, mirroring `SwarmConfig`: the
+/// campaign size, the per-sweep step quota, the live-cell window (0 =
+/// full pack), and the protocol mix string (`name[:weight],...`).
+pub const SWARM_KEYS: &[&str] = &["instances", "batch", "window", "mix"];
+
 /// Keys admitted in the `[fuzz]` block, mirroring `FuzzConfig`.
 pub const FUZZ_KEYS: &[&str] = &[
     "rounds",
@@ -262,6 +288,8 @@ pub struct ScenarioDoc {
     pub params: Vec<AxisDecl>,
     /// Fuzz campaign knobs; present only when `kind = "fuzz"`.
     pub fuzz: Option<FuzzBlock>,
+    /// Swarm campaign knobs; present only when `kind = "swarm"`.
+    pub swarm: Option<SwarmBlock>,
     /// Named A/B arms; empty means a single implicit `default` arm.
     pub variants: Vec<Variant>,
 }
@@ -445,7 +473,9 @@ impl ScenarioDoc {
                         Diag::new(
                             line,
                             col,
-                            format!("unknown kind {s:?} (check | fuzz | experiment | bench)"),
+                            format!(
+                                "unknown kind {s:?} (check | fuzz | experiment | bench | swarm)"
+                            ),
                         )
                     })?);
                 }
@@ -505,6 +535,7 @@ impl ScenarioDoc {
 
         let mut params = Vec::new();
         let mut fuzz = None;
+        let mut swarm = None;
         let mut variants: Vec<Variant> = Vec::new();
 
         for section in &sections[1..] {
@@ -567,6 +598,49 @@ impl ScenarioDoc {
                     }
                     fuzz = Some(FuzzBlock { entries });
                 }
+                ["swarm"] => {
+                    if swarm.is_some() {
+                        return Err(Diag::new(
+                            section.line,
+                            section.col,
+                            "duplicate [swarm] section",
+                        ));
+                    }
+                    let mut entries = Vec::new();
+                    for entry in &section.entries {
+                        if !SWARM_KEYS.contains(&entry.key.as_str()) {
+                            return Err(Diag::new(
+                                entry.line,
+                                entry.col,
+                                format!(
+                                    "unknown [swarm] key {:?} (known: {})",
+                                    entry.key,
+                                    SWARM_KEYS.join(", ")
+                                ),
+                            ));
+                        }
+                        match &entry.value {
+                            RawValue::Scalar(s @ Scalar::Str(_)) if entry.key == "mix" => {
+                                entries.push((entry.key.clone(), s.clone()));
+                            }
+                            RawValue::Scalar(s @ Scalar::Int(_)) if entry.key != "mix" => {
+                                entries.push((entry.key.clone(), s.clone()));
+                            }
+                            _ => {
+                                return Err(Diag::new(
+                                    entry.vline,
+                                    entry.vcol,
+                                    if entry.key == "mix" {
+                                        "[swarm] \"mix\" must be a single string".to_string()
+                                    } else {
+                                        format!("[swarm] {:?} must be a single integer", entry.key)
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    swarm = Some(SwarmBlock { entries });
+                }
                 ["variant", arm] => {
                     if !is_ident(arm) {
                         return Err(Diag::new(
@@ -614,7 +688,7 @@ impl ScenarioDoc {
                         section.line,
                         section.col,
                         format!(
-                            "unknown section [{}] (expected [params], [fuzz] or [variant.NAME])",
+                            "unknown section [{}] (expected [params], [fuzz], [swarm] or [variant.NAME])",
                             section.path.join(".")
                         ),
                     ));
@@ -627,6 +701,13 @@ impl ScenarioDoc {
                 root.line,
                 root.col,
                 format!("[fuzz] section requires kind = \"fuzz\", got {kind:?}").to_lowercase(),
+            ));
+        }
+        if swarm.is_some() && kind != Kind::Swarm {
+            return Err(Diag::new(
+                root.line,
+                root.col,
+                format!("[swarm] section requires kind = \"swarm\", got {kind:?}").to_lowercase(),
             ));
         }
 
@@ -650,6 +731,7 @@ impl ScenarioDoc {
             repeats,
             params,
             fuzz,
+            swarm,
             variants,
         })
     }
@@ -694,6 +776,12 @@ impl ScenarioDoc {
         if let Some(fuzz) = &self.fuzz {
             out.push_str("\n[fuzz]\n");
             for (k, v) in &fuzz.entries {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        if let Some(swarm) = &self.swarm {
+            out.push_str("\n[swarm]\n");
+            for (k, v) in &swarm.entries {
                 out.push_str(&format!("{k} = {v}\n"));
             }
         }
@@ -956,6 +1044,38 @@ depth = 7
         )
         .expect_err("unknown fuzz key");
         assert!(d.msg.contains("unknown [fuzz] key"), "{d}");
+    }
+
+    #[test]
+    fn swarm_block_requires_swarm_kind_and_known_keys() {
+        let ok = ScenarioDoc::parse(
+            "name = \"s\"\nkind = \"swarm\"\nprotocol = \"swarm\"\n[swarm]\ninstances = 1000\nbatch = 64\nmix = \"converge-pair:3,fig1:1\"\n",
+        )
+        .expect("parses");
+        let swarm = ok.swarm.as_ref().expect("has swarm block");
+        assert_eq!(swarm.get("instances"), Some(&Scalar::Int(1000)));
+        assert_eq!(
+            swarm.get("mix"),
+            Some(&Scalar::Str("converge-pair:3,fig1:1".to_string()))
+        );
+
+        ScenarioDoc::parse(
+            "name = \"s\"\nkind = \"check\"\nprotocol = \"fig1\"\n[swarm]\ninstances = 10\n",
+        )
+        .expect_err("swarm block under check kind");
+        let d = ScenarioDoc::parse(
+            "name = \"s\"\nkind = \"swarm\"\nprotocol = \"swarm\"\n[swarm]\nwarp = 2\n",
+        )
+        .expect_err("unknown swarm key");
+        assert!(d.msg.contains("unknown [swarm] key"), "{d}");
+        let d = ScenarioDoc::parse(
+            "name = \"s\"\nkind = \"swarm\"\nprotocol = \"swarm\"\n[swarm]\nmix = 3\n",
+        )
+        .expect_err("mix must be a string");
+        assert!(d.msg.contains("must be a single string"), "{d}");
+
+        let rendered = ok.to_toml();
+        assert_eq!(ScenarioDoc::parse(&rendered).expect("reparses"), ok);
     }
 
     #[test]

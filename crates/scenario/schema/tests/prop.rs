@@ -10,8 +10,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use upsilon_scenario_schema::{
-    AxisDecl, Cell, EngineSel, Expect, FuzzBlock, Kind, Scalar, ScenarioDoc, Variant, FUZZ_KEYS,
-    KNOWN_PROTOCOLS,
+    AxisDecl, Cell, EngineSel, Expect, FuzzBlock, Kind, Scalar, ScenarioDoc, SwarmBlock, Variant,
+    FUZZ_KEYS, KNOWN_PROTOCOLS, SWARM_KEYS,
 };
 
 /// Words safe for string scalars: no `..` (range syntax) and key-safe.
@@ -56,10 +56,11 @@ fn doc_from(
     variants_raw: Vec<(u64, u64, u64, Vec<(u64, Vec<u64>)>)>,
     fuzz_mask: u64,
 ) -> ScenarioDoc {
-    let kind = match kind_i % 4 {
+    let kind = match kind_i % 5 {
         0 => Kind::Check,
         1 => Kind::Fuzz,
         2 => Kind::Experiment,
+        3 => Kind::Swarm,
         _ => Kind::Bench,
     };
     let mut seeds: Vec<u64> = Vec::new();
@@ -121,6 +122,27 @@ fn doc_from(
             })
             .collect(),
     });
+    // Reuse the fuzz draw for the swarm block: only a swarm-kind document
+    // may carry one, and `mix` is the single string-typed key.
+    let swarm = (kind == Kind::Swarm && fuzz_mask & 0xf != 0).then(|| SwarmBlock {
+        entries: SWARM_KEYS
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| fuzz_mask & (1 << i) != 0)
+            .map(|(i, k)| {
+                let v = if *k == "mix" {
+                    Scalar::Str(format!(
+                        "{}:{}",
+                        WORDS[(fuzz_mask >> i) as usize % WORDS.len()],
+                        (fuzz_mask >> i) % 7 + 1
+                    ))
+                } else {
+                    Scalar::Int(((fuzz_mask >> i) % 4096) as i64 + 1)
+                };
+                (k.to_string(), v)
+            })
+            .collect(),
+    });
     ScenarioDoc {
         name: format!("scenario-{}", name_i % 40),
         kind,
@@ -139,6 +161,7 @@ fn doc_from(
         repeats: (repeats % 4) as u32 + 1,
         params,
         fuzz,
+        swarm,
         variants,
     }
 }

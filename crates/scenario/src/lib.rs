@@ -30,6 +30,7 @@
 pub mod experiment;
 pub mod matrix;
 pub mod registry;
+pub mod testkit;
 
 use std::path::{Path, PathBuf};
 
@@ -38,7 +39,7 @@ pub use upsilon_scenario_schema::{
 };
 
 pub use matrix::{arm_summaries, run_matrix, to_jsonl, EvidenceRecord, MatrixReport};
-pub use registry::{resolve_check, resolve_fuzz, AnyCheck, AnyFuzz};
+pub use registry::{resolve_check, resolve_fuzz, resolve_swarm, AnyCheck, AnyFuzz};
 
 /// The checked-in scenario directory at the repository root.
 pub fn scenarios_dir() -> PathBuf {

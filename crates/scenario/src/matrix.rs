@@ -180,6 +180,41 @@ pub fn run_one(
             })
         }
         Kind::Experiment => experiment::run_cell(cell, seed, engine),
+        Kind::Swarm => {
+            let cfg = registry::resolve_swarm(doc, cell, seed)?;
+            let report = upsilon_swarm::run_swarm(&cfg);
+            let unclean = (report.instances - report.spec_ok)
+                + (report.instances - report.run_cond_ok)
+                + (report.instances - report.finished);
+            Ok(RunOut {
+                verdict: if report.all_ok() {
+                    Verdict::Pass
+                } else {
+                    Verdict::Violation
+                },
+                states: report.total_steps,
+                violations: unclean as usize,
+                spec: (!report.all_ok()).then(|| {
+                    format!(
+                        "swarm: {}/{} spec_ok, {}/{} run_cond_ok, {}/{} finished",
+                        report.spec_ok,
+                        report.instances,
+                        report.run_cond_ok,
+                        report.instances,
+                        report.finished,
+                        report.instances
+                    )
+                }),
+                token: None,
+                // Counters only — byte sizes stay out so golden snapshots
+                // survive allocator/capacity-growth changes.
+                extras: RunOut::extras_of(vec![
+                    ("instances", report.instances as i64),
+                    ("decisions", report.decisions as i64),
+                    ("fd_queries", report.fd_queries as i64),
+                ]),
+            })
+        }
         Kind::Bench => Err(format!(
             "scenario `{}`: bench scenarios run through the bench bins \
              (`bench_check --scenario`), not the matrix driver",
@@ -200,6 +235,9 @@ pub fn validate_cells(doc: &ScenarioDoc) -> Result<Vec<Cell>, String> {
                 resolve_fuzz(doc, cell, 0)?;
             }
             Kind::Experiment => experiment::validate_cell(cell)?,
+            Kind::Swarm => {
+                registry::resolve_swarm(doc, cell, 0)?;
+            }
             Kind::Bench => {
                 registry::bench_workload_of(cell)?;
             }

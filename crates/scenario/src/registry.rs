@@ -18,6 +18,7 @@ use upsilon_check::samples;
 use upsilon_fuzz::{fuzz, FuzzConfig, FuzzReport};
 use upsilon_scenario_schema::{Cell, Kind, Scalar, ScenarioDoc};
 use upsilon_sim::{EngineKind, ProcessId, ProcessSet, ReplayToken};
+use upsilon_swarm::{parse_mix, SwarmConfig};
 
 /// A resolved check configuration with the detector value type erased.
 #[derive(Clone, Debug)]
@@ -357,6 +358,83 @@ pub fn resolve_fuzz(doc: &ScenarioDoc, cell: &Cell, seed: u64) -> Result<AnyFuzz
     Ok(match resolve_check(cell)? {
         AnyCheck::Set(target) => AnyFuzz::Set(apply!(FuzzConfig::new(target))),
         AnyCheck::Unit(target) => AnyFuzz::Unit(apply!(FuzzConfig::new(target))),
+    })
+}
+
+/// Resolves a swarm-kind scenario cell into a packed-campaign config.
+///
+/// The campaign knobs come from the `[swarm]` block; the integer knobs
+/// (`instances`, `batch`, `window`) may instead be swept as `[params]`
+/// axes, with cell bindings taking precedence over the block. The matrix
+/// seed becomes the campaign seed. `window = 0` packs the whole campaign
+/// up front; positive values stream it through that many live cells.
+pub fn resolve_swarm(doc: &ScenarioDoc, cell: &Cell, seed: u64) -> Result<SwarmConfig, String> {
+    if doc.kind != Kind::Swarm {
+        return Err(format!(
+            "scenario `{}` has kind `{}`, not `swarm`",
+            doc.name, doc.kind
+        ));
+    }
+    if cell.protocol != "swarm" {
+        return Err(format!(
+            "cell `{}`: protocol `{}` is not the swarm executor",
+            cell.label(),
+            cell.protocol
+        ));
+    }
+    fn knob(doc: &ScenarioDoc, b: &mut Binds, key: &str, default: u64) -> Result<u64, String> {
+        if let Some(v) = b.raw(key) {
+            return match v {
+                Scalar::Int(i) if *i >= 0 => Ok(*i as u64),
+                other => Err(format!(
+                    "{}: axis `{key}` must be a non-negative integer, got {other}",
+                    b.context()
+                )),
+            };
+        }
+        match doc.swarm.as_ref().and_then(|s| s.get(key)) {
+            None => Ok(default),
+            Some(Scalar::Int(i)) if *i >= 0 => Ok(*i as u64),
+            Some(other) => Err(format!(
+                "scenario `{}`: swarm knob `{key}` must be a non-negative integer, got {other}",
+                doc.name
+            )),
+        }
+    }
+    let mut b = Binds::new(cell);
+    let instances = knob(doc, &mut b, "instances", 1024)?;
+    let batch = knob(doc, &mut b, "batch", 64)?.max(1);
+    let window = knob(doc, &mut b, "window", 0)?;
+    let mix = match b.raw("mix") {
+        Some(Scalar::Str(s)) => s.clone(),
+        Some(other) => {
+            return Err(format!(
+                "{}: axis `mix` must be a string, got {other}",
+                b.context()
+            ))
+        }
+        None => match doc.swarm.as_ref().and_then(|s| s.get("mix")) {
+            None => "converge-pair".to_string(),
+            Some(Scalar::Str(s)) => s.clone(),
+            Some(other) => {
+                return Err(format!(
+                    "scenario `{}`: swarm knob `mix` must be a string, got {other}",
+                    doc.name
+                ))
+            }
+        },
+    };
+    b.finish()?;
+    Ok(SwarmConfig {
+        mix: parse_mix(&mix).map_err(|e| format!("scenario `{}`: {e}", doc.name))?,
+        instances,
+        campaign_seed: seed,
+        batch,
+        // One worker: a swarm cell is already one job of the matrix pool,
+        // and every report counter is worker-invariant anyway.
+        workers: 1,
+        range: None,
+        window: (window > 0).then_some(window as usize),
     })
 }
 

@@ -1,0 +1,171 @@
+//! Typed registry-backed sample accessors for test suites.
+//!
+//! The constructors in `upsilon_check::samples` are deprecated as a
+//! *direct* entry path: workload selection belongs to the scenario layer,
+//! so a test reaching for "Fig. 1 at n = 3, depth 6" should resolve it the
+//! way a checked-in `.toml` would — through [`resolve_check`] — and get
+//! back the identical configuration. This module is that route with the
+//! types put back: each function builds the scenario [`Cell`] a file
+//! would expand to, resolves it through the registry (exercising the
+//! strict binding validation on every test run), and unwraps the
+//! statically-known detector type.
+//!
+//! Signatures mirror `upsilon_check::samples` exactly, so a test file
+//! converts with `use upsilon_scenario::testkit as samples;`. Drift
+//! between the two paths is impossible by construction — the registry
+//! calls the constructors — and locked by the `testkit_drift`
+//! integration suite, which re-checks report equality per constructor.
+//!
+//! Panics replace `Result`s deliberately: these are test-side accessors,
+//! and a binding the registry rejects is a bug in this module.
+
+use crate::registry::{resolve_check, AnyCheck};
+use upsilon_check::explore::CheckConfig;
+use upsilon_scenario_schema::{Cell, Expect, Scalar};
+use upsilon_sim::{ProcessId, ProcessSet};
+
+/// The cell a scenario file binding these axes would expand to.
+fn cell(protocol: &str, bindings: &[(&str, Scalar)]) -> Cell {
+    Cell {
+        arm: "testkit".into(),
+        protocol: protocol.into(),
+        expect: Expect::Pass,
+        bindings: bindings
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    }
+}
+
+fn set(protocol: &str, bindings: &[(&str, Scalar)]) -> CheckConfig<ProcessSet> {
+    match resolve_check(&cell(protocol, bindings)) {
+        Ok(AnyCheck::Set(cfg)) => cfg,
+        Ok(AnyCheck::Unit(_)) => panic!("testkit: `{protocol}` resolved detector-free"),
+        Err(e) => panic!("testkit: {e}"),
+    }
+}
+
+fn unit(protocol: &str, bindings: &[(&str, Scalar)]) -> CheckConfig<()> {
+    match resolve_check(&cell(protocol, bindings)) {
+        Ok(AnyCheck::Unit(cfg)) => cfg,
+        Ok(AnyCheck::Set(_)) => panic!("testkit: `{protocol}` resolved detector-bearing"),
+        Err(e) => panic!("testkit: {e}"),
+    }
+}
+
+fn int(v: usize) -> Scalar {
+    Scalar::Int(v as i64)
+}
+
+/// Registry-routed `samples::fig1`.
+pub fn fig1(n_plus_1: usize, depth: usize, max_faults: usize) -> CheckConfig<ProcessSet> {
+    set(
+        "fig1",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("depth", int(depth)),
+            ("max_faults", int(max_faults)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::fig1_mutating`.
+pub fn fig1_mutating(
+    n_plus_1: usize,
+    depth: usize,
+    max_faults: usize,
+    budget: usize,
+) -> CheckConfig<ProcessSet> {
+    set(
+        "fig1-mutating",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("depth", int(depth)),
+            ("max_faults", int(max_faults)),
+            ("budget", int(budget)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::fig2`.
+pub fn fig2(n_plus_1: usize, f: usize, depth: usize, max_faults: usize) -> CheckConfig<ProcessSet> {
+    set(
+        "fig2",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("f", int(f)),
+            ("depth", int(depth)),
+            ("max_faults", int(max_faults)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::pinned_upsilon`.
+pub fn pinned_upsilon(n_plus_1: usize, f: usize, depth: usize) -> CheckConfig<ProcessSet> {
+    set(
+        "pinned-upsilon",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("f", int(f)),
+            ("depth", int(depth)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::fig2_dropped_write`.
+pub fn fig2_dropped_write(
+    n_plus_1: usize,
+    f: usize,
+    depth: usize,
+    max_faults: usize,
+    dropper: Option<ProcessId>,
+) -> CheckConfig<ProcessSet> {
+    let mut bindings = vec![
+        ("n_plus_1", int(n_plus_1)),
+        ("f", int(f)),
+        ("depth", int(depth)),
+        ("max_faults", int(max_faults)),
+    ];
+    if let Some(p) = dropper {
+        bindings.push(("dropper", int(p.index())));
+    }
+    set("fig2-dropped", &bindings)
+}
+
+/// Registry-routed `samples::snapshot_commit`.
+pub fn snapshot_commit(n_plus_1: usize, k: usize, depth: usize, buggy: bool) -> CheckConfig<()> {
+    unit(
+        "snapshot-commit",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("k", int(k)),
+            ("depth", int(depth)),
+            ("buggy", Scalar::Bool(buggy)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::stable_report`.
+pub fn stable_report(n_plus_1: usize, reports: usize, depth: usize) -> CheckConfig<()> {
+    unit(
+        "stable-report",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("reports", int(reports)),
+            ("depth", int(depth)),
+        ],
+    )
+}
+
+/// Registry-routed `samples::converge_offby1`.
+pub fn converge_offby1(n_plus_1: usize, k: usize, depth: usize, slack: usize) -> CheckConfig<()> {
+    unit(
+        "converge-offby1",
+        &[
+            ("n_plus_1", int(n_plus_1)),
+            ("k", int(k)),
+            ("depth", int(depth)),
+            ("slack", int(slack)),
+        ],
+    )
+}

@@ -67,6 +67,11 @@ fn e9_baseline_matrix_is_golden() {
     assert_golden("e9-baseline");
 }
 
+#[test]
+fn swarm_smoke_matrix_is_golden() {
+    assert_golden("swarm-smoke");
+}
+
 /// The two-arm A/B comparison on the demo matrix: the sound and buggy
 /// arms of `snapshot-commit` differ in exactly the expected way.
 #[test]

@@ -29,15 +29,17 @@ fn every_known_protocol_has_exactly_one_runner() {
     ];
     let experiment = ["e9-baseline", "e10-converge", "e11-snapshots"];
     let bench = ["bench-suite"];
+    let swarm = ["swarm"];
     for p in KNOWN_PROTOCOLS {
         let owners = usize::from(check.contains(p))
             + usize::from(experiment.contains(p))
-            + usize::from(bench.contains(p));
+            + usize::from(bench.contains(p))
+            + usize::from(swarm.contains(p));
         assert_eq!(owners, 1, "protocol `{p}` must have exactly one runner");
     }
     assert_eq!(
         KNOWN_PROTOCOLS.len(),
-        check.len() + experiment.len() + bench.len(),
+        check.len() + experiment.len() + bench.len() + swarm.len(),
         "a runner claims a protocol the schema does not know"
     );
 }
@@ -99,6 +101,28 @@ fn bench_suite_rejects_unknown_workloads() {
     };
     let err = bench_workload_of(&cell).expect_err("unknown workload");
     assert!(err.contains("not a check protocol"), "{err}");
+}
+
+/// The checked-in swarm scenario runs through the matrix driver, and its
+/// batch × window matrix leaves every campaign counter untouched: within
+/// one seed, all cells report identical states and extras.
+#[test]
+fn swarm_smoke_counters_are_mode_invariant() {
+    let doc = load("swarm-smoke").expect("checked-in scenario");
+    let report = run_matrix(&doc, 0).expect("matrix runs");
+    assert!(report.deterministic, "repeats must be indistinguishable");
+    assert!(report.ok, "every cell passes");
+    for seed in &doc.seeds {
+        let of_seed: Vec<_> = report.records.iter().filter(|r| r.seed == *seed).collect();
+        assert!(!of_seed.is_empty());
+        for r in &of_seed {
+            assert_eq!(
+                r.out, of_seed[0].out,
+                "seed {seed}: cell {} diverges from cell {}",
+                r.cell, of_seed[0].cell
+            );
+        }
+    }
 }
 
 /// `repeats > 1` re-runs coordinates and the determinism cross-check

@@ -1,0 +1,83 @@
+//! No-drift lock between the two sample paths (closes the PR 7
+//! deprecation note in `upsilon_check::samples`): for every constructor
+//! in the portfolio, the registry-routed [`testkit`] accessor and the
+//! direct `samples::` constructor must denote the *same* workload — the
+//! exhaustive checker produces identical [`CheckReport`]s (stats,
+//! counterexamples, frontier fan-out) from both.
+//!
+//! If the registry ever remaps an axis, changes a default, or forgets a
+//! knob, the two paths diverge and this suite names the constructor.
+
+use upsilon_check::explore::{check, CheckReport};
+use upsilon_check::samples;
+use upsilon_scenario::testkit;
+use upsilon_sim::{FdValue, ProcessId};
+
+fn reports<D: FdValue>(
+    name: &str,
+    via_registry: upsilon_check::explore::CheckConfig<D>,
+    direct: upsilon_check::explore::CheckConfig<D>,
+) -> (String, CheckReport, CheckReport) {
+    (name.to_string(), check(&via_registry), check(&direct))
+}
+
+/// Every constructor in the portfolio, exercised at small but non-trivial
+/// parameters (faults, budgets, mutants and the buggy arms included).
+#[test]
+fn registry_and_direct_samples_agree_on_the_full_portfolio() {
+    let cases = vec![
+        reports("fig1", testkit::fig1(3, 5, 1), samples::fig1(3, 5, 1)),
+        reports(
+            "fig1_mutating",
+            testkit::fig1_mutating(3, 5, 0, 1),
+            samples::fig1_mutating(3, 5, 0, 1),
+        ),
+        reports("fig2", testkit::fig2(3, 1, 5, 1), samples::fig2(3, 1, 5, 1)),
+        reports(
+            "pinned_upsilon",
+            testkit::pinned_upsilon(3, 1, 3),
+            samples::pinned_upsilon(3, 1, 3),
+        ),
+        reports(
+            "fig2_dropped_write(faithful)",
+            testkit::fig2_dropped_write(2, 1, 8, 0, None),
+            samples::fig2_dropped_write(2, 1, 8, 0, None),
+        ),
+        reports(
+            "fig2_dropped_write(dropper)",
+            testkit::fig2_dropped_write(2, 1, 8, 0, Some(ProcessId(1))),
+            samples::fig2_dropped_write(2, 1, 8, 0, Some(ProcessId(1))),
+        ),
+        reports(
+            "snapshot_commit(sound)",
+            testkit::snapshot_commit(2, 1, 8, false),
+            samples::snapshot_commit(2, 1, 8, false),
+        ),
+        reports(
+            "snapshot_commit(buggy)",
+            testkit::snapshot_commit(2, 1, 8, true),
+            samples::snapshot_commit(2, 1, 8, true),
+        ),
+        reports(
+            "stable_report",
+            testkit::stable_report(3, 2, 6),
+            samples::stable_report(3, 2, 6),
+        ),
+        reports(
+            "converge_offby1(faithful)",
+            testkit::converge_offby1(2, 1, 8, 0),
+            samples::converge_offby1(2, 1, 8, 0),
+        ),
+        reports(
+            "converge_offby1(mutant)",
+            testkit::converge_offby1(2, 1, 8, 1),
+            samples::converge_offby1(2, 1, 8, 1),
+        ),
+    ];
+    for (name, via_registry, direct) in cases {
+        assert_eq!(
+            via_registry, direct,
+            "{name}: registry path drifted from the direct constructor"
+        );
+    }
+}

@@ -101,7 +101,7 @@ mod time;
 mod trace;
 
 pub use batch::{default_workers, run_batch};
-pub use builder::{algo, AlgoFn, AlgoFuture, SimBuilder, SimOutcome};
+pub use builder::{algo, AlgoFn, AlgoFuture, RunCell, SimBuilder, SimOutcome};
 pub use coverage::{conflict_coverage, conflict_pairs, ConflictPair, Fnv64};
 pub use engine::EngineKind;
 pub use error::{AlgoResult, Crashed};

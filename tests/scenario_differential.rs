@@ -13,17 +13,18 @@ use upsilon_scenario::registry::{bench_workload_of, resolve_check, AnyCheck};
 use upsilon_scenario::{load_all, Kind, ScenarioDoc};
 use upsilon_sim::{EngineKind, ProcessId};
 
-/// Experiment protocols whose runners are inline-only (the agreement
-/// harness does not expose an engine knob); everything else must be
+/// Protocols whose runners are inline-only (the agreement harness does
+/// not expose an engine knob, and the packed swarm executor is built on
+/// the inline engine's suspendable cells); everything else must be
 /// exercised under both engines.
-const INLINE_ONLY: &[&str] = &["e11-snapshots", "e9-baseline"];
+const INLINE_ONLY: &[&str] = &["e11-snapshots", "e9-baseline", "swarm"];
 
 fn check_target_of(doc: &ScenarioDoc) -> Option<AnyCheck> {
     let cell = doc.expand().into_iter().next().expect("at least one cell");
     match doc.kind {
         Kind::Check | Kind::Fuzz => Some(resolve_check(&cell).expect("cell resolves")),
         Kind::Bench => Some(bench_workload_of(&cell).expect("cell resolves").1),
-        Kind::Experiment => None,
+        Kind::Experiment | Kind::Swarm => None,
     }
 }
 
